@@ -1,0 +1,28 @@
+.PHONY: install test bench tables csv examples all clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+tables:
+	python -m repro.bench
+
+csv:
+	python -c "from repro.bench.export import export_all; print(*export_all('benchmarks/results/csv'), sep='\n')"
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		python $$script || exit 1; \
+	done
+
+all: install test bench tables
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results build src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

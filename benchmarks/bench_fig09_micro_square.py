@@ -1,0 +1,46 @@
+"""Figure 9: microbenchmark speedups on square inputs.
+
+Benchmarks the real vectorised SIMD² kernels per opcode (at 256³ — the
+same code path as the paper-size sweep) and regenerates the Figure 9
+speedup series through the calibrated timing model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import fig9_micro_square_rows, render_table
+from repro.isa import MmoOpcode
+from repro.runtime import mmo_tiled
+
+N = 256
+
+
+def _inputs(opcode: MmoOpcode):
+    rng = np.random.default_rng(int(opcode))
+    ring = opcode.semiring
+    if ring.is_boolean():
+        return rng.random((N, N)) < 0.1, rng.random((N, N)) < 0.1
+    return (
+        rng.integers(-8, 9, (N, N)).astype(np.float64),
+        rng.integers(-8, 9, (N, N)).astype(np.float64),
+    )
+
+
+@pytest.mark.parametrize("opcode", list(MmoOpcode), ids=lambda op: op.mnemonic)
+def test_mmo_kernel(benchmark, opcode):
+    a, b = _inputs(opcode)
+    result, stats = benchmark(mmo_tiled, opcode, a, b)
+    assert result.shape == (N, N)
+    assert stats.mmo_instructions == (N // 16) ** 3
+
+
+def test_fig9_speedup_series(benchmark, save_table):
+    rows = benchmark(fig9_micro_square_rows)
+    save_table("fig09_micro_square", render_table(rows, title="Figure 9 (modelled speedups)"))
+    final = rows[-1]
+    # Paper: gmean saturates around 10x, peak ops reach ~15.8x.
+    assert 9.5 < final["gmean"] < 11.0
+    assert 15.0 < final["minmax"] < 17.5
+    assert 2.8 < final["mma"] < 3.5

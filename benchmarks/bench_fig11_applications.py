@@ -1,0 +1,101 @@
+"""Figure 11: the eight benchmark applications.
+
+Benchmarks each application's real baseline and SIMD²-ized implementation
+on validation-scale inputs (the emulation substrate is Python, so inputs
+are scaled down; the *paper-size* latencies and speedups come from the
+calibrated timing model, printed as the Figure 11 table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    aplp_baseline,
+    aplp_simd2,
+    apsp_baseline,
+    apsp_simd2,
+    gtc_baseline,
+    gtc_simd2,
+    knn_baseline,
+    knn_simd2,
+    max_capacity_baseline,
+    max_capacity_simd2,
+    max_reliability_baseline,
+    max_reliability_simd2,
+    min_reliability_baseline,
+    min_reliability_simd2,
+    mst_baseline,
+    mst_simd2,
+)
+from repro.bench import fig11_application_rows, render_table
+from repro.datasets import (
+    GraphSpec,
+    PointCloudSpec,
+    boolean_graph,
+    capacity_graph,
+    dag_distance_graph,
+    distance_graph,
+    gaussian_clusters,
+    reliability_graph,
+    undirected_distance_graph,
+)
+
+SPEC = GraphSpec(num_vertices=96, edge_probability=0.08, seed=1)
+
+_CASES = {
+    "APSP": (apsp_baseline, apsp_simd2, lambda: distance_graph(SPEC)),
+    "APLP": (aplp_baseline, aplp_simd2, lambda: dag_distance_graph(SPEC)),
+    "MCP": (
+        max_capacity_baseline,
+        max_capacity_simd2,
+        lambda: capacity_graph(SPEC, maximize=True),
+    ),
+    "MAXRP": (
+        max_reliability_baseline,
+        max_reliability_simd2,
+        lambda: reliability_graph(SPEC, maximize=True),
+    ),
+    "MINRP": (
+        min_reliability_baseline,
+        min_reliability_simd2,
+        lambda: reliability_graph(SPEC, maximize=False),
+    ),
+    "MST": (mst_baseline, mst_simd2, lambda: undirected_distance_graph(SPEC)),
+    "GTC": (gtc_baseline, gtc_simd2, lambda: boolean_graph(SPEC, reflexive=False)),
+}
+
+
+@pytest.mark.parametrize("app", sorted(_CASES), ids=str)
+def test_baseline_implementation(benchmark, app):
+    baseline_fn, _, make_input = _CASES[app]
+    data = make_input()
+    benchmark(baseline_fn, data)
+
+
+@pytest.mark.parametrize("app", sorted(_CASES), ids=str)
+def test_simd2_implementation(benchmark, app):
+    _, simd2_fn, make_input = _CASES[app]
+    data = make_input()
+    benchmark(simd2_fn, data)
+
+
+def test_knn_baseline(benchmark):
+    points, _ = gaussian_clusters(PointCloudSpec(num_points=192, dimensions=32, seed=2))
+    benchmark(knn_baseline, points[:96], points[96:], 5)
+
+
+def test_knn_simd2(benchmark):
+    points, _ = gaussian_clusters(PointCloudSpec(num_points=192, dimensions=32, seed=2))
+    benchmark(knn_simd2, points[:96], points[96:], 5)
+
+
+def test_fig11_speedup_table(benchmark, save_table):
+    rows = benchmark(fig11_application_rows)
+    save_table("fig11_applications", render_table(rows, title="Figure 11 (modelled)"))
+    gmeans = [row["speedup_units"] for row in rows if row["app"] == "GMEAN"]
+    # Paper: geometric mean 10.76–13.96x, max 38.59x.
+    assert all(8.0 < g < 14.0 for g in gmeans)
+    best = max(row["speedup_units"] for row in rows if row["app"] != "GMEAN")
+    assert 30.0 < best < 45.0

@@ -1,0 +1,59 @@
+"""Figure 12: algorithmic ablations (convergence checks, Bellman-Ford).
+
+Benchmarks the real closure under each policy on a validation-scale graph
+and regenerates the Figure 12 speedup table from the timing model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import fig12_ablation_rows, render_table
+from repro.datasets import GraphSpec, distance_graph
+from repro.runtime import closure
+
+SPEC = GraphSpec(num_vertices=96, edge_probability=0.08, seed=3)
+
+_POLICIES = {
+    "leyzorek-conv": ("leyzorek", True),
+    "leyzorek-noconv": ("leyzorek", False),
+    "bellman-ford-conv": ("bellman-ford", True),
+    "bellman-ford-noconv": ("bellman-ford", False),
+}
+
+
+@pytest.mark.parametrize("policy", sorted(_POLICIES), ids=str)
+def test_closure_policy(benchmark, policy):
+    method, check = _POLICIES[policy]
+    adjacency = distance_graph(SPEC)
+    result = benchmark(
+        closure, "min-plus", adjacency, method=method, convergence_check=check
+    )
+    assert result.matrix.shape == adjacency.shape
+
+
+def test_policies_reach_same_fixpoint(benchmark):
+    import numpy as np
+
+    adjacency = distance_graph(SPEC)
+
+    def run_all():
+        return [
+            closure("min-plus", adjacency, method=m, convergence_check=c).matrix
+            for m, c in _POLICIES.values()
+        ]
+
+    results = benchmark(run_all)
+    for other in results[1:]:
+        np.testing.assert_array_equal(results[0], other)
+
+
+def test_fig12_speedup_table(benchmark, save_table):
+    rows = benchmark(fig12_ablation_rows)
+    save_table("fig12_ablation", render_table(rows, title="Figure 12 (modelled)"))
+    # Paper: Leyzorek w/o convergence still beats baselines by 1.11–10.91x
+    # on most apps; Bellman-Ford sinks MinRP below 1 everywhere.
+    noconv = [row["leyzorek_noconv"] for row in rows]
+    assert 1.0 < max(noconv) < 12.0
+    minrp_bf = [row["bellman_ford"] for row in rows if row["app"] == "MINRP"]
+    assert all(value < 1.0 for value in minrp_bf)

@@ -1,0 +1,62 @@
+"""Figure 14: sparse (cuSparse-class spGEMM) vs dense GEMM crossover.
+
+Benchmarks the real CSR/spGEMM substrate across sparsity levels and
+regenerates the Figure 14 speedup/OOM grid from the crossover model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import fig14_sparse_crossover_rows, render_table
+from repro.core import mmo
+from repro.sparse import CsrMatrix, spgemm
+
+N = 128
+
+
+def _sparse_dense_pair(sparsity: float, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    dense = np.where(
+        rng.random((N, N)) >= sparsity, rng.integers(1, 9, (N, N)), 0
+    ).astype(np.float64)
+    return dense, CsrMatrix.from_dense(dense)
+
+
+@pytest.mark.parametrize("sparsity", [0.7, 0.9, 0.99], ids=lambda s: f"s{s}")
+def test_spgemm(benchmark, sparsity):
+    dense, csr = _sparse_dense_pair(sparsity)
+    result, stats = benchmark(spgemm, "plus-mul", csr, csr)
+    assert result.shape == (N, N)
+    # Work shrinks quadratically with density.
+    assert stats.products <= (N * (1 - sparsity) + 8) ** 2 * N
+
+
+def test_dense_reference(benchmark):
+    dense, _ = _sparse_dense_pair(0.9)
+    benchmark(mmo, "plus-mul", dense, dense)
+
+
+def test_spgemm_matches_dense(benchmark):
+    dense, csr = _sparse_dense_pair(0.95)
+
+    def both():
+        sparse_result, _ = spgemm("plus-mul", csr, csr)
+        return sparse_result.to_dense()
+
+    sparse_dense = benchmark(both)
+    np.testing.assert_allclose(sparse_dense, mmo("plus-mul", dense, dense), rtol=1e-5)
+
+
+def test_fig14_crossover_table(benchmark, save_table):
+    rows = benchmark(fig14_sparse_crossover_rows)
+    save_table(
+        "fig14_sparse_crossover", render_table(rows, title="Figure 14 (modelled)")
+    )
+    by_size = {row["size"]: row for row in rows}
+    # Paper: no crossover at 1024; crossover ≳99% at 4096; OOM region at 16384.
+    assert by_size[1024]["crossover"] == "never"
+    assert 0.975 <= by_size[4096]["crossover"] <= 0.995
+    assert by_size[16384]["s=0.9"] is None
+    assert by_size[16384]["s=0.999"] > 10

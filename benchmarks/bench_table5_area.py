@@ -1,0 +1,55 @@
+"""Table 5: area/power of SIMD² units — regenerates all three sub-tables.
+
+Measures the composition model itself and emits the model-vs-paper table.
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_table, table5_area_rows
+from repro.hwmodel import (
+    ALL_SIMD2_EXTENSIONS,
+    combined_unit_area,
+    simd2_unit_area,
+    standalone_total_area,
+)
+
+
+def test_table5_rows(benchmark, save_table):
+    rows = benchmark(table5_area_rows)
+    save_table(
+        "table5_area", render_table(rows, title="Table 5 (model vs paper, MMA=1)")
+    )
+    # Headline claims of the paper's Section 6.1:
+    by_config = {row["config"]: row["model_area"] for row in rows}
+    assert abs(by_config["MMA + all SIMD2 insts"] - 1.69) < 0.05
+    assert abs(by_config["standalone total (8 PEs)"] - 2.96) < 0.10
+
+
+def test_full_unit_composition(benchmark):
+    area = benchmark(simd2_unit_area, 16)
+    assert 1.6 < area < 1.8
+
+
+def test_precision_sweep(benchmark):
+    def sweep():
+        return [simd2_unit_area(bits) for bits in (8, 16, 32, 64)]
+
+    areas = benchmark(sweep)
+    assert areas == sorted(areas)
+
+
+def test_incremental_composition(benchmark):
+    def all_pairs():
+        return [
+            combined_unit_area([a, b])
+            for a in ALL_SIMD2_EXTENSIONS
+            for b in ALL_SIMD2_EXTENSIONS
+        ]
+
+    areas = benchmark(all_pairs)
+    assert max(areas) <= simd2_unit_area(16)
+
+
+def test_standalone_farm(benchmark):
+    total = benchmark(standalone_total_area)
+    assert total > simd2_unit_area(16)

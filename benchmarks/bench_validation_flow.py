@@ -1,0 +1,26 @@
+"""Figure 8: the validation workflow across the full application suite.
+
+Benchmarks the three-way validation (baseline vs vectorised vs emulated)
+per application and prints the suite-wide validation table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import render_table, validation_rows
+from repro.bench.evaluation import EVALUATION_SUITE, evaluate_application
+
+
+@pytest.mark.parametrize("app", sorted(EVALUATION_SUITE), ids=str)
+def test_validate_application(benchmark, app):
+    evaluation = benchmark(evaluate_application, app)
+    assert evaluation.validated
+    assert evaluation.emulation_consistent
+
+
+def test_validation_table(benchmark, save_table):
+    rows = benchmark(validation_rows)
+    save_table("fig08_validation", render_table(rows, title="Figure 8 validation flow"))
+    assert all(row["validated"] for row in rows)
+    assert all(row["emulation_consistent"] for row in rows)

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` file does two things:
+
+1. *measures* the real implementation underlying its table/figure with
+   pytest-benchmark (at sizes tractable for a Python emulation), and
+2. *regenerates* the paper's rows/series through the model harness,
+   printing the table and saving it under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Print an experiment table and persist it to benchmarks/results/."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save

@@ -1,0 +1,85 @@
+"""All-pairs shortest paths on a road-style network — the paper's Figure 7.
+
+Mirrors the paper's host-side CUDA workflow step by step on the emulated
+device: allocate device buffers, copy the adjacency matrix in, iterate
+``simd2_minplus`` with a convergence check, copy the distances out — then
+validates the result against the ECL-APSP-style tiled Floyd–Warshall
+baseline and reports iteration statistics for Leyzorek vs Bellman-Ford.
+
+Run:  python examples/apsp_routing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import apsp_baseline
+from repro.datasets import GraphSpec, distance_graph
+from repro.hw import Simd2Device
+from repro.runtime import closure, mmo_tiled
+from repro.timing import app_times
+
+
+def figure7_host_workflow(adjacency: np.ndarray) -> np.ndarray:
+    """The paper's Figure 7 loop, written against the emulated device."""
+    device = Simd2Device(sm_count=4)
+    n = adjacency.shape[0]
+
+    # cudaMalloc + cudaMemcpy(H2D)
+    device.malloc("adj_mat_d", (n, n), np.float32)
+    device.malloc("dist_d", (n, n), np.float32)
+    device.memcpy_h2d("adj_mat_d", adjacency)
+    device.memcpy_h2d("dist_d", adjacency)
+
+    converge = False
+    iterations = 0
+    while not converge:
+        dist = device.global_memory["dist_d"]
+        adj = device.global_memory["adj_mat_d"]
+        # simd2_minplus(adj, dist, dist, delta): one whole-matrix mmo on
+        # the SIMD² units (instruction-level emulation).
+        delta, _ = mmo_tiled("min-plus", dist, adj, dist, backend="emulate", device=device)
+        # check_convergence: a pure element-wise GPU kernel.
+        converge = bool(np.array_equal(delta, dist))
+        device.global_memory["dist_d"][...] = delta
+        iterations += 1
+
+    result = device.memcpy_d2h("dist_d")
+    print(f"  device ran {device.kernel_launches} kernel launches, "
+          f"{device.stats.mmos} warp-level mmo instructions, "
+          f"{iterations} Bellman-Ford iterations")
+    return result
+
+
+def main() -> None:
+    spec = GraphSpec(num_vertices=48, edge_probability=0.12, seed=42)
+    adjacency = distance_graph(spec)
+    print(f"Road network: {spec.num_vertices} junctions, "
+          f"{int(np.isfinite(adjacency).sum() - spec.num_vertices)} directed roads")
+
+    print("\n[1] Figure-7 workflow on the emulated device (Bellman-Ford):")
+    distances = figure7_host_workflow(adjacency)
+
+    print("\n[2] Validation against the tiled Floyd-Warshall baseline:")
+    baseline = apsp_baseline(adjacency)
+    assert np.array_equal(distances, baseline.distances)
+    reachable = np.isfinite(distances).mean()
+    print(f"  distances match ECL-APSP-style baseline exactly; "
+          f"{reachable:.0%} of pairs reachable")
+
+    print("\n[3] Algorithmic comparison (paper Section 6.4):")
+    for method in ("bellman-ford", "leyzorek"):
+        result = closure("min-plus", adjacency, method=method)
+        print(f"  {method:13s}: {result.iterations} iterations, "
+              f"{result.total_mmo_instructions} tile mmos, converged={result.converged}")
+
+    print("\n[4] Modelled paper-scale performance (RTX 3080 class, Fig 11):")
+    for size in (4096, 8192, 16384):
+        times = app_times("APSP", size)
+        print(f"  n={size:6d}: baseline {times.baseline_s*1e3:8.1f} ms, "
+              f"SIMD2 units {times.simd2_units_s*1e3:7.1f} ms "
+              f"-> {times.speedup_units:5.2f}x speedup")
+
+
+if __name__ == "__main__":
+    main()

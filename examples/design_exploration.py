@@ -1,0 +1,78 @@
+"""Architect's tour: area, power, energy, roofline and the design space.
+
+Uses the modelling half of the library the way Section 6.1 of the paper
+does — compose unit areas, scale precision, place kernels on rooflines,
+and compare the combined SIMD² unit against the alternatives.
+
+Run:  python examples/design_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.hwmodel import (
+    ALL_SIMD2_EXTENSIONS,
+    app_energy,
+    combined_unit_area,
+    die_overhead_fractions,
+    mma_unit_area,
+    simd2_unit_area,
+    standalone_total_area,
+    unit_power_w,
+)
+from repro.isa import MmoOpcode
+from repro.timing import app_times, design_space, mmo_roofline
+
+
+def unit_areas() -> None:
+    print("=== Unit area composition (16-bit, baseline MMA = 1) ===")
+    print(f"baseline MMA unit        : {mma_unit_area(16):.3f}")
+    for opcode in (MmoOpcode.MINPLUS, MmoOpcode.MINMAX, MmoOpcode.ADDNORM):
+        print(f"MMA + {opcode.mnemonic:8s}          : {combined_unit_area([opcode]):.3f}")
+    print(f"full SIMD2 unit          : {simd2_unit_area(16):.3f}  (paper: 1.69)")
+    print(f"8 standalone accelerators: {standalone_total_area():.3f}  (paper: 2.96)")
+    print(f"power MMA -> SIMD2       : {unit_power_w():.2f} W -> "
+          f"{unit_power_w(ALL_SIMD2_EXTENSIONS):.2f} W")
+    sm_frac, die_frac = die_overhead_fractions()
+    print(f"chip overhead            : {sm_frac:.1%} of an SM, {die_frac:.1%} of the die\n")
+
+    print("precision sweep (MMA / SIMD2):")
+    for bits in (8, 16, 32, 64):
+        print(f"  {bits:2d}-bit: {mma_unit_area(bits):6.2f} / {simd2_unit_area(bits):6.2f}")
+    print()
+
+
+def rooflines() -> None:
+    print("=== Where kernels sit on the roofline ===")
+    for label, (m, n, k) in [
+        ("square 4096^3 min-plus", (4096, 4096, 4096)),
+        ("thin-k panel 8192x8192x16", (8192, 8192, 16)),
+    ]:
+        cuda, simd2 = mmo_roofline(MmoOpcode.MINPLUS, m, n, k)
+        print(f"{label:28s}: intensity {simd2.intensity:8.1f} pairs/B -> "
+              f"SIMD2 {simd2.bound.value}-bound "
+              f"({simd2.roof_fraction:.0%} of ceiling), "
+              f"CUDA {cuda.bound.value}-bound")
+    print()
+
+
+def energy_and_design_space() -> None:
+    print("=== Energy (Medium inputs) ===")
+    for app in ("APSP", "MCP", "KNN", "MST"):
+        from repro.timing import APP_SIZES
+
+        energy = app_energy(app_times(app, APP_SIZES[app][1]))
+        print(f"  {app:5s}: baseline {energy.baseline_j:8.2f} J -> "
+              f"SIMD2 {energy.simd2_units_j:7.2f} J  "
+              f"({energy.energy_gain:5.2f}x less energy)")
+
+    print("\n=== The design space (geomean speedup per mm2 of added die) ===")
+    for point in design_space():
+        print(f"  {point.design:17s}: +{point.extra_die_mm2:5.1f} mm2, "
+              f"{point.geomean_speedup:5.2f}x gmean, "
+              f"merit {point.speedup_per_mm2:6.3f}")
+
+
+if __name__ == "__main__":
+    unit_areas()
+    rooflines()
+    energy_and_design_space()

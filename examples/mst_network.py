@@ -1,0 +1,54 @@
+"""Minimum spanning tree of a network via the min-max instruction.
+
+Designs a minimum-cost backbone for a randomly generated network: the
+SIMD² version computes all-pairs *minimax* (bottleneck) distances with the
+min-max closure and selects exactly the edges whose weight equals the
+minimax distance of their endpoints — the cycle property.  Kruskal's
+algorithm (the CUDA-MST-style baseline) verifies the result.
+
+Run:  python examples/mst_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import minimax_matrix, mst_baseline, mst_simd2
+from repro.datasets import GraphSpec, undirected_distance_graph
+from repro.timing import app_times
+
+
+def main() -> None:
+    spec = GraphSpec(num_vertices=40, edge_probability=0.15, seed=9)
+    weights = undirected_distance_graph(spec)
+    num_edges = int(np.isfinite(np.triu(weights, k=1)).sum())
+    print(f"network: {spec.num_vertices} sites, {num_edges} candidate links")
+
+    kruskal = mst_baseline(weights)
+    simd2 = mst_simd2(weights)
+
+    assert simd2.edges == kruskal.edges
+    assert abs(simd2.total_weight - kruskal.total_weight) < 1e-9
+    print(f"\nbackbone: {len(simd2.edges)} links, total cost {simd2.total_weight:.3f}")
+    print("SIMD2 min-max closure selects exactly Kruskal's tree")
+
+    closure_result = simd2.closure_result
+    print(f"closure: {closure_result.iterations} Leyzorek iterations "
+          f"({closure_result.total_mmo_instructions} tile mmos), "
+          f"converged={closure_result.converged}")
+
+    # A sample of bottleneck (minimax) distances — useful on their own for
+    # capacity planning: the worst single link on the best path.
+    bottleneck = minimax_matrix(weights).matrix
+    u, v = 0, spec.num_vertices - 1
+    print(f"\nbottleneck cost between site {u} and site {v}: {bottleneck[u, v]:.3f}")
+
+    print("\nModelled paper-scale performance (Fig 11, MST):")
+    for size in (1024, 2048, 4096):
+        times = app_times("MST", size)
+        trend = "wins" if times.speedup_units > 1 else "loses (paper: degrades at Large)"
+        print(f"  n={size:5d}: {times.speedup_units:5.2f}x vs Kruskal -> {trend}")
+
+
+if __name__ == "__main__":
+    main()

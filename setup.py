@@ -1,0 +1,9 @@
+"""Legacy setuptools entry point.
+
+Kept so ``pip install -e .`` works without build isolation (this repo is
+developed in offline environments); all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — a full-system reproduction of SIMD² (ISCA 2022).
+
+SIMD² generalises matrix-multiplication units to nine semiring-like matrix
+operations (``D = C ⊕ (A ⊗ B)``).  This package provides:
+
+- :mod:`repro.core` — the semiring algebra and the vectorised oracle,
+- :mod:`repro.isa` — the SIMD² instruction set, encoder, and assembler,
+- :mod:`repro.hw` — a functional emulator of SIMD² units inside a GPU SM,
+- :mod:`repro.runtime` — the tile API, whole-matrix kernels, and closure loops,
+- :mod:`repro.apps` — the paper's eight benchmark applications,
+- :mod:`repro.sparse` — CSR, semiring spGEMM, and 2:4 structured sparsity,
+- :mod:`repro.timing` — the analytic GPU performance model,
+- :mod:`repro.hwmodel` — the area/power model behind Table 5,
+- :mod:`repro.datasets` — synthetic workload generators,
+- :mod:`repro.bench` — the experiment harness regenerating every table/figure.
+"""
+
+from repro.core import (
+    SEMIRINGS,
+    Semiring,
+    SemiringError,
+    get_semiring,
+    mmo,
+    semiring_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SEMIRINGS",
+    "Semiring",
+    "SemiringError",
+    "get_semiring",
+    "mmo",
+    "semiring_names",
+    "__version__",
+]

@@ -1,0 +1,69 @@
+"""The paper's eight benchmark applications, each with a classical
+baseline and a SIMD²-ized (semiring closure / mmo) implementation."""
+
+from repro.apps.floyd_warshall import FwStats, blocked_floyd_warshall, floyd_warshall
+from repro.apps.apsp import ApspResult, apsp_baseline, apsp_simd2
+from repro.apps.aplp import AplpResult, aplp_baseline, aplp_simd2, dag_longest_path_dp
+from repro.apps.relpaths import (
+    PathClosureResult,
+    max_capacity_baseline,
+    max_capacity_simd2,
+    max_reliability_baseline,
+    max_reliability_simd2,
+    min_reliability_baseline,
+    min_reliability_simd2,
+)
+from repro.apps.mst import MstResult, UnionFind, minimax_matrix, mst_baseline, mst_simd2
+from repro.apps.gtc import GtcResult, gtc_baseline, gtc_simd2
+from repro.apps.knn import KnnResult, knn_baseline, knn_simd2, select_k_smallest
+from repro.apps.kmeans import KmeansResult, kmeans_baseline, kmeans_simd2
+from repro.apps.linalg import InverseResult, newton_schulz_inverse
+from repro.apps.scc import SccResult, scc_baseline, scc_simd2
+from repro.apps.path_reconstruction import (
+    RoutedPaths,
+    extract_path,
+    shortest_paths_with_successors,
+)
+
+__all__ = [
+    "FwStats",
+    "blocked_floyd_warshall",
+    "floyd_warshall",
+    "ApspResult",
+    "apsp_baseline",
+    "apsp_simd2",
+    "AplpResult",
+    "aplp_baseline",
+    "aplp_simd2",
+    "dag_longest_path_dp",
+    "PathClosureResult",
+    "max_capacity_baseline",
+    "max_capacity_simd2",
+    "max_reliability_baseline",
+    "max_reliability_simd2",
+    "min_reliability_baseline",
+    "min_reliability_simd2",
+    "MstResult",
+    "UnionFind",
+    "minimax_matrix",
+    "mst_baseline",
+    "mst_simd2",
+    "GtcResult",
+    "gtc_baseline",
+    "gtc_simd2",
+    "KnnResult",
+    "knn_baseline",
+    "knn_simd2",
+    "select_k_smallest",
+    "KmeansResult",
+    "kmeans_baseline",
+    "kmeans_simd2",
+    "RoutedPaths",
+    "extract_path",
+    "shortest_paths_with_successors",
+    "InverseResult",
+    "newton_schulz_inverse",
+    "SccResult",
+    "scc_baseline",
+    "scc_simd2",
+]

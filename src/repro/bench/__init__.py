@@ -1,0 +1,30 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.bench.harness import (
+    EXPERIMENTS,
+    fig9_micro_square_rows,
+    fig10_micro_nonsquare_rows,
+    fig11_application_rows,
+    fig12_ablation_rows,
+    fig13_sparse_unit_rows,
+    fig14_sparse_crossover_rows,
+    run_experiment,
+    table5_area_rows,
+    validation_rows,
+)
+from repro.bench.reporting import format_value, render_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "fig9_micro_square_rows",
+    "fig10_micro_nonsquare_rows",
+    "fig11_application_rows",
+    "fig12_ablation_rows",
+    "fig13_sparse_unit_rows",
+    "fig14_sparse_crossover_rows",
+    "run_experiment",
+    "table5_area_rows",
+    "validation_rows",
+    "format_value",
+    "render_table",
+]

@@ -1,0 +1,28 @@
+"""CLI: ``python -m repro.bench [experiment ...]`` prints experiment tables.
+
+Without arguments, every table and figure of the paper is regenerated.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    names = argv or list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {sorted(EXPERIMENTS)}")
+        return 2
+    for index, name in enumerate(names):
+        if index:
+            print()
+        print(run_experiment(name))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,216 @@
+"""The paper's Figure 8 evaluation workflow, end to end.
+
+For each application the framework runs three implementations and two
+checks:
+
+1. the **baseline** state-of-the-art implementation on the input,
+2. the **SIMD² algorithm on the vectorised backend** (cuASR/CUTLASS
+   analogue) — compared against the baseline for *correctness/accuracy*,
+3. the **SIMD² algorithm on the instruction-level emulator** — compared
+   against (2) for output equality and against the static tiling
+   prediction for *operation-count* parity,
+
+then attaches the modelled paper-scale speedups (Figure 11) for the app.
+:func:`evaluate_application` runs the flow for one app at validation
+scale; :func:`evaluate_all` sweeps the full Table 4 suite.  This is what
+``python -m repro.bench validate`` prints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.apps import (
+    aplp_baseline,
+    aplp_simd2,
+    apsp_baseline,
+    apsp_simd2,
+    gtc_baseline,
+    gtc_simd2,
+    knn_baseline,
+    knn_simd2,
+    max_capacity_baseline,
+    max_capacity_simd2,
+    max_reliability_baseline,
+    max_reliability_simd2,
+    min_reliability_baseline,
+    min_reliability_simd2,
+    mst_baseline,
+    mst_simd2,
+)
+from repro.datasets import (
+    GraphSpec,
+    PointCloudSpec,
+    boolean_graph,
+    capacity_graph,
+    dag_distance_graph,
+    distance_graph,
+    gaussian_clusters,
+    reliability_graph,
+    undirected_distance_graph,
+)
+from repro.hw import Simd2Device
+from repro.timing import APP_SIZES, app_times
+
+__all__ = ["AppEvaluation", "EVALUATION_SUITE", "evaluate_application", "evaluate_all"]
+
+#: Validation-scale vertex count (the paper-scale sizes live in the model).
+_VALIDATION_N = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class _AppCase:
+    """One application's pieces: input maker, baseline, SIMD² runner."""
+
+    make_input: Callable[[], object]
+    run_baseline: Callable[[object], np.ndarray]
+    run_simd2: Callable[[object, str, Simd2Device | None], np.ndarray]
+    exact: bool  # True: outputs must match bit-for-bit; False: fp16 tolerance
+
+
+def _graph_spec(seed: int) -> GraphSpec:
+    return GraphSpec(num_vertices=_VALIDATION_N, edge_probability=0.15, seed=seed)
+
+
+def _knn_input():
+    points, _ = gaussian_clusters(
+        PointCloudSpec(num_points=2 * _VALIDATION_N, dimensions=12, seed=77)
+    )
+    return points
+
+
+EVALUATION_SUITE: dict[str, _AppCase] = {
+    "APSP": _AppCase(
+        make_input=lambda: distance_graph(_graph_spec(31)),
+        run_baseline=lambda adj: apsp_baseline(adj).distances,
+        run_simd2=lambda adj, backend, device: apsp_simd2(adj, backend=backend).distances,
+        exact=True,
+    ),
+    "APLP": _AppCase(
+        make_input=lambda: dag_distance_graph(_graph_spec(32)),
+        run_baseline=lambda adj: aplp_baseline(adj).lengths,
+        run_simd2=lambda adj, backend, device: aplp_simd2(adj, backend=backend).lengths,
+        exact=True,
+    ),
+    "MCP": _AppCase(
+        make_input=lambda: capacity_graph(_graph_spec(33), maximize=True),
+        run_baseline=lambda adj: max_capacity_baseline(adj).values,
+        run_simd2=lambda adj, backend, device: max_capacity_simd2(
+            adj, backend=backend
+        ).values,
+        exact=True,
+    ),
+    "MAXRP": _AppCase(
+        make_input=lambda: reliability_graph(_graph_spec(34), maximize=True),
+        run_baseline=lambda adj: max_reliability_baseline(adj).values,
+        run_simd2=lambda adj, backend, device: max_reliability_simd2(
+            adj, backend=backend
+        ).values,
+        exact=False,
+    ),
+    "MINRP": _AppCase(
+        make_input=lambda: reliability_graph(_graph_spec(35), maximize=False),
+        run_baseline=lambda adj: min_reliability_baseline(adj).values,
+        run_simd2=lambda adj, backend, device: min_reliability_simd2(
+            adj, backend=backend
+        ).values,
+        exact=False,
+    ),
+    "MST": _AppCase(
+        make_input=lambda: undirected_distance_graph(_graph_spec(36)),
+        run_baseline=lambda w: np.array(sorted(mst_baseline(w).edges)),
+        run_simd2=lambda w, backend, device: np.array(
+            sorted(mst_simd2(w, backend=backend).edges)
+        ),
+        exact=True,
+    ),
+    "GTC": _AppCase(
+        make_input=lambda: boolean_graph(_graph_spec(37), reflexive=False),
+        run_baseline=lambda adj: gtc_baseline(adj).reachable,
+        run_simd2=lambda adj, backend, device: gtc_simd2(adj, backend=backend).reachable,
+        exact=True,
+    ),
+    "KNN": _AppCase(
+        make_input=_knn_input,
+        run_baseline=lambda pts: knn_baseline(
+            pts[:_VALIDATION_N], pts[_VALIDATION_N:], 5
+        ).indices,
+        run_simd2=lambda pts, backend, device: knn_simd2(
+            pts[:_VALIDATION_N], pts[_VALIDATION_N:], 5, backend=backend
+        ).indices,
+        exact=True,
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class AppEvaluation:
+    """Figure-8 outcome for one application."""
+
+    app: str
+    validated: bool  # SIMD² algorithm == baseline (within datapath accuracy)
+    emulation_consistent: bool  # emulator output == vectorised output
+    max_relative_error: float  # accuracy of the fp16 datapath vs baseline
+    modelled_speedups: tuple[float, float, float]  # Small/Medium/Large
+
+    def as_row(self) -> dict[str, object]:
+        small, medium, large = self.modelled_speedups
+        return {
+            "app": self.app,
+            "validated": self.validated,
+            "emulation_consistent": self.emulation_consistent,
+            "max_rel_error": self.max_relative_error,
+            "speedup_S": small,
+            "speedup_M": medium,
+            "speedup_L": large,
+        }
+
+
+def _relative_error(got: np.ndarray, want: np.ndarray) -> float:
+    got = np.asarray(got, dtype=np.float64)
+    want = np.asarray(want, dtype=np.float64)
+    both_finite = np.isfinite(got) & np.isfinite(want)
+    if not np.array_equal(np.isfinite(got), np.isfinite(want)):
+        return np.inf
+    if not both_finite.any():
+        return 0.0
+    denom = np.maximum(np.abs(want[both_finite]), 1e-12)
+    return float(np.max(np.abs(got[both_finite] - want[both_finite]) / denom))
+
+
+def evaluate_application(app: str) -> AppEvaluation:
+    """Run the Figure 8 flow for one application at validation scale."""
+    if app not in EVALUATION_SUITE:
+        raise KeyError(f"unknown application {app!r}; expected {sorted(EVALUATION_SUITE)}")
+    case = EVALUATION_SUITE[app]
+    data = case.make_input()
+
+    baseline = np.asarray(case.run_baseline(data))
+    vectorised = np.asarray(case.run_simd2(data, "vectorized", None))
+    emulated = np.asarray(case.run_simd2(data, "emulate", Simd2Device(sm_count=4)))
+
+    error = _relative_error(vectorised, baseline)
+    tolerance = 0.0 if case.exact else 1e-2
+    validated = bool(
+        np.array_equal(vectorised, baseline) if case.exact else error <= tolerance
+    )
+    emulation_consistent = bool(np.array_equal(emulated, vectorised))
+
+    speedups = tuple(
+        app_times(app, size).speedup_units for size in APP_SIZES[app]
+    )
+    return AppEvaluation(
+        app=app,
+        validated=validated,
+        emulation_consistent=emulation_consistent,
+        max_relative_error=error,
+        modelled_speedups=speedups,  # type: ignore[arg-type]
+    )
+
+
+def evaluate_all() -> list[AppEvaluation]:
+    """The full Table 4 suite through the Figure 8 flow."""
+    return [evaluate_application(app) for app in EVALUATION_SUITE]

@@ -1,0 +1,53 @@
+"""Export experiment rows to CSV for downstream plotting.
+
+Every experiment in the harness registry can be exported as a CSV whose
+columns are the union of the row keys (missing cells stay empty, OOM cells
+render as ``OOM``) — the format plotting scripts and spreadsheets expect
+when regenerating the paper's figures graphically.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from collections.abc import Mapping, Sequence
+
+from repro.bench.harness import EXPERIMENTS
+from repro.bench.reporting import format_value
+
+__all__ = ["rows_to_csv", "export_experiment", "export_all"]
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render rows of dicts as CSV text (columns in first-seen order)."""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns)
+    for row in rows:
+        writer.writerow(
+            [format_value(row[col]) if col in row else "" for col in columns]
+        )
+    return buffer.getvalue()
+
+
+def export_experiment(name: str, directory: str | pathlib.Path) -> pathlib.Path:
+    """Write one experiment's rows to ``<directory>/<name>.csv``."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    _, row_fn = EXPERIMENTS[name]
+    path = directory / f"{name}.csv"
+    path.write_text(rows_to_csv(row_fn()))
+    return path
+
+
+def export_all(directory: str | pathlib.Path) -> list[pathlib.Path]:
+    """Export every registered experiment; returns the written paths."""
+    return [export_experiment(name, directory) for name in EXPERIMENTS]

@@ -1,0 +1,333 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+One ``*_rows`` function per experiment returns the rows the paper reports
+(model-predicted values side by side with the paper's published numbers
+where the paper states them), and :func:`run_experiment` renders any of
+them as a text table.  ``python -m repro.bench`` prints all of them; the
+``benchmarks/`` suite wraps each in a pytest-benchmark target.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hwmodel import (
+    ALL_SIMD2_EXTENSIONS,
+    PAPER_TABLE5A,
+    PAPER_TABLE5B,
+    PAPER_TABLE5C,
+    combined_unit_area,
+    die_overhead_fractions,
+    mma_unit_area,
+    simd2_sm_overhead_mm2,
+    simd2_unit_area,
+    standalone_total_area,
+    standalone_unit_area,
+    unit_power_w,
+)
+from repro.isa.opcodes import MmoOpcode
+from repro.timing import (
+    APP_SIZES,
+    APPS,
+    ClosurePolicy,
+    SparseCrossoverModel,
+    app_times,
+    mmo_kernel_times,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "table5_area_rows",
+    "fig9_micro_square_rows",
+    "fig10_micro_nonsquare_rows",
+    "fig11_application_rows",
+    "fig12_ablation_rows",
+    "fig13_sparse_unit_rows",
+    "fig14_sparse_crossover_rows",
+    "validation_rows",
+]
+
+#: Square sizes swept by the Fig 9 microbenchmark.
+FIG9_SIZES = (1024, 2048, 4096, 8192, 16384)
+
+#: Non-square (m, n, k) shapes swept by the Fig 10 microbenchmark:
+#: tall-skinny, wide, reduction-heavy, and batch-like panels.
+FIG10_SHAPES = (
+    (16384, 1024, 1024),
+    (1024, 16384, 1024),
+    (1024, 1024, 16384),
+    (8192, 8192, 128),
+    (128, 8192, 8192),
+    (4096, 16384, 4096),
+)
+
+#: Sparsity grid of the Fig 14 sweep.
+FIG14_SPARSITIES = (0.5, 0.8, 0.9, 0.95, 0.99, 0.995, 0.999)
+FIG14_SIZES = (1024, 4096, 16384)
+
+
+def _gmean(values) -> float:
+    values = [v for v in values if v is not None]
+    return float(np.exp(np.mean(np.log(values)))) if values else math.nan
+
+
+# ----------------------------------------------------------------------
+# Table 5
+# ----------------------------------------------------------------------
+
+
+def table5_area_rows() -> list[dict[str, object]]:
+    """Table 5(a)+(b)+(c) plus power and die overhead, model vs paper."""
+    rows: list[dict[str, object]] = []
+    rows.append(
+        {
+            "config": "MMA only (16-bit)",
+            "model_area": mma_unit_area(16),
+            "paper_area": 1.0,
+        }
+    )
+    for opcode in ALL_SIMD2_EXTENSIONS:
+        rows.append(
+            {
+                "config": f"MMA + {opcode.mnemonic}",
+                "model_area": combined_unit_area([opcode]),
+                "paper_area": PAPER_TABLE5A[f"mma+{opcode.mnemonic}"],
+            }
+        )
+    rows.append(
+        {
+            "config": "MMA + all SIMD2 insts",
+            "model_area": simd2_unit_area(16),
+            "paper_area": PAPER_TABLE5A["mma+all"],
+        }
+    )
+    for opcode in ALL_SIMD2_EXTENSIONS:
+        rows.append(
+            {
+                "config": f"standalone {opcode.mnemonic}",
+                "model_area": standalone_unit_area(opcode),
+                "paper_area": PAPER_TABLE5B[opcode.mnemonic],
+            }
+        )
+    rows.append(
+        {
+            "config": "standalone total (8 PEs)",
+            "model_area": standalone_total_area(),
+            "paper_area": PAPER_TABLE5B["total"],
+        }
+    )
+    for bits in (8, 16, 32, 64):
+        rows.append(
+            {
+                "config": f"MMA only ({bits}-bit)",
+                "model_area": mma_unit_area(bits),
+                "paper_area": PAPER_TABLE5C["mma"][bits],
+            }
+        )
+        rows.append(
+            {
+                "config": f"SIMD2 ({bits}-bit)",
+                "model_area": simd2_unit_area(bits),
+                "paper_area": PAPER_TABLE5C["simd2"][bits],
+            }
+        )
+    sm_fraction, die_fraction = die_overhead_fractions()
+    rows.append(
+        {
+            "config": "power: MMA / full SIMD2 (W)",
+            "model_area": unit_power_w(ALL_SIMD2_EXTENSIONS),
+            "paper_area": 3.74 + 0.79,
+        }
+    )
+    rows.append(
+        {
+            "config": "SM overhead (mm2, 8N)",
+            "model_area": simd2_sm_overhead_mm2(),
+            "paper_area": 0.378,
+        }
+    )
+    rows.append(
+        {"config": "die overhead fraction", "model_area": die_fraction, "paper_area": 0.05}
+    )
+    rows.append(
+        {"config": "SM area fraction", "model_area": sm_fraction, "paper_area": 0.10}
+    )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 9 and 10 — microbenchmarks
+# ----------------------------------------------------------------------
+
+
+def fig9_micro_square_rows() -> list[dict[str, object]]:
+    """Per-opcode SIMD²-vs-CUDA speedups on square inputs."""
+    rows = []
+    for n in FIG9_SIZES:
+        row: dict[str, object] = {"size": n}
+        speedups = []
+        for opcode in MmoOpcode:
+            speedup = mmo_kernel_times(opcode, n, n, n).speedup
+            row[opcode.mnemonic] = speedup
+            speedups.append(speedup)
+        row["gmean"] = _gmean(speedups)
+        rows.append(row)
+    return rows
+
+
+def fig10_micro_nonsquare_rows() -> list[dict[str, object]]:
+    """Per-opcode speedups on non-square (m, n, k) shapes."""
+    rows = []
+    for m, n, k in FIG10_SHAPES:
+        row: dict[str, object] = {"shape": f"{m}x{n}x{k}"}
+        speedups = []
+        for opcode in MmoOpcode:
+            speedup = mmo_kernel_times(opcode, m, n, k).speedup
+            row[opcode.mnemonic] = speedup
+            speedups.append(speedup)
+        row["gmean"] = _gmean(speedups)
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 11, 12, 13 — applications
+# ----------------------------------------------------------------------
+
+_SIZE_LABELS = ("Small", "Medium", "Large")
+
+
+def fig11_application_rows() -> list[dict[str, object]]:
+    """Application speedups: SIMD² w/ units and w/ CUDA cores vs baseline."""
+    rows = []
+    for app in APPS:
+        for label, size in zip(_SIZE_LABELS, APP_SIZES[app]):
+            times = app_times(app, size)
+            rows.append(
+                {
+                    "app": app,
+                    "input": f"{label} ({size})",
+                    "baseline_ms": times.baseline_s * 1e3,
+                    "simd2_cuda_ms": times.simd2_cuda_s * 1e3,
+                    "simd2_units_ms": times.simd2_units_s * 1e3,
+                    "speedup_units": times.speedup_units,
+                    "speedup_cuda": times.speedup_cuda,
+                    "iterations": times.iterations,
+                }
+            )
+    for index, label in enumerate(_SIZE_LABELS):
+        rows.append(
+            {
+                "app": "GMEAN",
+                "input": label,
+                "speedup_units": _gmean(
+                    app_times(app, APP_SIZES[app][index]).speedup_units for app in APPS
+                ),
+            }
+        )
+    return rows
+
+
+def fig12_ablation_rows() -> list[dict[str, object]]:
+    """Algorithmic ablation: convergence checks and Bellman-Ford variants."""
+    rows = []
+    closure_apps = tuple(app for app in APPS if app != "KNN")
+    for app in closure_apps:
+        for label, size in zip(_SIZE_LABELS, APP_SIZES[app]):
+            row: dict[str, object] = {"app": app, "input": f"{label} ({size})"}
+            for key, policy in (
+                ("leyzorek_conv", ClosurePolicy.LEYZOREK),
+                ("leyzorek_noconv", ClosurePolicy.LEYZOREK_NOCONV),
+                ("bellman_ford", ClosurePolicy.BELLMAN_FORD),
+            ):
+                row[key] = app_times(app, size, policy=policy).speedup_units
+            rows.append(row)
+    return rows
+
+
+def fig13_sparse_unit_rows() -> list[dict[str, object]]:
+    """Sparse (2:4) SIMD² unit speedups vs baseline and vs dense SIMD²."""
+    rows = []
+    for app in APPS:
+        for label, size in zip(_SIZE_LABELS, APP_SIZES[app]):
+            dense = app_times(app, size)
+            sparse = app_times(app, size, sparse_unit=True)
+            rows.append(
+                {
+                    "app": app,
+                    "input": f"{label} ({size})",
+                    "sparse_speedup": sparse.speedup_units,
+                    "dense_speedup": dense.speedup_units,
+                    "gain_over_dense": dense.simd2_units_s / sparse.simd2_units_s,
+                }
+            )
+    for index, label in enumerate(_SIZE_LABELS):
+        rows.append(
+            {
+                "app": "GMEAN",
+                "input": label,
+                "sparse_speedup": _gmean(
+                    app_times(app, APP_SIZES[app][index], sparse_unit=True).speedup_units
+                    for app in APPS
+                ),
+                "dense_speedup": _gmean(
+                    app_times(app, APP_SIZES[app][index]).speedup_units for app in APPS
+                ),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 14 — sparse vs dense crossover
+# ----------------------------------------------------------------------
+
+
+def fig14_sparse_crossover_rows() -> list[dict[str, object]]:
+    """spGEMM-vs-dense-GEMM speedup across sparsity and size (OOM cells)."""
+    model = SparseCrossoverModel()
+    rows = []
+    for n in FIG14_SIZES:
+        row: dict[str, object] = {"size": n}
+        for sparsity in FIG14_SPARSITIES:
+            row[f"s={sparsity}"] = model.point(n, sparsity).speedup
+        crossover = model.crossover_sparsity(n)
+        row["crossover"] = crossover if crossover is not None else "never"
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+def validation_rows() -> list[dict[str, object]]:
+    """Figure 8 flow: validate every app, attach modelled speedups."""
+    from repro.bench.evaluation import evaluate_all
+
+    return [evaluation.as_row() for evaluation in evaluate_all()]
+
+
+EXPERIMENTS: dict[str, tuple[str, callable]] = {
+    "table5": ("Table 5: area, power and die overhead (model vs paper)", table5_area_rows),
+    "validate": ("Figure 8: validation flow across the application suite", validation_rows),
+    "fig9": ("Figure 9: microbenchmark speedups, square inputs", fig9_micro_square_rows),
+    "fig10": ("Figure 10: microbenchmark speedups, non-square inputs", fig10_micro_nonsquare_rows),
+    "fig11": ("Figure 11: application speedups", fig11_application_rows),
+    "fig12": ("Figure 12: algorithmic ablations", fig12_ablation_rows),
+    "fig13": ("Figure 13: sparse SIMD2 unit", fig13_sparse_unit_rows),
+    "fig14": ("Figure 14: sparse vs dense crossover", fig14_sparse_crossover_rows),
+}
+
+
+def run_experiment(name: str) -> str:
+    """Render one experiment's table (see :data:`EXPERIMENTS` for names)."""
+    from repro.bench.reporting import render_table
+
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+    title, row_fn = EXPERIMENTS[name]
+    return render_table(row_fn(), title=title)

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value) -> str:
+    """Human-friendly cell formatting."""
+    if value is None:
+        return "OOM"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    title: str | None = None,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render rows of dicts as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [
+        [format_value(row[col]) if col in row else "" for col in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in cells
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, rule, body])
+    return "\n".join(parts)

@@ -1,0 +1,156 @@
+"""Whole-matrix SIMD² operations — the vectorised correctness oracle.
+
+:func:`mmo` computes ``D = C ⊕ (A ⊗ B)`` for any of the nine semirings with
+the exact mixed-precision rules of the hardware (fp16 inputs quantised, fp32
+accumulation).  It plays the role the cuASR/CUTLASS "CUDA-core backend"
+plays in the paper's validation flow (Section 5.1): a reference every other
+backend — including the instruction-level emulator — must agree with.
+
+Fast paths for GEMM (``A @ B``) and squared-L2 distance (the norm-expansion
+trick) are provided separately; they may differ from the generic path in the
+last float ulp because summation order differs, exactly as library GEMMs do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.precision import quantize_input, quantize_output
+from repro.core.semiring import Semiring, SemiringError
+from repro.core.registry import get_semiring
+
+__all__ = ["mmo", "mmo_reference", "gemm", "squared_l2_distance"]
+
+#: Row-block size bounding the (rows, k, n) intermediate of the generic path.
+_ROW_BLOCK = 64
+
+
+def _validate_shapes(a: np.ndarray, b: np.ndarray, c: np.ndarray | None) -> tuple[int, int, int]:
+    if a.ndim != 2 or b.ndim != 2:
+        raise SemiringError(
+            f"mmo operands must be 2-D, got A{a.shape} and B{b.shape}"
+        )
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise SemiringError(f"inner dimensions differ: A is {a.shape}, B is {b.shape}")
+    if c is not None and c.shape != (m, n):
+        raise SemiringError(f"accumulator C has shape {c.shape}, expected {(m, n)}")
+    return m, n, k
+
+
+def mmo(
+    ring: Semiring | str,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute ``D = C ⊕ (A ⊗ B)`` under ``ring``.
+
+    Parameters
+    ----------
+    ring:
+        A :class:`~repro.core.semiring.Semiring` or its name/mnemonic.
+    a, b:
+        Input matrices of shape ``(m, k)`` and ``(k, n)``; quantised to the
+        ring's input dtype (fp16 or bool) before computing.
+    c:
+        Optional ``(m, n)`` accumulator; defaults to the ``⊕`` identity,
+        in which case ``D`` is just the reduced products.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(m, n)`` result in the ring's output dtype (fp32 or bool).
+    """
+    ring = get_semiring(ring)
+    a = np.asarray(a)
+    b = np.asarray(b)
+    c_arr = None if c is None else np.asarray(c)
+    m, n, k = _validate_shapes(a, b, c_arr)
+
+    a16 = quantize_input(a, ring).astype(ring.output_dtype)
+    b16 = quantize_input(b, ring).astype(ring.output_dtype)
+    if c_arr is None:
+        acc = ring.full((m, n))
+    else:
+        acc = quantize_output(c_arr, ring)
+
+    out = np.empty((m, n), dtype=ring.output_dtype)
+    for start in range(0, m, _ROW_BLOCK):
+        stop = min(start + _ROW_BLOCK, m)
+        block = a16[start:stop]  # (r, k)
+        # (r, k, n) pairwise products, reduced along k in fp32.  Padded
+        # lanes may compute inf·0 = nan; those land only in padded outputs.
+        with np.errstate(invalid="ignore"):
+            products = ring.otimes(block[:, :, None], b16[None, :, :])
+        reduced = ring.reduce(np.asarray(products, dtype=ring.output_dtype), axis=1)
+        out[start:stop] = ring.combine(acc[start:stop], reduced)
+    return out
+
+
+def mmo_reference(
+    ring: Semiring | str,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+) -> np.ndarray:
+    """Triple-loop scalar reference of :func:`mmo` (tests only; O(mnk) Python).
+
+    Mirrors the paper's Figure 1 loop nests literally.  Slow — use only on
+    small matrices.
+    """
+    ring = get_semiring(ring)
+    a = quantize_input(np.asarray(a), ring).astype(ring.output_dtype)
+    b = quantize_input(np.asarray(b), ring).astype(ring.output_dtype)
+    c_arr = None if c is None else np.asarray(c)
+    m, n, k = _validate_shapes(a, b, c_arr)
+    acc = ring.full((m, n)) if c_arr is None else quantize_output(c_arr, ring)
+
+    out = np.empty((m, n), dtype=ring.output_dtype)
+    for i in range(m):
+        for j in range(n):
+            value = ring.oplus_identity
+            for kk in range(k):
+                prod = ring.otimes(a[i, kk], b[kk, j])
+                value = ring.oplus(
+                    np.asarray(value, dtype=ring.output_dtype),
+                    np.asarray(prod, dtype=ring.output_dtype),
+                )
+            out[i, j] = ring.oplus(acc[i, j], np.asarray(value, dtype=ring.output_dtype))
+    return out
+
+
+def gemm(a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None) -> np.ndarray:
+    """Mixed-precision GEMM fast path (``plus-mul`` via ``@``)."""
+    ring = get_semiring("plus-mul")
+    a32 = quantize_input(np.asarray(a), ring).astype(np.float32)
+    b32 = quantize_input(np.asarray(b), ring).astype(np.float32)
+    _validate_shapes(a32, b32, None if c is None else np.asarray(c))
+    out = a32 @ b32
+    if c is not None:
+        out = out + np.asarray(c, dtype=np.float32)
+    return out.astype(np.float32)
+
+
+def squared_l2_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise squared-L2 distances via the norm-expansion trick.
+
+    ``D[i, j] = Σ_k (A[i, k] - B[k, j])² = ‖A_i‖² + ‖B_j‖² − 2·(A@B)[i, j]``
+
+    This is the optimised formulation library baselines (and the paper's
+    KNN-CUDA baseline) use; it matches ``mmo("plus-norm", ...)`` up to fp32
+    rounding.  ``b`` is laid out like the mmo operand: shape ``(k, n)`` with
+    one point per *column*.
+    """
+    ring = get_semiring("plus-norm")
+    a32 = quantize_input(np.asarray(a), ring).astype(np.float32)
+    b32 = quantize_input(np.asarray(b), ring).astype(np.float32)
+    _validate_shapes(a32, b32, None)
+    row_norms = np.sum(a32 * a32, axis=1, keepdims=True)  # (m, 1)
+    col_norms = np.sum(b32 * b32, axis=0, keepdims=True)  # (1, n)
+    cross = a32 @ b32
+    out = row_norms + col_norms - 2.0 * cross
+    # Clamp tiny negative values produced by cancellation.
+    np.maximum(out, 0.0, out=out)
+    return out.astype(np.float32)

@@ -1,0 +1,60 @@
+"""Mixed-precision rules of the SIMD² datapath.
+
+The paper fixes the numeric formats of the prototype (Section 3.2): input
+operands are fp16 and outputs/accumulators are fp32.  The or-and ring is
+logical and uses booleans end to end.  This module centralises the casting
+rules so the vectorised oracle, the tile emulator, and the applications all
+quantise identically — which is what lets tests assert bit-for-bit equality
+between backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.semiring import Semiring
+
+__all__ = [
+    "quantize_input",
+    "quantize_output",
+    "representable_input",
+    "HALF_MAX",
+]
+
+#: Largest finite magnitude representable in fp16.
+HALF_MAX = float(np.finfo(np.float16).max)
+
+
+def quantize_input(values: np.ndarray, ring: Semiring) -> np.ndarray:
+    """Cast ``values`` to the ring's input format (fp16, bool, or int8).
+
+    Infinities survive the fp16 cast, which the min/max rings rely on for
+    "no edge" entries in adjacency matrices.  Finite values outside the
+    fp16 range overflow to ``±inf`` exactly as the hardware would.
+    Integer input formats (the quantized int8 variants) convert with
+    round-and-saturate semantics — integer hardware has no infinity, which
+    is precisely the representational loss §3.2 of the paper warns about.
+    """
+    values = np.asarray(values)
+    if np.issubdtype(ring.input_dtype, np.integer):
+        info = np.iinfo(ring.input_dtype)
+        rounded = np.round(values.astype(np.float64))
+        rounded = np.where(np.isnan(rounded), 0.0, rounded)
+        return np.clip(rounded, info.min, info.max).astype(ring.input_dtype)
+    with np.errstate(over="ignore"):  # out-of-range → ±inf, as hardware does
+        return values.astype(ring.input_dtype)
+
+
+def quantize_output(values: np.ndarray, ring: Semiring) -> np.ndarray:
+    """Cast ``values`` to the ring's accumulator format (fp32 or bool)."""
+    return np.asarray(values).astype(ring.output_dtype)
+
+
+def representable_input(values: np.ndarray, ring: Semiring) -> bool:
+    """True when the fp16 (or bool) cast loses nothing.
+
+    Useful in tests and input validation: graph weights chosen from small
+    integer grids round-trip exactly through fp16.
+    """
+    values = np.asarray(values)
+    return bool(np.array_equal(values.astype(ring.input_dtype).astype(values.dtype), values))

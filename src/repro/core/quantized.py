@@ -1,0 +1,104 @@
+"""Quantized (int8) datapath variants of the SIMD² semirings.
+
+Paper §3.2: "While supporting other formats (e.g., int8) is possible, for
+many algorithms, we find fixed-precision format cannot converge to the
+same result as baseline fp32 implementations" — and Table 5(c) nonetheless
+prices an int8 unit at a quarter of the fp16 area.  This module builds
+those int8 variants so the claim can be *demonstrated*:
+
+- :func:`int8_variant` derives an int8-in / int32-out sibling of any
+  numeric SIMD² semiring, with saturating input quantisation and a
+  saturating "big value" standing in for the ⊕ identity of the min/max
+  rings (int8 has no infinity — the root of the convergence problem),
+- :func:`quantize_saturating` is the input conversion an int8 load unit
+  would perform.
+
+The int8 rings plug into :func:`repro.core.ops.mmo` unchanged; tests and
+the precision study use them to quantify exactly where int8 breaks
+(fractional weights, unrepresentable "no edge", overflow-prone products)
+and where it is fine (boolean-ish workloads, small-integer GEMM).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.registry import get_semiring
+from repro.core.semiring import Semiring, SemiringError
+
+__all__ = ["INT8_MIN", "INT8_MAX", "INT32_BIG", "quantize_saturating", "int8_variant"]
+
+INT8_MIN = -128
+INT8_MAX = 127
+#: Stand-in for ±inf in the int32 accumulate space: large enough to lose
+#: every min (win every max) against real path values, small enough that
+#: one ⊗ step cannot overflow int32.
+INT32_BIG = 2**20
+
+
+def quantize_saturating(values: np.ndarray) -> np.ndarray:
+    """Round to the nearest int8 with saturation (the load-unit cast).
+
+    Non-finite values saturate toward the matching end: the hardware has
+    no infinity, so "no edge" collapses onto the largest magnitude — the
+    representational loss §3.2 warns about.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    rounded = np.round(values)
+    rounded = np.where(np.isnan(values), 0.0, rounded)
+    return np.clip(rounded, INT8_MIN, INT8_MAX).astype(np.int8)
+
+
+def _as_int32(func):
+    def wrapped(a, b):
+        return np.asarray(
+            func(np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64))
+        ).clip(-(2**31), 2**31 - 1).astype(np.int32)
+
+    return wrapped
+
+
+def int8_variant(ring: Semiring | str) -> Semiring:
+    """An int8-in / int32-out sibling of a numeric SIMD² semiring.
+
+    The ⊕ identity of min/max rings becomes ``±INT32_BIG``; plus rings
+    keep 0.  The boolean ring has no meaningful int8 variant (it is
+    already 1-bit) and is rejected.
+    """
+    ring = get_semiring(ring)
+    if ring.is_boolean():
+        raise SemiringError("or-and is already a 1-bit ring; no int8 variant")
+
+    if np.isposinf(ring.oplus_identity):
+        identity: float = INT32_BIG
+    elif np.isneginf(ring.oplus_identity):
+        identity = -INT32_BIG
+    else:
+        identity = int(ring.oplus_identity)
+
+    oplus = _as_int32(ring.oplus)
+    otimes = _as_int32(ring.otimes)
+    # Choose a k-padding pair whose product is exactly the identity.  With
+    # infinities replaced by finite BIG values the float rings' pairs no
+    # longer work (BIG + BIG ≠ BIG), so search the natural candidates: the
+    # identity against the ⊗-neutral suspects 0 and 1, then itself.
+    pad_a = identity
+    for candidate in (0, 1, identity):
+        if int(otimes(pad_a, candidate)) == identity:
+            pad_b = candidate
+            break
+    else:  # pragma: no cover - all nine rings hit one of the candidates
+        raise SemiringError(f"no int8 k-padding pair found for {ring.name}")
+
+    return Semiring(
+        name=f"{ring.name}-int8",
+        oplus=oplus,
+        otimes=otimes,
+        oplus_identity=identity,
+        input_dtype=np.dtype(np.int8),
+        output_dtype=np.dtype(np.int32),
+        associative_otimes=ring.associative_otimes,
+        commutative_otimes=ring.commutative_otimes,
+        k_pad_a=pad_a,
+        k_pad_b=pad_b,
+    )

@@ -1,0 +1,155 @@
+"""A GraphBLAS-flavoured matrix wrapper over the SIMD² semirings.
+
+:class:`SemiringMatrix` binds a matrix to a semiring so algorithms read
+like linear algebra: ``A @ B`` is the ring's mmo, ``A + B`` is element-wise
+``⊕``, and ``A.closure()`` runs the runtime's closure loop.  This is the
+"higher-level library functions that decouple programmability from
+architecture-dependent parameters" layer the paper's programming-model
+section calls for, for users who don't want to manage tiles or backends.
+
+    >>> import numpy as np
+    >>> from repro.core.semimatrix import SemiringMatrix
+    >>> inf = np.inf
+    >>> roads = SemiringMatrix([[0, 3, inf], [3, 0, 1], [inf, 1, 0]], "min-plus")
+    >>> (roads @ roads)[0, 2]
+    4.0
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.registry import get_semiring
+from repro.core.semiring import Semiring, SemiringError
+
+__all__ = ["SemiringMatrix"]
+
+
+class SemiringMatrix:
+    """A 2-D matrix bound to one of the nine SIMD² semirings."""
+
+    __array_priority__ = 100  # keep numpy from hijacking binary operators
+
+    def __init__(self, data, ring: Semiring | str, *, backend: str = "vectorized"):
+        self.ring = get_semiring(ring)
+        array = np.asarray(data)
+        if array.ndim != 2:
+            raise SemiringError(f"SemiringMatrix must be 2-D, got shape {array.shape}")
+        self._data = array.astype(self.ring.output_dtype)
+        self.backend = backend
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int, ring: Semiring | str, *, diagonal) -> "SemiringMatrix":
+        """A matrix that is the ⊕ identity everywhere except the diagonal."""
+        ring = get_semiring(ring)
+        data = ring.full((n, n))
+        np.fill_diagonal(data, diagonal)
+        return cls(data, ring)
+
+    @classmethod
+    def full(cls, shape: tuple[int, int], ring: Semiring | str) -> "SemiringMatrix":
+        """A matrix of ⊕ identities (the ring's "empty" matrix)."""
+        ring = get_semiring(ring)
+        return cls(ring.full(shape), ring)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    def to_array(self) -> np.ndarray:
+        """The underlying ndarray (a copy)."""
+        return self._data.copy()
+
+    def __getitem__(self, key):
+        value = self._data[key]
+        if isinstance(value, np.ndarray) and value.ndim == 2:
+            return SemiringMatrix(value, self.ring, backend=self.backend)
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SemiringMatrix({self.shape}, ring={self.ring.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SemiringMatrix)
+            and other.ring.name == self.ring.name
+            and np.array_equal(other._data, self._data)
+        )
+
+    def __hash__(self):  # pragma: no cover - mutable container semantics
+        return NotImplemented
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def _coerce(self, other, op: str) -> "SemiringMatrix":
+        if isinstance(other, SemiringMatrix):
+            if other.ring.name != self.ring.name:
+                raise SemiringError(
+                    f"cannot {op} matrices over different rings: "
+                    f"{self.ring.name} vs {other.ring.name}"
+                )
+            return other
+        return SemiringMatrix(other, self.ring, backend=self.backend)
+
+    def __matmul__(self, other) -> "SemiringMatrix":
+        """``A @ B`` — the ring's matrix product (no accumulator)."""
+        from repro.runtime.kernels import mmo_tiled
+
+        other = self._coerce(other, "multiply")
+        result, _ = mmo_tiled(self.ring, self._data, other._data, backend=self.backend)
+        return SemiringMatrix(result, self.ring, backend=self.backend)
+
+    def mxm(self, other, accumulator: "SemiringMatrix | None" = None) -> "SemiringMatrix":
+        """``C ⊕ (A ⊗ B)`` with an explicit accumulator (GraphBLAS mxm)."""
+        from repro.runtime.kernels import mmo_tiled
+
+        other = self._coerce(other, "multiply")
+        c = None if accumulator is None else self._coerce(accumulator, "accumulate")._data
+        result, _ = mmo_tiled(
+            self.ring, self._data, other._data, c, backend=self.backend
+        )
+        return SemiringMatrix(result, self.ring, backend=self.backend)
+
+    def __add__(self, other) -> "SemiringMatrix":
+        """``A + B`` — element-wise ⊕."""
+        other = self._coerce(other, "add")
+        if other.shape != self.shape:
+            raise SemiringError(f"shape mismatch: {self.shape} vs {other.shape}")
+        combined = self.ring.oplus(self._data, other._data)
+        return SemiringMatrix(
+            np.asarray(combined, dtype=self.ring.output_dtype),
+            self.ring,
+            backend=self.backend,
+        )
+
+    def closure(self, *, method: str = "leyzorek", convergence_check: bool = True):
+        """Run the runtime closure loop; returns a ClosureResult whose
+        ``matrix`` is wrapped back into a SemiringMatrix via :attr:`ring`."""
+        from repro.runtime.closure import closure as run_closure
+
+        result = run_closure(
+            self.ring,
+            self._data,
+            method=method,
+            convergence_check=convergence_check,
+            backend=self.backend,
+        )
+        return SemiringMatrix(result.matrix, self.ring, backend=self.backend), result
+
+    def transpose(self) -> "SemiringMatrix":
+        return SemiringMatrix(self._data.T.copy(), self.ring, backend=self.backend)
+
+    @property
+    def T(self) -> "SemiringMatrix":
+        return self.transpose()

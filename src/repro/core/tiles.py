@@ -1,0 +1,105 @@
+"""Tiling helpers for mapping whole matrices onto fixed-size SIMD² tiles.
+
+The warp-level SIMD² instructions operate on 16×16 fragments (paper
+Table 2).  High-level kernels therefore pad matrices up to multiples of the
+tile size — using the ``⊕`` identity so padding never changes results — and
+iterate over tile coordinates.  These helpers implement that bookkeeping in
+one place for the vectorised backend, the ISA emulator, and the timing
+model (which needs tile *counts*).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = [
+    "TILE",
+    "TilingError",
+    "ceil_div",
+    "padded_extent",
+    "pad_to_tiles",
+    "crop",
+    "tile_view",
+    "iter_tile_indices",
+    "tile_counts",
+]
+
+#: Warp-level SIMD² tile edge (paper: 16×16 fragments).
+TILE = 16
+
+
+class TilingError(ValueError):
+    """Raised on inconsistent tiling requests (bad shapes, bad tile size)."""
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division for non-negative operands."""
+    if b <= 0:
+        raise TilingError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def padded_extent(n: int, tile: int = TILE) -> int:
+    """Smallest multiple of ``tile`` that covers ``n``."""
+    if n < 0:
+        raise TilingError(f"extent must be non-negative, got {n}")
+    return ceil_div(n, tile) * tile if n else 0
+
+
+def pad_to_tiles(
+    matrix: np.ndarray,
+    fill: float | bool,
+    tile: int = TILE,
+) -> np.ndarray:
+    """Pad a 2-D matrix with ``fill`` up to tile multiples (copy).
+
+    ``fill`` must be the ``⊕`` identity (for accumulators) or a value
+    absorbed by the ring (for inputs); callers pick it per ring.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise TilingError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    rows, cols = matrix.shape
+    out_shape = (padded_extent(rows, tile), padded_extent(cols, tile))
+    if out_shape == matrix.shape:
+        return matrix.copy()
+    out = np.full(out_shape, fill, dtype=matrix.dtype)
+    out[:rows, :cols] = matrix
+    return out
+
+
+def crop(matrix: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Crop a padded matrix back to its logical shape."""
+    matrix = np.asarray(matrix)
+    if rows > matrix.shape[0] or cols > matrix.shape[1]:
+        raise TilingError(
+            f"cannot crop {matrix.shape} to ({rows}, {cols}): target is larger"
+        )
+    return matrix[:rows, :cols]
+
+
+def tile_view(matrix: np.ndarray, ti: int, tj: int, tile: int = TILE) -> np.ndarray:
+    """A writable view of tile ``(ti, tj)`` of a tile-aligned matrix."""
+    rows, cols = matrix.shape
+    if rows % tile or cols % tile:
+        raise TilingError(f"matrix shape {matrix.shape} is not tile-aligned to {tile}")
+    if not (0 <= ti < rows // tile and 0 <= tj < cols // tile):
+        raise TilingError(
+            f"tile index ({ti}, {tj}) out of range for shape {matrix.shape}"
+        )
+    return matrix[ti * tile : (ti + 1) * tile, tj * tile : (tj + 1) * tile]
+
+
+def iter_tile_indices(rows: int, cols: int, tile: int = TILE) -> Iterator[tuple[int, int]]:
+    """Iterate ``(ti, tj)`` tile coordinates covering a rows×cols matrix."""
+    for ti in range(ceil_div(rows, tile)):
+        for tj in range(ceil_div(cols, tile)):
+            yield ti, tj
+
+
+def tile_counts(m: int, n: int, k: int, tile: int = TILE) -> tuple[int, int, int]:
+    """Number of tiles along each dimension of an ``m×n×k`` mmo."""
+    return ceil_div(m, tile), ceil_div(n, tile), ceil_div(k, tile)

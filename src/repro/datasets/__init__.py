@@ -1,0 +1,35 @@
+"""Synthetic workload generators (graphs and point clouds)."""
+
+from repro.datasets.graphs import (
+    GraphSpec,
+    boolean_graph,
+    capacity_graph,
+    dag_distance_graph,
+    distance_graph,
+    random_dag_mask,
+    random_digraph_mask,
+    reliability_graph,
+    undirected_distance_graph,
+    grid_distance_graph,
+    small_world_distance_graph,
+    scale_free_mask,
+)
+from repro.datasets.points import PointCloudSpec, gaussian_clusters, uniform_points
+
+__all__ = [
+    "GraphSpec",
+    "boolean_graph",
+    "capacity_graph",
+    "dag_distance_graph",
+    "distance_graph",
+    "random_dag_mask",
+    "random_digraph_mask",
+    "reliability_graph",
+    "undirected_distance_graph",
+    "grid_distance_graph",
+    "small_world_distance_graph",
+    "scale_free_mask",
+    "PointCloudSpec",
+    "gaussian_clusters",
+    "uniform_points",
+]

@@ -1,0 +1,265 @@
+"""Synthetic graph generators for the benchmark applications.
+
+The paper evaluates on size-parameterised inputs (Table 4).  These
+generators produce adjacency matrices in the encodings the semiring
+algorithms expect:
+
+- *distance* graphs for min-plus / max-plus: missing edge = ``+inf`` /
+  ``-inf``, diagonal = 0;
+- *reliability* graphs for min-mul / max-mul: edge weights in (0, 1],
+  missing edge = the ⊕ identity, diagonal = 1;
+- *capacity* graphs for max-min / min-max;
+- *boolean* graphs for or-and.
+
+Weights are drawn from small grids exactly representable in fp16 so the
+fp16 datapath is lossless on these inputs (the property the paper relies
+on when validating SIMD²-ized programs against fp32 baselines).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = [
+    "GraphSpec",
+    "random_digraph_mask",
+    "random_dag_mask",
+    "distance_graph",
+    "dag_distance_graph",
+    "reliability_graph",
+    "capacity_graph",
+    "boolean_graph",
+    "undirected_distance_graph",
+    "grid_distance_graph",
+    "small_world_distance_graph",
+    "scale_free_mask",
+]
+
+#: Weight grid: multiples of 1/8 are exact in fp16 and sums of a few
+#: thousand of them are exact in fp32.
+_WEIGHT_STEP = 0.125
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphSpec:
+    """Parameters of a synthetic graph workload."""
+
+    num_vertices: int
+    edge_probability: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_vertices <= 0:
+            raise ValueError(f"num_vertices must be positive, got {self.num_vertices}")
+        if not (0.0 <= self.edge_probability <= 1.0):
+            raise ValueError(
+                f"edge_probability must be in [0, 1], got {self.edge_probability}"
+            )
+
+
+def _rng(spec: GraphSpec) -> np.random.Generator:
+    return np.random.default_rng(spec.seed)
+
+
+def random_digraph_mask(spec: GraphSpec) -> np.ndarray:
+    """Erdős–Rényi directed edge mask (no self loops)."""
+    rng = _rng(spec)
+    mask = rng.random((spec.num_vertices, spec.num_vertices)) < spec.edge_probability
+    np.fill_diagonal(mask, False)
+    return mask
+
+
+def random_dag_mask(spec: GraphSpec) -> np.ndarray:
+    """Random DAG mask: edges only from lower to higher vertex index."""
+    return np.triu(random_digraph_mask(spec), k=1)
+
+
+def _random_weights(spec: GraphSpec, low: float, high: float) -> np.ndarray:
+    """fp16-exact weights on a 1/8 grid in [low, high]."""
+    rng = np.random.default_rng(spec.seed + 1)
+    steps = int(round((high - low) / _WEIGHT_STEP))
+    draws = rng.integers(0, steps + 1, size=(spec.num_vertices, spec.num_vertices))
+    return low + draws * _WEIGHT_STEP
+
+
+def distance_graph(spec: GraphSpec) -> np.ndarray:
+    """Min-plus adjacency: weights in [1, 9], +inf for non-edges, 0 diagonal."""
+    mask = random_digraph_mask(spec)
+    weights = _random_weights(spec, 1.0, 9.0)
+    adj = np.where(mask, weights, np.inf)
+    np.fill_diagonal(adj, 0.0)
+    return adj
+
+
+def dag_distance_graph(spec: GraphSpec) -> np.ndarray:
+    """Max-plus adjacency of a DAG (for critical paths): -inf non-edges."""
+    mask = random_dag_mask(spec)
+    weights = _random_weights(spec, 1.0, 9.0)
+    adj = np.where(mask, weights, -np.inf)
+    np.fill_diagonal(adj, 0.0)
+    return adj
+
+
+def reliability_graph(spec: GraphSpec, *, maximize: bool = True) -> np.ndarray:
+    """Mul-ring adjacency: success probabilities on edges.
+
+    ``maximize=True`` targets max-mul (maximum reliability path): non-edges
+    carry reliability 0 — with non-negative weights, 0 is absorbed by both
+    × and max, avoiding the IEEE ``(-inf)·(-inf) = +inf`` trap — and the
+    diagonal is 1 (a vertex reaches itself with certainty).
+    ``maximize=False`` targets min-mul on a DAG: non-edges carry ``+inf``
+    (which loses every min) and edges point from lower to higher index.
+    """
+    mask = random_digraph_mask(spec) if maximize else random_dag_mask(spec)
+    rng = np.random.default_rng(spec.seed + 2)
+    # Probabilities on a 1/64 grid in (0.5, 1.0]: fp16-exact, products of a
+    # few stay well inside fp16/fp32 range.
+    weights = 0.5 + rng.integers(1, 33, size=mask.shape) / 64.0
+    identity = 0.0 if maximize else np.inf
+    adj = np.where(mask, weights, identity)
+    np.fill_diagonal(adj, 1.0)
+    return adj
+
+
+def capacity_graph(spec: GraphSpec, *, maximize: bool = True) -> np.ndarray:
+    """Max-min (capacity) or min-max (bottleneck/MST) adjacency.
+
+    ``maximize=True``: max-min encoding — non-edges carry ``-inf``
+    capacity, the diagonal carries ``+inf`` (a vertex reaches itself with
+    unbounded capacity).  ``maximize=False``: min-max encoding — non-edges
+    ``+inf``, diagonal ``-inf``.
+    """
+    mask = random_digraph_mask(spec)
+    mask = mask | mask.T  # capacity/bottleneck problems use undirected graphs
+    weights = np.triu(_random_weights(spec, 1.0, 9.0), k=1)
+    weights = weights + weights.T
+    if maximize:
+        adj = np.where(mask, weights, -np.inf)
+        np.fill_diagonal(adj, np.inf)
+    else:
+        adj = np.where(mask, weights, np.inf)
+        np.fill_diagonal(adj, -np.inf)
+    return adj
+
+
+def undirected_distance_graph(spec: GraphSpec, *, connected: bool = True) -> np.ndarray:
+    """Symmetric min-plus adjacency with distinct edge weights (for MST).
+
+    Distinct weights make the minimum spanning tree unique, which keeps
+    baseline-vs-SIMD² comparisons exact.  ``connected=True`` adds a random
+    spanning cycle so a spanning *tree* (not forest) exists.
+    """
+    n = spec.num_vertices
+    mask = random_digraph_mask(spec)
+    mask = np.triu(mask | mask.T, k=1)
+    if connected and n > 1:
+        order = np.random.default_rng(spec.seed + 3).permutation(n)
+        for i in range(n - 1):
+            u, v = sorted((order[i], order[i + 1]))
+            mask[u, v] = True
+    # Distinct weights: enumerate upper-triangle edges on the 1/8 grid.
+    adj = np.full((n, n), np.inf)
+    edge_ids = np.flatnonzero(mask)
+    for rank, flat in enumerate(edge_ids):
+        u, v = divmod(int(flat), n)
+        weight = 1.0 + rank * _WEIGHT_STEP
+        adj[u, v] = adj[v, u] = weight
+    np.fill_diagonal(adj, 0.0)
+    return adj
+
+
+def boolean_graph(spec: GraphSpec, *, reflexive: bool = True) -> np.ndarray:
+    """Boolean adjacency for or-and transitive closure."""
+    adj = random_digraph_mask(spec)
+    if reflexive:
+        np.fill_diagonal(adj, True)
+    return adj
+
+
+def grid_distance_graph(rows: int, cols: int) -> np.ndarray:
+    """Unit-weight 4-neighbour grid, min-plus encoded.
+
+    Vertex ``(r, c)`` is index ``r*cols + c``.  Shortest-path distances on
+    this graph are Manhattan distances — a closed-form oracle the tests
+    use to validate closures on a structured (high-diameter) topology,
+    the opposite regime from Erdős–Rényi graphs.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"grid must be positive-sized, got {rows}x{cols}")
+    n = rows * cols
+    adj = np.full((n, n), np.inf)
+    np.fill_diagonal(adj, 0.0)
+    for r in range(rows):
+        for c in range(cols):
+            here = r * cols + c
+            if c + 1 < cols:
+                adj[here, here + 1] = adj[here + 1, here] = 1.0
+            if r + 1 < rows:
+                adj[here, here + cols] = adj[here + cols, here] = 1.0
+    return adj
+
+
+def small_world_distance_graph(
+    spec: GraphSpec, *, neighbours: int = 2, rewire_probability: float = 0.1
+) -> np.ndarray:
+    """Watts–Strogatz-style small-world graph, min-plus encoded.
+
+    A ring lattice where each vertex connects to its ``neighbours`` nearest
+    ring neighbours on each side, with every edge rewired to a random
+    target with ``rewire_probability`` — low diameter with high clustering,
+    the regime where convergence-checked closures shine.
+    """
+    if neighbours <= 0:
+        raise ValueError(f"neighbours must be positive, got {neighbours}")
+    if not (0.0 <= rewire_probability <= 1.0):
+        raise ValueError(
+            f"rewire_probability must be in [0, 1], got {rewire_probability}"
+        )
+    n = spec.num_vertices
+    rng = np.random.default_rng(spec.seed + 4)
+    weights = _random_weights(spec, 1.0, 9.0)
+    adj = np.full((n, n), np.inf)
+    np.fill_diagonal(adj, 0.0)
+    for u in range(n):
+        for offset in range(1, neighbours + 1):
+            v = (u + offset) % n
+            if rng.random() < rewire_probability:
+                candidates = [w for w in range(n) if w != u]
+                v = int(rng.choice(candidates))
+            weight = weights[min(u, v), max(u, v)]
+            adj[u, v] = min(adj[u, v], weight)
+            adj[v, u] = min(adj[v, u], weight)
+    return adj
+
+
+def scale_free_mask(spec: GraphSpec, *, attachment: int = 2) -> np.ndarray:
+    """Barabási–Albert preferential-attachment edge mask (undirected).
+
+    Heavy-tailed degree distributions stress the sparse substrate: a few
+    dense rows among many near-empty ones — the access pattern spGEMM
+    accelerators are designed around.
+    """
+    if attachment <= 0:
+        raise ValueError(f"attachment must be positive, got {attachment}")
+    n = spec.num_vertices
+    if n <= attachment:
+        raise ValueError(
+            f"need more than {attachment} vertices, got {n}"
+        )
+    rng = np.random.default_rng(spec.seed + 5)
+    mask = np.zeros((n, n), dtype=bool)
+    # Seed clique of `attachment + 1` vertices.
+    for u in range(attachment + 1):
+        for v in range(u + 1, attachment + 1):
+            mask[u, v] = mask[v, u] = True
+    degrees = mask.sum(axis=1).astype(np.float64)
+    for new in range(attachment + 1, n):
+        weights = degrees[:new] / degrees[:new].sum()
+        targets = rng.choice(new, size=attachment, replace=False, p=weights)
+        for target in targets:
+            mask[new, target] = mask[target, new] = True
+            degrees[target] += 1
+        degrees[new] = attachment
+    return mask

@@ -1,0 +1,54 @@
+"""Synthetic point clouds for the KNN / K-means workloads."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["PointCloudSpec", "gaussian_clusters", "uniform_points"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PointCloudSpec:
+    """Parameters of a synthetic point-cloud workload."""
+
+    num_points: int
+    dimensions: int = 16
+    num_clusters: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_points <= 0:
+            raise ValueError(f"num_points must be positive, got {self.num_points}")
+        if self.dimensions <= 0:
+            raise ValueError(f"dimensions must be positive, got {self.dimensions}")
+        if self.num_clusters <= 0:
+            raise ValueError(f"num_clusters must be positive, got {self.num_clusters}")
+
+
+def _quantize_fp16_grid(values: np.ndarray) -> np.ndarray:
+    """Snap coordinates to a 1/16 grid (exactly representable in fp16)."""
+    return np.round(values * 16.0) / 16.0
+
+
+def gaussian_clusters(spec: PointCloudSpec) -> tuple[np.ndarray, np.ndarray]:
+    """Clustered points plus their ground-truth labels.
+
+    Returns ``(points, labels)`` with points of shape
+    ``(num_points, dimensions)``; coordinates are fp16-exact so distance
+    computations match bit-for-bit across backends.
+    """
+    rng = np.random.default_rng(spec.seed)
+    centers = rng.uniform(-8.0, 8.0, size=(spec.num_clusters, spec.dimensions))
+    labels = rng.integers(0, spec.num_clusters, size=spec.num_points)
+    points = centers[labels] + rng.normal(0.0, 1.0, size=(spec.num_points, spec.dimensions))
+    return _quantize_fp16_grid(points), labels
+
+
+def uniform_points(spec: PointCloudSpec) -> np.ndarray:
+    """Uniform points in [-8, 8]^d on the fp16-exact grid."""
+    rng = np.random.default_rng(spec.seed)
+    return _quantize_fp16_grid(
+        rng.uniform(-8.0, 8.0, size=(spec.num_points, spec.dimensions))
+    )

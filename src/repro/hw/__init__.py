@@ -1,0 +1,50 @@
+"""Functional emulator of SIMD² hardware: ALUs, units, SMs, device."""
+
+from repro.hw.errors import HardwareError, MemoryFault, RegisterFault, UnsupportedOpcode
+from repro.hw.alu import ALU_CONFIG, OplusMode, OtimesMode, apply_oplus, apply_otimes
+from repro.hw.mxu import UNIT_DIM, BaselineMmaUnit, Simd2Unit
+from repro.hw.regfile import MatrixRegisterFile
+from repro.hw.shared_memory import DEFAULT_SHARED_BYTES, SharedMemory
+from repro.hw.warp import ExecutionStats, WarpExecutor
+from repro.hw.trace import ExecutionTrace, TraceRecord
+from repro.hw.systolic import SystolicArray, SystolicResult
+from repro.hw.occupancy import (
+    OccupancyReport,
+    SmBudget,
+    kernel_occupancy,
+    occupancy_utilization,
+)
+from repro.hw.sm import UNITS_PER_SM, StreamingMultiprocessor
+from repro.hw.device import Simd2Device, WarpWorkItem
+
+__all__ = [
+    "HardwareError",
+    "MemoryFault",
+    "RegisterFault",
+    "UnsupportedOpcode",
+    "ALU_CONFIG",
+    "OplusMode",
+    "OtimesMode",
+    "apply_oplus",
+    "apply_otimes",
+    "UNIT_DIM",
+    "BaselineMmaUnit",
+    "Simd2Unit",
+    "MatrixRegisterFile",
+    "DEFAULT_SHARED_BYTES",
+    "SharedMemory",
+    "ExecutionStats",
+    "WarpExecutor",
+    "ExecutionTrace",
+    "TraceRecord",
+    "SystolicArray",
+    "SystolicResult",
+    "OccupancyReport",
+    "SmBudget",
+    "kernel_occupancy",
+    "occupancy_utilization",
+    "UNITS_PER_SM",
+    "StreamingMultiprocessor",
+    "Simd2Device",
+    "WarpWorkItem",
+]

@@ -1,0 +1,89 @@
+"""The configurable ⊗ and ⊕ ALUs of a SIMD² unit (paper Figure 5).
+
+The paper's SIMD² unit replaces the fixed multiply/accumulate pair of an
+MXU with two configurable ALUs:
+
+- the ⊗ ALU supports ``multiply``, ``add``, ``min``, ``max``, ``and`` and
+  ``L2 dist`` (squared difference),
+- the ⊕ ALU supports ``add``, ``min``, ``max`` and ``or``.
+
+This module defines those modes, the functional behaviour of each, and the
+opcode → (⊗ mode, ⊕ mode) configuration table.  The area model in
+:mod:`repro.hwmodel` reuses the same tables to decide which circuit
+components each opcode needs.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.isa.opcodes import MmoOpcode
+
+__all__ = ["OtimesMode", "OplusMode", "ALU_CONFIG", "apply_otimes", "apply_oplus"]
+
+
+class OtimesMode(enum.Enum):
+    """Pairwise operation selected in the ⊗ ALU."""
+
+    MULTIPLY = "multiply"
+    ADD = "add"
+    MIN = "min"
+    MAX = "max"
+    AND = "and"
+    L2DIST = "l2dist"
+
+
+class OplusMode(enum.Enum):
+    """Reduction/combine operation selected in the ⊕ ALU."""
+
+    ADD = "add"
+    MIN = "min"
+    MAX = "max"
+    OR = "or"
+
+
+#: Decode table: how each SIMD² opcode configures the two ALUs.
+ALU_CONFIG: dict[MmoOpcode, tuple[OplusMode, OtimesMode]] = {
+    MmoOpcode.MMA: (OplusMode.ADD, OtimesMode.MULTIPLY),
+    MmoOpcode.MINPLUS: (OplusMode.MIN, OtimesMode.ADD),
+    MmoOpcode.MAXPLUS: (OplusMode.MAX, OtimesMode.ADD),
+    MmoOpcode.MINMUL: (OplusMode.MIN, OtimesMode.MULTIPLY),
+    MmoOpcode.MAXMUL: (OplusMode.MAX, OtimesMode.MULTIPLY),
+    MmoOpcode.MINMAX: (OplusMode.MIN, OtimesMode.MAX),
+    MmoOpcode.MAXMIN: (OplusMode.MAX, OtimesMode.MIN),
+    MmoOpcode.ORAND: (OplusMode.OR, OtimesMode.AND),
+    MmoOpcode.ADDNORM: (OplusMode.ADD, OtimesMode.L2DIST),
+}
+
+_OTIMES_FUNCS = {
+    OtimesMode.MULTIPLY: np.multiply,
+    OtimesMode.ADD: np.add,
+    OtimesMode.MIN: np.minimum,
+    OtimesMode.MAX: np.maximum,
+    OtimesMode.AND: np.logical_and,
+    OtimesMode.L2DIST: lambda a, b: np.square(np.subtract(a, b)),
+}
+
+_OPLUS_FUNCS = {
+    OplusMode.ADD: np.add,
+    OplusMode.MIN: np.minimum,
+    OplusMode.MAX: np.maximum,
+    OplusMode.OR: np.logical_or,
+}
+
+
+def apply_otimes(mode: OtimesMode, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise ⊗ in the accumulate precision (inputs already fp32/bool).
+
+    Padded lanes may multiply inf·0 = nan; such values only ever reach
+    cropped (padding) outputs, so the IEEE invalid flag is suppressed.
+    """
+    with np.errstate(invalid="ignore"):
+        return _OTIMES_FUNCS[mode](a, b)
+
+
+def apply_oplus(mode: OplusMode, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise ⊕ in the accumulate precision."""
+    return _OPLUS_FUNCS[mode](a, b)

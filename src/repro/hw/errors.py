@@ -1,0 +1,25 @@
+"""Hardware-emulator error types."""
+
+from __future__ import annotations
+
+__all__ = ["HardwareError", "MemoryFault", "RegisterFault", "UnsupportedOpcode"]
+
+
+class HardwareError(RuntimeError):
+    """Base class for emulator faults."""
+
+
+class MemoryFault(HardwareError):
+    """Out-of-bounds or misaligned shared-memory access."""
+
+
+class RegisterFault(HardwareError):
+    """Bad register index or read of an uninitialised fragment register."""
+
+
+class UnsupportedOpcode(HardwareError):
+    """The unit does not implement the requested mmo opcode.
+
+    Raised by the baseline MMA unit for any non-``mma`` opcode — this is
+    precisely the limitation of existing Tensor Cores that SIMD² removes.
+    """

@@ -1,0 +1,108 @@
+"""Matrix execution units: the baseline MMA unit and the SIMD² unit.
+
+Both operate on fixed 4×4 tiles (the paper's unit configuration, matching
+Tensor Cores and Accel-Sim): they consume 4×4 fp16 operand tiles ``a`` and
+``b`` plus a 4×4 fp32 accumulator tile ``c`` and produce
+``d = c ⊕ tree-reduce(a ⊗ b)`` in fp32.  The reduction over the inner
+dimension uses a fixed binary tree — ``(p0 ⊕ p1) ⊕ (p2 ⊕ p3)`` — mirroring
+the reduction-tree hardware in Figure 4(c), so accumulation order is
+deterministic and reproducible.
+
+The baseline unit accepts only ``mma`` (that is today's Tensor Core); the
+SIMD² unit accepts all nine opcodes.  Both count invocations so the timing
+model and the validation flow can read exact unit-op statistics.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+
+from repro.hw.alu import ALU_CONFIG, apply_oplus, apply_otimes
+from repro.hw.errors import HardwareError, UnsupportedOpcode
+from repro.isa.opcodes import MmoOpcode
+
+__all__ = ["UNIT_DIM", "BaselineMmaUnit", "Simd2Unit"]
+
+#: Edge of the hardware tile a single unit processes per operation.
+UNIT_DIM = 4
+
+
+def _check_tile(name: str, tile: np.ndarray) -> None:
+    if tile.shape != (UNIT_DIM, UNIT_DIM):
+        raise HardwareError(
+            f"operand {name} has shape {tile.shape}; the unit processes "
+            f"{UNIT_DIM}x{UNIT_DIM} tiles"
+        )
+
+
+class Simd2Unit:
+    """A SIMD² processing unit: 4×4×4 semiring tile operation per call."""
+
+    #: Opcodes this unit's datapath implements.
+    supported_opcodes: frozenset[MmoOpcode] = frozenset(MmoOpcode)
+
+    def __init__(self) -> None:
+        self.op_counts: collections.Counter[MmoOpcode] = collections.Counter()
+
+    def compute(
+        self,
+        opcode: MmoOpcode,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+    ) -> np.ndarray:
+        """One unit operation: ``d = c ⊕ tree_reduce_k(a ⊗ b)``.
+
+        ``a``/``b`` are read as the ring's input format (fp16 or bool) and
+        widened to the accumulate format before the ⊗ ALU, exactly like the
+        hardware datapath; ``c`` and the result are fp32 (or bool).
+        """
+        if opcode not in self.supported_opcodes:
+            raise UnsupportedOpcode(
+                f"{type(self).__name__} does not implement {opcode.mnemonic}; "
+                f"supported: {sorted(op.mnemonic for op in self.supported_opcodes)}"
+            )
+        _check_tile("a", a)
+        _check_tile("b", b)
+        _check_tile("c", c)
+        ring = opcode.semiring
+        oplus_mode, otimes_mode = ALU_CONFIG[opcode]
+
+        a_wide = np.asarray(a, dtype=ring.input_dtype).astype(ring.output_dtype)
+        b_wide = np.asarray(b, dtype=ring.input_dtype).astype(ring.output_dtype)
+        c_wide = np.asarray(c, dtype=ring.output_dtype)
+
+        # products[i, k, j] = a[i, k] ⊗ b[k, j]
+        products = apply_otimes(otimes_mode, a_wide[:, :, None], b_wide[None, :, :])
+        products = np.asarray(products, dtype=ring.output_dtype)
+        products = np.swapaxes(products, 0, 1)  # (k, i, j) for the tree
+
+        # Fixed binary reduction tree over k = 4.
+        level0 = apply_oplus(oplus_mode, products[0], products[1])
+        level1 = apply_oplus(oplus_mode, products[2], products[3])
+        reduced = apply_oplus(oplus_mode, level0, level1)
+
+        self.op_counts[opcode] += 1
+        result = apply_oplus(oplus_mode, c_wide, np.asarray(reduced, dtype=ring.output_dtype))
+        return np.asarray(result, dtype=ring.output_dtype)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.op_counts.values())
+
+    def reset_counters(self) -> None:
+        self.op_counts.clear()
+
+
+class BaselineMmaUnit(Simd2Unit):
+    """A conventional MXU: multiply-accumulate only (today's Tensor Core).
+
+    Any non-``mma`` opcode raises :class:`UnsupportedOpcode` — this models
+    why the paper's *performance emulation* backend must map every SIMD²
+    mmo onto ``wmma::mma`` and consequently cannot produce correct values
+    for the other eight operations.
+    """
+
+    supported_opcodes = frozenset({MmoOpcode.MMA})

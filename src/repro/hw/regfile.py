@@ -1,0 +1,83 @@
+"""Per-warp matrix register file.
+
+Like the wmma abstraction, each warp owns a set of fragment registers that
+collectively hold 16×16 matrices.  The emulator models a register as a whole
+fragment (the per-thread distribution inside the warp is an implementation
+detail the paper also abstracts away).  Registers carry their element type
+so the executor can detect format mismatches (e.g. feeding an fp32
+accumulator into an fp16 operand port).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tiles import TILE
+from repro.hw.errors import RegisterFault
+from repro.isa.instructions import NUM_MATRIX_REGISTERS
+from repro.isa.opcodes import ElementType
+
+__all__ = ["MatrixRegisterFile"]
+
+_DTYPES = {
+    ElementType.F16: np.dtype(np.float16),
+    ElementType.F32: np.dtype(np.float32),
+    ElementType.B8: np.dtype(bool),
+}
+
+
+class MatrixRegisterFile:
+    """Fragment registers ``m0 .. m63`` holding 16×16 tiles."""
+
+    def __init__(self, num_registers: int = NUM_MATRIX_REGISTERS, tile: int = TILE):
+        if num_registers <= 0:
+            raise RegisterFault(f"register count must be positive, got {num_registers}")
+        self.num_registers = num_registers
+        self.tile = tile
+        self._values: dict[int, np.ndarray] = {}
+        self._etypes: dict[int, ElementType] = {}
+
+    def _check_index(self, index: int) -> None:
+        if not (0 <= index < self.num_registers):
+            raise RegisterFault(
+                f"register m{index} out of range (0..{self.num_registers - 1})"
+            )
+
+    def write(self, index: int, fragment: np.ndarray, etype: ElementType) -> None:
+        """Write a 16×16 fragment, converting to the register element type."""
+        self._check_index(index)
+        fragment = np.asarray(fragment)
+        if fragment.shape != (self.tile, self.tile):
+            raise RegisterFault(
+                f"fragment shape {fragment.shape} does not match the "
+                f"{self.tile}x{self.tile} register geometry"
+            )
+        self._values[index] = fragment.astype(_DTYPES[etype], copy=True)
+        self._etypes[index] = etype
+
+    def read(self, index: int) -> np.ndarray:
+        """Read a fragment; uninitialised registers fault (as the Program
+        validator statically guarantees they never do in valid programs)."""
+        self._check_index(index)
+        if index not in self._values:
+            raise RegisterFault(f"register m{index} read before initialisation")
+        return self._values[index].copy()
+
+    def etype_of(self, index: int) -> ElementType:
+        self._check_index(index)
+        if index not in self._etypes:
+            raise RegisterFault(f"register m{index} has no element type yet")
+        return self._etypes[index]
+
+    def is_initialised(self, index: int) -> bool:
+        self._check_index(index)
+        return index in self._values
+
+    def clear(self) -> None:
+        self._values.clear()
+        self._etypes.clear()
+
+    @staticmethod
+    def dtype_for(etype: ElementType) -> np.dtype:
+        """NumPy dtype backing an element type."""
+        return _DTYPES[etype]

@@ -1,0 +1,134 @@
+"""The 1-D shared-memory address space SIMD² load/store operate on.
+
+The paper's data-movement instructions move 16×16 fragments between a flat
+shared-memory space and the register file, with a *leading dimension*
+stride: row ``r`` of the fragment occupies element addresses
+``addr + r*ld .. addr + r*ld + 15``.  Addresses are in *elements* of the
+access type (fp16 / fp32 / b8), matching the typed pointers of the CUDA
+API the paper builds on.
+
+The emulator backs shared memory with one byte buffer and reinterprets it
+per access, so aliasing between types behaves like real hardware (tests
+rely on this for fp16-in/fp32-out staging buffers at disjoint offsets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tiles import TILE
+from repro.hw.errors import MemoryFault
+from repro.isa.opcodes import ElementType
+
+__all__ = ["SharedMemory", "DEFAULT_SHARED_BYTES"]
+
+#: Default capacity. Real SMs have ~100 KiB; the emulator is generous so
+#: whole operand panels can be staged at once.
+DEFAULT_SHARED_BYTES = 1 << 22
+
+_DTYPES = {
+    ElementType.F16: np.dtype(np.float16),
+    ElementType.F32: np.dtype(np.float32),
+    ElementType.B8: np.dtype(np.uint8),
+}
+
+
+class SharedMemory:
+    """A byte-addressable scratchpad with typed, strided fragment access."""
+
+    def __init__(self, size_bytes: int = DEFAULT_SHARED_BYTES):
+        if size_bytes <= 0:
+            raise MemoryFault(f"shared memory size must be positive, got {size_bytes}")
+        self.size_bytes = size_bytes
+        self._buffer = np.zeros(size_bytes, dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    def _span_check(self, addr: int, ld: int, etype: ElementType, tile: int) -> None:
+        if addr < 0:
+            raise MemoryFault(f"negative element address {addr}")
+        if ld < tile:
+            raise MemoryFault(
+                f"leading dimension {ld} smaller than the fragment width {tile}"
+            )
+        last_element = addr + (tile - 1) * ld + tile
+        if last_element * etype.nbytes > self.size_bytes:
+            raise MemoryFault(
+                f"fragment access [{addr}, ld={ld}, {etype.suffix}] overruns "
+                f"shared memory of {self.size_bytes} bytes"
+            )
+
+    def _typed(self, etype: ElementType) -> np.ndarray:
+        count = self.size_bytes // etype.nbytes
+        return self._buffer[: count * etype.nbytes].view(_DTYPES[etype])
+
+    # ------------------------------------------------------------------
+    def load_fragment(
+        self, addr: int, ld: int, etype: ElementType, tile: int = TILE
+    ) -> np.ndarray:
+        """Read a tile×tile fragment starting at element address ``addr``."""
+        self._span_check(addr, ld, etype, tile)
+        space = self._typed(etype)
+        rows = [space[addr + r * ld : addr + r * ld + tile] for r in range(tile)]
+        fragment = np.stack(rows)
+        if etype is ElementType.B8:
+            return fragment.astype(bool)
+        return fragment.copy()
+
+    def store_fragment(
+        self,
+        addr: int,
+        ld: int,
+        etype: ElementType,
+        fragment: np.ndarray,
+        tile: int = TILE,
+    ) -> None:
+        """Write a tile×tile fragment starting at element address ``addr``."""
+        fragment = np.asarray(fragment)
+        if fragment.shape != (tile, tile):
+            raise MemoryFault(
+                f"fragment shape {fragment.shape} does not match {tile}x{tile}"
+            )
+        self._span_check(addr, ld, etype, tile)
+        space = self._typed(etype)
+        converted = fragment.astype(_DTYPES[etype])
+        for r in range(tile):
+            space[addr + r * ld : addr + r * ld + tile] = converted[r]
+
+    # ------------------------------------------------------------------
+    # whole-matrix staging helpers (used by the runtime to play the role of
+    # the global→shared copies in the paper's Figure 6 kernel)
+    # ------------------------------------------------------------------
+    def write_matrix(self, addr: int, matrix: np.ndarray, etype: ElementType) -> int:
+        """Write a whole row-major matrix; returns the element address past it."""
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise MemoryFault(f"expected a 2-D matrix, got shape {matrix.shape}")
+        count = matrix.size
+        if (addr + count) * etype.nbytes > self.size_bytes or addr < 0:
+            raise MemoryFault(
+                f"matrix of {count} {etype.suffix} elements at {addr} overruns "
+                f"shared memory"
+            )
+        space = self._typed(etype)
+        space[addr : addr + count] = matrix.astype(_DTYPES[etype]).ravel()
+        return addr + count
+
+    def read_matrix(
+        self, addr: int, shape: tuple[int, int], etype: ElementType
+    ) -> np.ndarray:
+        """Read a whole row-major matrix."""
+        rows, cols = shape
+        count = rows * cols
+        if (addr + count) * etype.nbytes > self.size_bytes or addr < 0:
+            raise MemoryFault(
+                f"matrix of {count} {etype.suffix} elements at {addr} overruns "
+                f"shared memory"
+            )
+        space = self._typed(etype)
+        out = space[addr : addr + count].reshape(rows, cols).copy()
+        if etype is ElementType.B8:
+            return out.astype(bool)
+        return out
+
+    def clear(self) -> None:
+        self._buffer[:] = 0

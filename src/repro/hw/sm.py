@@ -1,0 +1,60 @@
+"""Streaming-multiprocessor model hosting SIMD² units.
+
+The paper integrates SIMD² units into GPU SMs the way Tensor Cores are:
+four units per SM, one per sub-core/warp scheduler, sharing the SM's
+front-end and memory.  Functionally the SM dispatches warp programs to its
+units round-robin and aggregates execution statistics; the *timing* of the
+dispatch is the concern of :mod:`repro.timing`, not of this emulator.
+"""
+
+from __future__ import annotations
+
+from repro.hw.errors import HardwareError
+from repro.hw.mxu import BaselineMmaUnit, Simd2Unit
+from repro.hw.shared_memory import SharedMemory
+from repro.hw.warp import ExecutionStats, WarpExecutor
+from repro.isa.program import Program
+
+__all__ = ["UNITS_PER_SM", "StreamingMultiprocessor"]
+
+#: SIMD² units per SM (one per warp scheduler, as in Ampere).
+UNITS_PER_SM = 4
+
+
+class StreamingMultiprocessor:
+    """An SM with a fixed complement of SIMD² (or baseline MMA) units."""
+
+    def __init__(
+        self,
+        sm_id: int = 0,
+        *,
+        units_per_sm: int = UNITS_PER_SM,
+        baseline_only: bool = False,
+    ):
+        if units_per_sm <= 0:
+            raise HardwareError(f"units_per_sm must be positive, got {units_per_sm}")
+        self.sm_id = sm_id
+        unit_type = BaselineMmaUnit if baseline_only else Simd2Unit
+        self.units: list[Simd2Unit] = [unit_type() for _ in range(units_per_sm)]
+        self.stats = ExecutionStats()
+        self._next_unit = 0
+
+    def execute_warp(self, program: Program, shared_memory: SharedMemory) -> ExecutionStats:
+        """Run one warp program on the next unit (round-robin)."""
+        unit = self.units[self._next_unit]
+        self._next_unit = (self._next_unit + 1) % len(self.units)
+        executor = WarpExecutor(shared_memory, unit)
+        warp_stats = executor.run(program)
+        self.stats.merge(warp_stats)
+        return warp_stats
+
+    @property
+    def unit_ops(self) -> int:
+        """Total unit operations executed across this SM's units."""
+        return sum(unit.total_ops for unit in self.units)
+
+    def reset(self) -> None:
+        self.stats = ExecutionStats()
+        self._next_unit = 0
+        for unit in self.units:
+            unit.reset_counters()

@@ -1,0 +1,81 @@
+"""Instruction-level execution tracing for the SIMD² emulator.
+
+Attach an :class:`ExecutionTrace` as a :class:`~repro.hw.warp.WarpExecutor`
+observer to record the dynamic instruction stream — program counter,
+rendered assembly, and a running count per instruction kind — then render
+it with :meth:`ExecutionTrace.format`.  Useful when debugging tile kernels
+or teaching the ISA; the quickstart example shows the static view, this
+shows what actually retired.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import InstructionKind
+
+__all__ = ["TraceRecord", "ExecutionTrace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One retired instruction."""
+
+    sequence: int  # global position in the trace (across programs)
+    pc: int  # position within the program
+    instruction: Instruction
+
+    def render(self) -> str:
+        return f"{self.sequence:6d}  pc={self.pc:<4d} {self.instruction}"
+
+
+class ExecutionTrace:
+    """Records every instruction a warp executor retires.
+
+    Use as the executor's observer::
+
+        trace = ExecutionTrace()
+        executor = WarpExecutor(shared_memory, observer=trace)
+        executor.run(program)
+        print(trace.format())
+    """
+
+    def __init__(self, *, limit: int | None = None):
+        """``limit`` caps stored records (counting continues past it)."""
+        if limit is not None and limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        self.limit = limit
+        self.records: list[TraceRecord] = []
+        self.counts: collections.Counter[InstructionKind] = collections.Counter()
+        self._sequence = 0
+
+    def __call__(self, pc: int, instruction: Instruction) -> None:
+        self.counts[instruction.kind] += 1
+        if self.limit is None or len(self.records) < self.limit:
+            self.records.append(TraceRecord(self._sequence, pc, instruction))
+        self._sequence += 1
+
+    def __len__(self) -> int:
+        return self._sequence
+
+    @property
+    def truncated(self) -> bool:
+        return self._sequence > len(self.records)
+
+    def format(self) -> str:
+        """Human-readable trace listing with a per-kind summary."""
+        lines = [record.render() for record in self.records]
+        if self.truncated:
+            lines.append(f"... ({self._sequence - len(self.records)} more)")
+        summary = ", ".join(
+            f"{kind.name.lower()}={count}" for kind, count in sorted(self.counts.items())
+        )
+        lines.append(f"retired {self._sequence} instructions: {summary}")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.counts.clear()
+        self._sequence = 0

@@ -1,0 +1,160 @@
+"""Warp-level execution of SIMD² programs.
+
+A :class:`WarpExecutor` owns a matrix register file, is attached to one
+SIMD² (or baseline MMA) unit and one shared-memory scratchpad, and runs a
+:class:`~repro.isa.program.Program` to completion.  A warp-level 16×16×16
+``mmo`` is decomposed into 4×4×4 unit operations — 16 output subtiles × 4
+inner steps = 64 unit invocations — matching how wmma fragments map onto
+Tensor Core passes, and making the unit-op statistics the timing model
+consumes exact by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.tiles import TILE
+from repro.hw.errors import HardwareError
+from repro.hw.mxu import UNIT_DIM, Simd2Unit
+from repro.hw.regfile import MatrixRegisterFile
+from repro.hw.shared_memory import SharedMemory
+from repro.isa.instructions import FillMatrix, Halt, LoadMatrix, Mmo, StoreMatrix
+from repro.isa.opcodes import ElementType, MmoOpcode
+from repro.isa.program import Program
+
+__all__ = ["ExecutionStats", "WarpExecutor"]
+
+
+@dataclasses.dataclass
+class ExecutionStats:
+    """Dynamic execution statistics of one or more warp programs."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    fills: int = 0
+    mmos: int = 0
+    unit_ops: int = 0
+    shared_bytes_read: int = 0
+    shared_bytes_written: int = 0
+    mmos_by_opcode: dict[MmoOpcode, int] = dataclasses.field(default_factory=dict)
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate another stats record into this one."""
+        self.instructions += other.instructions
+        self.loads += other.loads
+        self.stores += other.stores
+        self.fills += other.fills
+        self.mmos += other.mmos
+        self.unit_ops += other.unit_ops
+        self.shared_bytes_read += other.shared_bytes_read
+        self.shared_bytes_written += other.shared_bytes_written
+        for opcode, count in other.mmos_by_opcode.items():
+            self.mmos_by_opcode[opcode] = self.mmos_by_opcode.get(opcode, 0) + count
+
+
+class WarpExecutor:
+    """Executes one warp's instruction stream against a SIMD² unit."""
+
+    def __init__(
+        self,
+        shared_memory: SharedMemory,
+        unit: Simd2Unit | None = None,
+        *,
+        tile: int = TILE,
+        observer=None,
+    ):
+        if tile % UNIT_DIM:
+            raise HardwareError(
+                f"warp tile {tile} must be a multiple of the unit dim {UNIT_DIM}"
+            )
+        self.shared_memory = shared_memory
+        self.unit = unit if unit is not None else Simd2Unit()
+        self.tile = tile
+        self.registers = MatrixRegisterFile(tile=tile)
+        #: Optional callable ``observer(pc, instruction)`` invoked before
+        #: each instruction executes (see :mod:`repro.hw.trace`).
+        self.observer = observer
+
+    # ------------------------------------------------------------------
+    def run(self, program: Program) -> ExecutionStats:
+        """Execute ``program`` to its halt; returns dynamic statistics."""
+        stats = ExecutionStats()
+        fragment_bytes = self.tile * self.tile
+        for pc, instr in enumerate(program):
+            if self.observer is not None:
+                self.observer(pc, instr)
+            stats.instructions += 1
+            if isinstance(instr, LoadMatrix):
+                fragment = self.shared_memory.load_fragment(
+                    instr.addr, instr.ld, instr.etype, self.tile
+                )
+                self.registers.write(instr.dst, fragment, instr.etype)
+                stats.loads += 1
+                stats.shared_bytes_read += fragment_bytes * instr.etype.nbytes
+            elif isinstance(instr, StoreMatrix):
+                fragment = self.registers.read(instr.src)
+                self.shared_memory.store_fragment(
+                    instr.addr, instr.ld, instr.etype, fragment, self.tile
+                )
+                stats.stores += 1
+                stats.shared_bytes_written += fragment_bytes * instr.etype.nbytes
+            elif isinstance(instr, FillMatrix):
+                dtype = MatrixRegisterFile.dtype_for(instr.etype)
+                value = instr.value
+                if instr.etype is ElementType.B8:
+                    value = bool(value)
+                fragment = np.full((self.tile, self.tile), value, dtype=dtype)
+                self.registers.write(instr.dst, fragment, instr.etype)
+                stats.fills += 1
+            elif isinstance(instr, Mmo):
+                self._execute_mmo(instr, stats)
+            elif isinstance(instr, Halt):
+                break
+            else:  # pragma: no cover - Program validation excludes this
+                raise HardwareError(f"unsupported instruction {instr!r}")
+        return stats
+
+    # ------------------------------------------------------------------
+    def _execute_mmo(self, instr: Mmo, stats: ExecutionStats) -> None:
+        ring = instr.opcode.semiring
+        input_etype = ElementType.B8 if ring.is_boolean() else ElementType.F16
+        output_etype = ElementType.B8 if ring.is_boolean() else ElementType.F32
+
+        for name, reg in (("a", instr.a), ("b", instr.b)):
+            etype = self.registers.etype_of(reg)
+            if etype is not input_etype:
+                raise HardwareError(
+                    f"mmo.{instr.opcode.mnemonic} operand {name}=m{reg} holds "
+                    f"{etype.suffix}, expected {input_etype.suffix}"
+                )
+        c_etype = self.registers.etype_of(instr.c)
+        if c_etype is not output_etype:
+            raise HardwareError(
+                f"mmo.{instr.opcode.mnemonic} accumulator c=m{instr.c} holds "
+                f"{c_etype.suffix}, expected {output_etype.suffix}"
+            )
+
+        a = self.registers.read(instr.a)
+        b = self.registers.read(instr.b)
+        d = self.registers.read(instr.c).astype(ring.output_dtype)
+
+        sub = self.tile // UNIT_DIM
+        for i in range(sub):
+            rows = slice(i * UNIT_DIM, (i + 1) * UNIT_DIM)
+            for j in range(sub):
+                cols = slice(j * UNIT_DIM, (j + 1) * UNIT_DIM)
+                acc = d[rows, cols]
+                for kk in range(sub):
+                    inner = slice(kk * UNIT_DIM, (kk + 1) * UNIT_DIM)
+                    acc = self.unit.compute(
+                        instr.opcode, a[rows, inner], b[inner, cols], acc
+                    )
+                    stats.unit_ops += 1
+                d[rows, cols] = acc
+
+        self.registers.write(instr.d, d, output_etype)
+        stats.mmos += 1
+        stats.mmos_by_opcode[instr.opcode] = stats.mmos_by_opcode.get(instr.opcode, 0) + 1

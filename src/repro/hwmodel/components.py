@@ -1,0 +1,144 @@
+"""Component-level area primitives of the SIMD² datapath (paper §6.1).
+
+The paper synthesises RTL with a 45 nm library; without a synthesis flow
+this module models unit area as a composition of per-lane arithmetic
+primitives whose relative areas are *calibrated once* against the paper's
+Table 5 and then reused to predict every configuration — the combined
+SIMD² unit, the per-instruction increments, the standalone accelerators,
+and the precision sweep.  The point the model preserves is structural:
+which circuits each opcode needs and which it can share with the MMA
+datapath.
+
+All areas are normalised to the 16-bit baseline MMA unit = 1.0 (the paper
+reports it as 11.52 area units).
+
+Two primitive classes scale differently with precision:
+
+- *multiplier-class* (mantissa-multiplier-dominated): the fused multiplier,
+  the standalone normalising multiplier, the squared-difference ⊗ stage and
+  the product normalise/round stage,
+- *adder-class* (linear in width): adders, comparators, boolean lanes,
+  operand fabric and control.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = [
+    "LANES",
+    "PrimitiveClass",
+    "Primitive",
+    "PRIMITIVES",
+    "MUL_SCALE",
+    "ADD_SCALE",
+    "SUPPORTED_BITS",
+    "scaled_area",
+    "BASELINE_MMA_AREA_UNITS",
+    "BASELINE_MMA_POWER_W",
+    "SIMD2_EXTRA_POWER_W",
+]
+
+#: Lanes in a 4×4×4 unit: 64 ⊗ lanes feeding 16 four-input reduction trees.
+LANES = 64
+
+#: The paper's reported absolute size of the 16-bit baseline MMA unit.
+BASELINE_MMA_AREA_UNITS = 11.52
+#: Synthesised power of the baseline MMA unit (paper §6.1).
+BASELINE_MMA_POWER_W = 3.74
+#: Additional active power of the full SIMD² unit over the baseline.
+SIMD2_EXTRA_POWER_W = 0.79
+
+SUPPORTED_BITS = (8, 16, 32, 64)
+
+#: Relative area of multiplier-class primitives per precision (16-bit = 1).
+#: Calibrated so the modelled MMA unit hits Table 5(c): 0.25 / 1 / 4.04 / 11.17.
+MUL_SCALE: dict[int, float] = {8: 0.18, 16: 1.0, 32: 4.6, 64: 13.0}
+
+#: Relative area of adder-class primitives per precision.
+ADD_SCALE: dict[int, float] = {8: 0.5, 16: 1.0, 32: 2.0, 64: 4.2}
+
+
+class PrimitiveClass(enum.Enum):
+    MULTIPLIER = "multiplier"
+    ADDER = "adder"
+
+
+@dataclasses.dataclass(frozen=True)
+class Primitive:
+    """One per-lane (or per-unit, for fabric/control) circuit primitive."""
+
+    name: str
+    area_16bit: float
+    scale_class: PrimitiveClass
+    per_lane: bool = True
+
+    def area(self, bits: int) -> float:
+        """Area at the given precision (one lane, or the whole block)."""
+        if bits not in SUPPORTED_BITS:
+            raise ValueError(f"unsupported precision {bits}; expected {SUPPORTED_BITS}")
+        table = MUL_SCALE if self.scale_class is PrimitiveClass.MULTIPLIER else ADD_SCALE
+        return self.area_16bit * table[bits]
+
+    def unit_area(self, bits: int) -> float:
+        """Total area contributed to a 64-lane unit."""
+        return self.area(bits) * (LANES if self.per_lane else 1)
+
+
+def _mul(name: str, area: float, *, per_lane: bool = True) -> Primitive:
+    return Primitive(name, area, PrimitiveClass.MULTIPLIER, per_lane)
+
+
+def _add(name: str, area: float, *, per_lane: bool = True) -> Primitive:
+    return Primitive(name, area, PrimitiveClass.ADDER, per_lane)
+
+
+#: The primitive library.  Per-lane areas are in units of "16-bit MMA = 1".
+#:
+#: Combined-unit primitives (wide datapath, muxed into the existing ALUs):
+#:   mul_fused     fused fp16 multiplier of the MMA datapath
+#:   acc_add       fp32 accumulate adder (reduction tree + C combine)
+#:   otimes_add    fp16 adder mode added to the ⊗ ALU (min-plus/max-plus)
+#:   otimes_subsq  subtract-and-square stage for add-norm (shares the
+#:                 multiplier array, adds the difference path)
+#:   cmp           a min- or max-comparator mode (either ALU)
+#:   boolean       an and/or lane
+#:   pnorm         normalise/round stage exposing a standalone product to a
+#:                 non-add ⊕ (needed by min-mul/max-mul; an FMA otherwise
+#:                 keeps the product unnormalised)
+#:   fabric        operand broadcast / pipeline registers of the unit
+#:   crossbar      9-opcode configuration crossbar + decode of the full unit
+#:
+#: Standalone-accelerator primitives (minimal fixed-function datapaths):
+#:   sa_mul_norm   full normalising multiplier
+#:   sa_add        fp16 adder + normalise
+#:   sa_cmp        comparator
+#:   sa_bool       boolean lane
+#:   sa_norm_lane  subtract/square/accumulate lane of an add-norm PE
+#:   sa_ctrl       fixed-function control of a standalone PE
+PRIMITIVES: dict[str, Primitive] = {
+    p.name: p
+    for p in (
+        _mul("mul_fused", 0.0125),
+        _add("acc_add", 0.002),
+        _add("otimes_add", 0.0032),
+        _mul("otimes_subsq", 0.0028),
+        _add("cmp", 0.000078),
+        _add("boolean", 0.0003125),
+        _mul("pnorm", 0.0018),
+        _add("fabric", 0.072, per_lane=False),
+        _add("crossbar", 0.131, per_lane=False),
+        _mul("sa_mul_norm", 0.0155),
+        _add("sa_add", 0.00344),
+        _add("sa_cmp", 0.0003125),
+        _add("sa_bool", 0.00047),
+        _mul("sa_norm_lane", 0.00266),
+        _add("sa_ctrl", 0.02, per_lane=False),
+    )
+}
+
+
+def scaled_area(primitive_name: str, bits: int) -> float:
+    """Unit-level area of one primitive at a precision."""
+    return PRIMITIVES[primitive_name].unit_area(bits)

@@ -1,0 +1,79 @@
+"""Energy analysis derived from the Table 5 power data.
+
+The paper reports unit power (3.74 W MMA, +0.79 W full SIMD²) but not
+application energy; this module derives it.  Per-application energy is
+board power × kernel time, with board power composed from a static base
+plus the active engine:
+
+- baseline / SIMD²-on-CUDA runs keep the 128-lane vector engines active,
+- SIMD² runs power the matrix units (one per sub-core) while the vector
+  engines only run the convergence checks.
+
+Because SIMD² shortens runtime ~10× while adding ~0.8 W per unit, the
+*energy* advantage tracks the speedup almost 1:1 — the analysis the
+"Energy Efficiency Boost" line of work (the paper's IBM MMA citation)
+makes for matrix engines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hwmodel.components import BASELINE_MMA_POWER_W, SIMD2_EXTRA_POWER_W
+from repro.timing.kernel_models import AppTimes
+
+__all__ = ["BoardPowerModel", "EnergyComparison", "app_energy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BoardPowerModel:
+    """Whole-board power during each execution mode (RTX 3080 class)."""
+
+    #: Static + memory + infrastructure power, always present.
+    base_w: float = 90.0
+    #: All CUDA-core vector engines at load.
+    cuda_engines_w: float = 130.0
+    #: All matrix units at load: 68 SMs × 4 units × unit power.
+    units_per_board: int = 68 * 4
+    mma_unit_w: float = BASELINE_MMA_POWER_W / 4  # per-unit share at tile rate
+    simd2_extra_w: float = SIMD2_EXTRA_POWER_W / 4
+
+    @property
+    def cuda_mode_w(self) -> float:
+        """Board power while a CUDA-core kernel runs."""
+        return self.base_w + self.cuda_engines_w
+
+    @property
+    def simd2_mode_w(self) -> float:
+        """Board power while SIMD² units run (vector engines near idle)."""
+        units = self.units_per_board * (self.mma_unit_w + self.simd2_extra_w)
+        return self.base_w + units
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyComparison:
+    """Energy of the three implementations of one application run."""
+
+    app: str
+    size: int
+    baseline_j: float
+    simd2_cuda_j: float
+    simd2_units_j: float
+
+    @property
+    def energy_gain(self) -> float:
+        """Baseline energy over SIMD²-with-units energy."""
+        return self.baseline_j / self.simd2_units_j
+
+
+def app_energy(
+    times: AppTimes, power: BoardPowerModel = BoardPowerModel()
+) -> EnergyComparison:
+    """Energy of one application's three implementations."""
+    return EnergyComparison(
+        app=times.app,
+        size=times.size,
+        baseline_j=times.baseline_s * power.cuda_mode_w,
+        simd2_cuda_j=times.simd2_cuda_s * power.cuda_mode_w,
+        simd2_units_j=times.simd2_units_s * power.simd2_mode_w,
+    )

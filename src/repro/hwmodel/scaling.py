@@ -1,0 +1,57 @@
+"""Process scaling and chip-level overhead of SIMD² (paper §6.1).
+
+The paper scales the 45 nm synthesis result to the Samsung 8N process of
+the RTX 3080 and reads SM/die areas off a public die photo: the full SIMD²
+extension adds 0.378 mm² per SM — about 10 % of a 3.75 mm² SM and about
+5 % of the 628.4 mm² die across all 68 SMs (with four units per SM sharing
+one extension-sized budget, as the paper's accounting does).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hwmodel.components import BASELINE_MMA_AREA_UNITS
+from repro.hwmodel.units import mma_unit_area, simd2_unit_area
+
+__all__ = ["ChipSpec", "RTX3080_CHIP", "simd2_sm_overhead_mm2", "die_overhead_fractions"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChipSpec:
+    """Die-level geometry of the host GPU."""
+
+    name: str
+    die_area_mm2: float
+    sm_count: int
+    sm_area_mm2: float
+    #: mm² per synthesis area-unit after scaling 45 nm → the chip's node.
+    #: Calibrated from the paper: 69.23 % of 11.52 units → 0.378 mm².
+    mm2_per_area_unit: float
+
+    @property
+    def sm_total_fraction(self) -> float:
+        return self.sm_count * self.sm_area_mm2 / self.die_area_mm2
+
+
+RTX3080_CHIP = ChipSpec(
+    name="RTX 3080 (GA102, Samsung 8N)",
+    die_area_mm2=628.4,
+    sm_count=68,
+    sm_area_mm2=3.75,
+    mm2_per_area_unit=0.378 / (BASELINE_MMA_AREA_UNITS * 0.6923),
+)
+
+
+def simd2_sm_overhead_mm2(chip: ChipSpec = RTX3080_CHIP) -> float:
+    """Absolute per-SM area added by the SIMD² extension on this chip."""
+    extra_units = (simd2_unit_area(16) - mma_unit_area(16)) * BASELINE_MMA_AREA_UNITS
+    return extra_units * chip.mm2_per_area_unit
+
+
+def die_overhead_fractions(chip: ChipSpec = RTX3080_CHIP) -> tuple[float, float]:
+    """(fraction of one SM, fraction of the whole die) added by SIMD²."""
+    per_sm = simd2_sm_overhead_mm2(chip)
+    sm_fraction = per_sm / chip.sm_area_mm2
+    die_fraction = per_sm * chip.sm_count / chip.die_area_mm2
+    return sm_fraction, die_fraction

@@ -1,0 +1,178 @@
+"""Unit-area composition: reproduces the paper's Table 5.
+
+Three configurations are modelled:
+
+- :func:`mma_unit_area` — the baseline MMA-only unit,
+- :func:`combined_unit_area` — the MMA unit extended with a subset of
+  SIMD² instructions (the paper's Table 5(a): sharing circuits with the
+  MMA datapath),
+- :func:`standalone_unit_area` — a fixed-function accelerator per
+  instruction (Table 5(b): no sharing, ~3× the silicon in total).
+
+``PAPER_TABLE5A/B/C`` embed the paper's synthesis numbers for comparison
+by the bench harness and tests.
+"""
+
+from __future__ import annotations
+
+from repro.hwmodel.components import (
+    BASELINE_MMA_POWER_W,
+    SIMD2_EXTRA_POWER_W,
+    scaled_area,
+)
+from repro.isa.opcodes import MmoOpcode
+
+__all__ = [
+    "ALL_SIMD2_EXTENSIONS",
+    "combined_unit_area",
+    "mma_unit_area",
+    "simd2_unit_area",
+    "standalone_unit_area",
+    "standalone_total_area",
+    "unit_power_w",
+    "PAPER_TABLE5A",
+    "PAPER_TABLE5B",
+    "PAPER_TABLE5C",
+]
+
+#: The eight extensions beyond plain MMA.
+ALL_SIMD2_EXTENSIONS: tuple[MmoOpcode, ...] = tuple(
+    op for op in MmoOpcode if op is not MmoOpcode.MMA
+)
+
+#: Primitives each opcode adds to the *combined* unit, beyond the MMA
+#: datapath.  Shared primitives appear under several opcodes and are
+#: counted once when composing a multi-opcode unit.
+_COMBINED_ADDITIONS: dict[MmoOpcode, tuple[str, ...]] = {
+    MmoOpcode.MMA: (),
+    MmoOpcode.MINPLUS: ("otimes_add", "oplus_cmp_min"),
+    MmoOpcode.MAXPLUS: ("otimes_add", "oplus_cmp_max"),
+    MmoOpcode.MINMUL: ("pnorm", "oplus_cmp_min"),
+    MmoOpcode.MAXMUL: ("pnorm", "oplus_cmp_max"),
+    MmoOpcode.MINMAX: ("otimes_cmp_max", "oplus_cmp_min"),
+    MmoOpcode.MAXMIN: ("otimes_cmp_min", "oplus_cmp_max"),
+    MmoOpcode.ORAND: ("otimes_bool", "oplus_bool"),
+    MmoOpcode.ADDNORM: ("otimes_subsq",),
+}
+
+#: Distinct named additions → underlying primitive.
+_ADDITION_PRIMITIVE: dict[str, str] = {
+    "otimes_add": "otimes_add",
+    "otimes_subsq": "otimes_subsq",
+    "otimes_cmp_min": "cmp",
+    "otimes_cmp_max": "cmp",
+    "oplus_cmp_min": "cmp",
+    "oplus_cmp_max": "cmp",
+    "otimes_bool": "boolean",
+    "oplus_bool": "boolean",
+    "pnorm": "pnorm",
+}
+
+#: Primitives of each standalone fixed-function accelerator.
+_STANDALONE_COMPOSITION: dict[MmoOpcode, tuple[tuple[str, int], ...]] = {
+    MmoOpcode.MMA: (("mul_fused", 1), ("acc_add", 1), ("fabric", 1)),
+    MmoOpcode.MINPLUS: (("sa_add", 1), ("sa_cmp", 1), ("sa_ctrl", 1)),
+    MmoOpcode.MAXPLUS: (("sa_add", 1), ("sa_cmp", 1), ("sa_ctrl", 1)),
+    MmoOpcode.MINMUL: (("sa_mul_norm", 1), ("sa_cmp", 1), ("sa_ctrl", 1)),
+    MmoOpcode.MAXMUL: (("sa_mul_norm", 1), ("sa_cmp", 1), ("sa_ctrl", 1)),
+    MmoOpcode.MINMAX: (("sa_cmp", 2), ("sa_ctrl", 1)),
+    MmoOpcode.MAXMIN: (("sa_cmp", 2), ("sa_ctrl", 1)),
+    MmoOpcode.ORAND: (("sa_bool", 2), ("sa_ctrl", 1)),
+    MmoOpcode.ADDNORM: (("sa_norm_lane", 1), ("sa_ctrl", 1)),
+}
+
+#: Paper Table 5(a): combined-unit areas (baseline MMA = 1).
+PAPER_TABLE5A: dict[str, float] = {
+    "mma+all": 1.69,
+    "mma+minplus": 1.21,
+    "mma+maxplus": 1.21,
+    "mma+minmul": 1.12,
+    "mma+maxmul": 1.12,
+    "mma+minmax": 1.01,
+    "mma+maxmin": 1.01,
+    "mma+orand": 1.04,
+    "mma+addnorm": 1.18,
+}
+
+#: Paper Table 5(b): standalone accelerator areas.
+PAPER_TABLE5B: dict[str, float] = {
+    "minplus": 0.26,
+    "maxplus": 0.26,
+    "minmul": 1.03,
+    "maxmul": 1.03,
+    "minmax": 0.06,
+    "maxmin": 0.06,
+    "orand": 0.08,
+    "addnorm": 0.19,
+    "total": 2.96,
+}
+
+#: Paper Table 5(c): precision scaling (16-bit MMA = 1).
+PAPER_TABLE5C: dict[str, dict[int, float]] = {
+    "mma": {8: 0.25, 16: 1.0, 32: 4.04, 64: 11.17},
+    "simd2": {8: 0.69, 16: 1.69, 32: 6.42, 64: 17.01},
+}
+
+
+def mma_unit_area(bits: int = 16) -> float:
+    """Area of the baseline MMA-only unit at a precision."""
+    return (
+        scaled_area("mul_fused", bits)
+        + scaled_area("acc_add", bits)
+        + scaled_area("fabric", bits)
+    )
+
+
+def combined_unit_area(
+    extensions: tuple[MmoOpcode, ...] | list[MmoOpcode], bits: int = 16
+) -> float:
+    """Area of the MMA unit extended with the given SIMD² instructions.
+
+    Shared additions (e.g. the ⊕ min comparator used by min-plus, min-mul
+    and min-max) are counted once; extending with every instruction also
+    pays the full 9-way configuration crossbar.
+    """
+    additions: set[str] = set()
+    for opcode in extensions:
+        if opcode not in _COMBINED_ADDITIONS:
+            raise ValueError(f"unknown opcode {opcode!r}")
+        additions.update(_COMBINED_ADDITIONS[opcode])
+    area = mma_unit_area(bits)
+    area += sum(scaled_area(_ADDITION_PRIMITIVE[name], bits) for name in additions)
+    if set(extensions) >= set(ALL_SIMD2_EXTENSIONS):
+        area += scaled_area("crossbar", bits)
+    return area
+
+
+def simd2_unit_area(bits: int = 16) -> float:
+    """Area of the full SIMD² unit (all nine instructions)."""
+    return combined_unit_area(ALL_SIMD2_EXTENSIONS, bits)
+
+
+def standalone_unit_area(opcode: MmoOpcode, bits: int = 16) -> float:
+    """Area of a fixed-function accelerator for one instruction."""
+    if opcode not in _STANDALONE_COMPOSITION:
+        raise ValueError(f"unknown opcode {opcode!r}")
+    return sum(
+        scaled_area(name, bits) * count
+        for name, count in _STANDALONE_COMPOSITION[opcode]
+    )
+
+
+def standalone_total_area(bits: int = 16) -> float:
+    """Summed area of the eight per-instruction accelerators (no MMA)."""
+    return sum(standalone_unit_area(op, bits) for op in ALL_SIMD2_EXTENSIONS)
+
+
+def unit_power_w(extensions: tuple[MmoOpcode, ...] | list[MmoOpcode] = ()) -> float:
+    """Active power of a unit (paper: 3.74 W baseline, +0.79 W full SIMD²).
+
+    Added logic is clock-gated when unused, so extra power scales with the
+    added area's share of the full extension rather than with raw area.
+    """
+    base = BASELINE_MMA_POWER_W
+    if not extensions:
+        return base
+    full_extra_area = simd2_unit_area(16) - mma_unit_area(16)
+    extra_area = combined_unit_area(tuple(extensions), 16) - mma_unit_area(16)
+    return base + SIMD2_EXTRA_POWER_W * (extra_area / full_extra_area)

@@ -1,0 +1,51 @@
+"""The SIMD² instruction set: opcodes, instructions, encoding, assembler."""
+
+from repro.isa.opcodes import ElementType, InstructionKind, IsaError, MmoOpcode
+from repro.isa.instructions import (
+    NUM_MATRIX_REGISTERS,
+    FillMatrix,
+    Halt,
+    Instruction,
+    LoadMatrix,
+    Mmo,
+    StoreMatrix,
+)
+from repro.isa.encoding import (
+    WORD_BYTES,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.isa.assembler import assemble, assemble_line, disassemble
+from repro.isa.program import Program, ProgramStats
+from repro.isa.verifier import VerificationReport, verify_program
+from repro.isa.optimizer import OptimizationResult, optimize_program
+
+__all__ = [
+    "ElementType",
+    "InstructionKind",
+    "IsaError",
+    "MmoOpcode",
+    "NUM_MATRIX_REGISTERS",
+    "FillMatrix",
+    "Halt",
+    "Instruction",
+    "LoadMatrix",
+    "Mmo",
+    "StoreMatrix",
+    "WORD_BYTES",
+    "decode_instruction",
+    "decode_program",
+    "encode_instruction",
+    "encode_program",
+    "assemble",
+    "assemble_line",
+    "disassemble",
+    "Program",
+    "ProgramStats",
+    "VerificationReport",
+    "verify_program",
+    "OptimizationResult",
+    "optimize_program",
+]

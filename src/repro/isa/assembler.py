@@ -1,0 +1,111 @@
+"""A tiny two-way assembler for the SIMD² ISA.
+
+The text format is exactly what ``str(instruction)`` prints::
+
+    ; APSP inner tile: D = C min.+ (A + B)
+    load.f16  m0, [0], ld=16
+    load.f16  m1, [256], ld=16
+    fill.f32  m2, inf
+    mmo.minplus m3, m0, m1, m2
+    store.f32 m3, [512], ld=16
+    halt
+
+``;`` and ``#`` start comments; blank lines are ignored.  ``assemble`` and
+``disassemble`` are exact inverses for any valid program.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instructions import (
+    FillMatrix,
+    Halt,
+    Instruction,
+    LoadMatrix,
+    Mmo,
+    StoreMatrix,
+)
+from repro.isa.opcodes import ElementType, IsaError, MmoOpcode
+
+__all__ = ["assemble", "disassemble", "assemble_line"]
+
+_MOVE_RE = re.compile(
+    r"^(?P<op>load|store)\.(?P<etype>\w+)\s+m(?P<reg>\d+)\s*,\s*"
+    r"\[(?P<addr>0x[0-9a-fA-F]+|\d+)\]\s*,\s*ld\s*=\s*(?P<ld>\d+)$"
+)
+_FILL_RE = re.compile(
+    r"^fill\.(?P<etype>\w+)\s+m(?P<reg>\d+)\s*,\s*(?P<value>[^,]+)$"
+)
+_MMO_RE = re.compile(
+    r"^mmo\.(?P<op>\w+)\s+m(?P<d>\d+)\s*,\s*m(?P<a>\d+)\s*,\s*m(?P<b>\d+)\s*,\s*m(?P<c>\d+)$"
+)
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#"):
+        if marker in line:
+            line = line[: line.index(marker)]
+    return line.strip()
+
+
+def assemble_line(line: str) -> Instruction | None:
+    """Parse one line of assembly; returns ``None`` for blanks/comments."""
+    text = _strip(line)
+    if not text:
+        return None
+    lowered = text.lower()
+    if lowered == "halt":
+        return Halt()
+
+    match = _MOVE_RE.match(text)
+    if match:
+        etype = ElementType.from_suffix(match["etype"])
+        reg = int(match["reg"])
+        addr = int(match["addr"], 0)
+        ld = int(match["ld"])
+        if match["op"].lower() == "load":
+            return LoadMatrix(dst=reg, addr=addr, ld=ld, etype=etype)
+        return StoreMatrix(src=reg, addr=addr, ld=ld, etype=etype)
+
+    match = _FILL_RE.match(text)
+    if match:
+        try:
+            value = float(match["value"])
+        except ValueError:
+            raise IsaError(f"bad fill immediate in line {line!r}") from None
+        return FillMatrix(
+            dst=int(match["reg"]),
+            value=value,
+            etype=ElementType.from_suffix(match["etype"]),
+        )
+
+    match = _MMO_RE.match(text)
+    if match:
+        return Mmo(
+            opcode=MmoOpcode.from_mnemonic(match["op"]),
+            d=int(match["d"]),
+            a=int(match["a"]),
+            b=int(match["b"]),
+            c=int(match["c"]),
+        )
+
+    raise IsaError(f"cannot parse assembly line {line!r}")
+
+
+def assemble(text: str) -> list[Instruction]:
+    """Assemble a multi-line program into instruction objects."""
+    instructions = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        try:
+            instr = assemble_line(line)
+        except IsaError as exc:
+            raise IsaError(f"line {lineno}: {exc}") from None
+        if instr is not None:
+            instructions.append(instr)
+    return instructions
+
+
+def disassemble(instructions: list[Instruction]) -> str:
+    """Render instructions back to assembly text (one per line)."""
+    return "\n".join(str(instr) for instr in instructions)

@@ -1,0 +1,169 @@
+"""Binary encoding of SIMD² instructions.
+
+Every instruction encodes to one little-endian 64-bit word::
+
+    bits 63..61   kind (InstructionKind)
+
+    LOAD / STORE
+    bits 60..55   register
+    bits 54..53   element type
+    bits 52..37   leading dimension (16 bits)
+    bits 36..5    address (32 bits)
+
+    FILL
+    bits 60..55   register
+    bits 54..53   element type
+    bits 52..21   fp32 immediate bits
+
+    MMO
+    bits 60..57   mmo opcode (4 bits)
+    bits 56..51   d    bits 50..45   a    bits 44..39   b    bits 38..33   c
+
+    HALT
+    all payload bits zero
+
+Encoding and decoding are exact inverses; :func:`decode_instruction`
+rejects malformed words instead of guessing.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.instructions import (
+    FillMatrix,
+    Halt,
+    Instruction,
+    LoadMatrix,
+    Mmo,
+    StoreMatrix,
+)
+from repro.isa.opcodes import ElementType, InstructionKind, IsaError, MmoOpcode
+
+__all__ = [
+    "WORD_BYTES",
+    "encode_instruction",
+    "decode_instruction",
+    "encode_program",
+    "decode_program",
+]
+
+WORD_BYTES = 8
+
+_KIND_SHIFT = 61
+_REG_SHIFT = 55
+_ETYPE_SHIFT = 53
+_LD_SHIFT = 37
+_ADDR_SHIFT = 5
+_FILL_VALUE_SHIFT = 21
+_MMO_OP_SHIFT = 57
+_MMO_D_SHIFT = 51
+_MMO_A_SHIFT = 45
+_MMO_B_SHIFT = 39
+_MMO_C_SHIFT = 33
+
+_REG_MASK = 0x3F
+_ETYPE_MASK = 0x3
+_LD_MASK = 0xFFFF
+_ADDR_MASK = 0xFFFFFFFF
+_MMO_OP_MASK = 0xF
+
+
+def _float_bits(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _bits_float(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
+def encode_instruction(instr: Instruction) -> int:
+    """Encode one instruction into a 64-bit word."""
+    word = int(instr.kind) << _KIND_SHIFT
+    if isinstance(instr, (LoadMatrix, StoreMatrix)):
+        reg = instr.dst if isinstance(instr, LoadMatrix) else instr.src
+        word |= reg << _REG_SHIFT
+        word |= int(instr.etype) << _ETYPE_SHIFT
+        word |= instr.ld << _LD_SHIFT
+        word |= instr.addr << _ADDR_SHIFT
+    elif isinstance(instr, FillMatrix):
+        word |= instr.dst << _REG_SHIFT
+        word |= int(instr.etype) << _ETYPE_SHIFT
+        word |= _float_bits(instr.value) << _FILL_VALUE_SHIFT
+    elif isinstance(instr, Mmo):
+        word |= int(instr.opcode) << _MMO_OP_SHIFT
+        word |= instr.d << _MMO_D_SHIFT
+        word |= instr.a << _MMO_A_SHIFT
+        word |= instr.b << _MMO_B_SHIFT
+        word |= instr.c << _MMO_C_SHIFT
+    elif isinstance(instr, Halt):
+        pass
+    else:
+        raise IsaError(f"cannot encode unknown instruction type {type(instr).__name__}")
+    return word
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Decode a 64-bit word back into an instruction object."""
+    if not (0 <= word < 2**64):
+        raise IsaError(f"instruction word {word:#x} is not a 64-bit value")
+    kind_bits = word >> _KIND_SHIFT
+    try:
+        kind = InstructionKind(kind_bits)
+    except ValueError:
+        raise IsaError(f"invalid instruction kind {kind_bits} in word {word:#018x}") from None
+
+    if kind in (InstructionKind.LOAD, InstructionKind.STORE):
+        reg = (word >> _REG_SHIFT) & _REG_MASK
+        etype = _decode_etype(word)
+        ld = (word >> _LD_SHIFT) & _LD_MASK
+        addr = (word >> _ADDR_SHIFT) & _ADDR_MASK
+        if kind is InstructionKind.LOAD:
+            return LoadMatrix(dst=reg, addr=addr, ld=ld, etype=etype)
+        return StoreMatrix(src=reg, addr=addr, ld=ld, etype=etype)
+    if kind is InstructionKind.FILL:
+        reg = (word >> _REG_SHIFT) & _REG_MASK
+        etype = _decode_etype(word)
+        value = _bits_float((word >> _FILL_VALUE_SHIFT) & _ADDR_MASK)
+        return FillMatrix(dst=reg, value=value, etype=etype)
+    if kind is InstructionKind.MMO:
+        op_bits = (word >> _MMO_OP_SHIFT) & _MMO_OP_MASK
+        try:
+            opcode = MmoOpcode(op_bits)
+        except ValueError:
+            raise IsaError(f"invalid mmo opcode {op_bits} in word {word:#018x}") from None
+        return Mmo(
+            opcode=opcode,
+            d=(word >> _MMO_D_SHIFT) & _REG_MASK,
+            a=(word >> _MMO_A_SHIFT) & _REG_MASK,
+            b=(word >> _MMO_B_SHIFT) & _REG_MASK,
+            c=(word >> _MMO_C_SHIFT) & _REG_MASK,
+        )
+    return Halt()
+
+
+def _decode_etype(word: int) -> ElementType:
+    bits = (word >> _ETYPE_SHIFT) & _ETYPE_MASK
+    try:
+        return ElementType(bits)
+    except ValueError:
+        raise IsaError(f"invalid element type {bits} in word {word:#018x}") from None
+
+
+def encode_program(instructions: list[Instruction]) -> bytes:
+    """Encode an instruction list as little-endian 64-bit words."""
+    return b"".join(
+        encode_instruction(instr).to_bytes(WORD_BYTES, "little") for instr in instructions
+    )
+
+
+def decode_program(blob: bytes) -> list[Instruction]:
+    """Decode the output of :func:`encode_program`."""
+    if len(blob) % WORD_BYTES:
+        raise IsaError(
+            f"program blob length {len(blob)} is not a multiple of {WORD_BYTES}"
+        )
+    return [
+        decode_instruction(int.from_bytes(blob[i : i + WORD_BYTES], "little"))
+        for i in range(0, len(blob), WORD_BYTES)
+    ]

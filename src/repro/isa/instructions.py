@@ -1,0 +1,150 @@
+"""Instruction objects of the SIMD² ISA.
+
+Each instruction is an immutable dataclass with an assembly rendering
+(``str(instr)``) that the assembler can parse back.  Field limits mirror the
+binary encoding in :mod:`repro.isa.encoding`:
+
+- 64 matrix registers per warp (6-bit register fields),
+- 32-bit shared-memory element addresses,
+- 16-bit leading dimension.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.isa.opcodes import ElementType, InstructionKind, IsaError, MmoOpcode
+
+__all__ = [
+    "NUM_MATRIX_REGISTERS",
+    "MAX_ADDRESS",
+    "MAX_LEADING_DIM",
+    "Instruction",
+    "LoadMatrix",
+    "StoreMatrix",
+    "FillMatrix",
+    "Mmo",
+    "Halt",
+]
+
+#: Matrix registers available to one warp (6-bit register fields).
+NUM_MATRIX_REGISTERS = 64
+#: Shared-memory element addresses are 32-bit.
+MAX_ADDRESS = 2**32 - 1
+#: Leading dimensions are 16-bit (supports matrices up to 65535 wide).
+MAX_LEADING_DIM = 2**16 - 1
+
+
+def _check_register(name: str, value: int) -> None:
+    if not (0 <= value < NUM_MATRIX_REGISTERS):
+        raise IsaError(
+            f"{name} register m{value} out of range (0..{NUM_MATRIX_REGISTERS - 1})"
+        )
+
+
+def _check_address(addr: int, ld: int) -> None:
+    if not (0 <= addr <= MAX_ADDRESS):
+        raise IsaError(f"address {addr} out of 32-bit range")
+    if not (1 <= ld <= MAX_LEADING_DIM):
+        raise IsaError(f"leading dimension {ld} out of range (1..{MAX_LEADING_DIM})")
+
+
+class Instruction:
+    """Marker base class for all SIMD² instructions."""
+
+    kind: InstructionKind
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadMatrix(Instruction):
+    """``load.<etype> m<dst>, [addr], ld=<ld>`` — shared memory → register.
+
+    Loads a 16×16 fragment whose row ``r`` starts at element address
+    ``addr + r * ld`` of the typed shared-memory space.
+    """
+
+    dst: int
+    addr: int
+    ld: int
+    etype: ElementType = ElementType.F16
+    kind = InstructionKind.LOAD
+
+    def __post_init__(self) -> None:
+        _check_register("dst", self.dst)
+        _check_address(self.addr, self.ld)
+
+    def __str__(self) -> str:
+        return f"load.{self.etype.suffix} m{self.dst}, [{self.addr}], ld={self.ld}"
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreMatrix(Instruction):
+    """``store.<etype> m<src>, [addr], ld=<ld>`` — register → shared memory."""
+
+    src: int
+    addr: int
+    ld: int
+    etype: ElementType = ElementType.F32
+    kind = InstructionKind.STORE
+
+    def __post_init__(self) -> None:
+        _check_register("src", self.src)
+        _check_address(self.addr, self.ld)
+
+    def __str__(self) -> str:
+        return f"store.{self.etype.suffix} m{self.src}, [{self.addr}], ld={self.ld}"
+
+
+@dataclasses.dataclass(frozen=True)
+class FillMatrix(Instruction):
+    """``fill.<etype> m<dst>, <value>`` — broadcast an immediate to a fragment.
+
+    The immediate is stored as fp32 bits in the encoding; ``inf`` and
+    ``-inf`` are valid (they are the ``⊕`` identities of the min/max rings).
+    """
+
+    dst: int
+    value: float
+    etype: ElementType = ElementType.F32
+    kind = InstructionKind.FILL
+
+    def __post_init__(self) -> None:
+        _check_register("dst", self.dst)
+        # Round-trip through fp32 so encode/decode is exact by construction.
+        as_f32 = struct.unpack("<f", struct.pack("<f", float(self.value)))[0]
+        object.__setattr__(self, "value", as_f32)
+
+    def __str__(self) -> str:
+        return f"fill.{self.etype.suffix} m{self.dst}, {self.value!r}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Mmo(Instruction):
+    """``mmo.<op> m<d>, m<a>, m<b>, m<c>`` — ``D = C ⊕ (A ⊗ B)`` on fragments."""
+
+    opcode: MmoOpcode
+    d: int
+    a: int
+    b: int
+    c: int
+    kind = InstructionKind.MMO
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.opcode, MmoOpcode):
+            object.__setattr__(self, "opcode", MmoOpcode(self.opcode))
+        for name, reg in (("d", self.d), ("a", self.a), ("b", self.b), ("c", self.c)):
+            _check_register(name, reg)
+
+    def __str__(self) -> str:
+        return f"mmo.{self.opcode.mnemonic} m{self.d}, m{self.a}, m{self.b}, m{self.c}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Halt(Instruction):
+    """``halt`` — end of the warp program."""
+
+    kind = InstructionKind.HALT
+
+    def __str__(self) -> str:
+        return "halt"

@@ -1,0 +1,106 @@
+"""Opcode and field definitions of the SIMD² instruction set (paper Table 2).
+
+The ISA has two instruction families:
+
+- *data movement*: ``load`` / ``store`` move 16×16 matrix fragments between
+  the 1-D shared-memory address space and the per-warp register file;
+  ``fill`` broadcasts an immediate into a fragment.
+- *arithmetic*: nine matrix-matrix-operation (``mmo``) opcodes, one per
+  SIMD² semiring, all sharing the ``D = C ⊕ (A ⊗ B)`` operand pattern.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.registry import get_semiring
+from repro.core.semiring import Semiring
+
+__all__ = ["InstructionKind", "MmoOpcode", "ElementType", "IsaError"]
+
+
+class IsaError(ValueError):
+    """Raised on malformed instructions, encodings, or assembly text."""
+
+
+class InstructionKind(enum.IntEnum):
+    """Top-level instruction family (3-bit field in the encoding)."""
+
+    LOAD = 0
+    STORE = 1
+    FILL = 2
+    MMO = 3
+    HALT = 4
+
+
+class MmoOpcode(enum.IntEnum):
+    """The nine SIMD² arithmetic opcodes, in the paper's Table 2 order."""
+
+    MMA = 0
+    MINPLUS = 1
+    MAXPLUS = 2
+    MINMUL = 3
+    MAXMUL = 4
+    MINMAX = 5
+    MAXMIN = 6
+    ORAND = 7
+    ADDNORM = 8
+
+    @property
+    def mnemonic(self) -> str:
+        """Lower-case assembly mnemonic, e.g. ``"minplus"``."""
+        return self.name.lower()
+
+    @property
+    def semiring(self) -> Semiring:
+        """The semiring this opcode implements."""
+        return get_semiring(self.mnemonic)
+
+    @classmethod
+    def from_mnemonic(cls, text: str) -> "MmoOpcode":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise IsaError(
+                f"unknown mmo opcode {text!r}; expected one of "
+                f"{[op.mnemonic for op in cls]}"
+            ) from None
+
+    @classmethod
+    def from_semiring(cls, ring: Semiring | str) -> "MmoOpcode":
+        ring = get_semiring(ring)
+        for op in cls:
+            if op.semiring.name == ring.name:
+                return op
+        raise IsaError(f"no opcode implements semiring {ring.name!r}")
+
+
+class ElementType(enum.IntEnum):
+    """Element formats of matrix fragments (2-bit field).
+
+    ``F16`` for inputs, ``F32`` for accumulators/outputs, ``B8`` for the
+    boolean or-and ring (one byte per element in shared memory).
+    """
+
+    F16 = 0
+    F32 = 1
+    B8 = 2
+
+    @property
+    def nbytes(self) -> int:
+        return {ElementType.F16: 2, ElementType.F32: 4, ElementType.B8: 1}[self]
+
+    @property
+    def suffix(self) -> str:
+        """Assembly suffix, e.g. ``"f16"``."""
+        return self.name.lower()
+
+    @classmethod
+    def from_suffix(cls, text: str) -> "ElementType":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise IsaError(
+                f"unknown element type {text!r}; expected one of "
+                f"{[t.suffix for t in cls]}"
+            ) from None

@@ -1,0 +1,118 @@
+"""Peephole optimisation of SIMD² warp programs.
+
+Two classic passes, adapted to the tile ISA:
+
+- **redundant-load elimination**: a ``load`` whose destination register
+  already holds exactly the fragment it would fetch (same address, stride
+  and element type, with no intervening shared-memory store) is dropped —
+  this is the optimisation that makes C-tile-resident kernels cheaper than
+  naive per-step reloads;
+- **dead-write elimination**: ``load``/``fill``/``mmo`` results that are
+  never read before being overwritten (or before the program ends) are
+  removed, iterating to a fixpoint since removing one dead write can
+  expose another.
+
+``store`` instructions always survive (shared memory is the program's
+observable output).  The optimiser never changes observable behaviour —
+property-tested by executing original and optimised programs side by side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa.instructions import (
+    FillMatrix,
+    Halt,
+    Instruction,
+    LoadMatrix,
+    Mmo,
+    StoreMatrix,
+)
+from repro.isa.program import Program
+
+__all__ = ["OptimizationResult", "optimize_program"]
+
+
+@dataclasses.dataclass(frozen=True)
+class OptimizationResult:
+    """An optimised program plus what was removed."""
+
+    program: Program
+    removed_loads: int
+    removed_writes: int
+
+    @property
+    def removed(self) -> int:
+        return self.removed_loads + self.removed_writes
+
+
+def _eliminate_redundant_loads(body: list[Instruction]) -> tuple[list[Instruction], int]:
+    held: dict[int, tuple[int, int, int]] = {}  # reg -> (addr, ld, etype)
+    out: list[Instruction] = []
+    removed = 0
+    for instr in body:
+        if isinstance(instr, LoadMatrix):
+            descriptor = (instr.addr, instr.ld, int(instr.etype))
+            if held.get(instr.dst) == descriptor:
+                removed += 1
+                continue
+            held[instr.dst] = descriptor
+        elif isinstance(instr, FillMatrix):
+            held.pop(instr.dst, None)
+        elif isinstance(instr, Mmo):
+            held.pop(instr.d, None)
+        elif isinstance(instr, StoreMatrix):
+            # Conservative aliasing: any store may overwrite any fragment.
+            held.clear()
+        out.append(instr)
+    return out, removed
+
+
+def _eliminate_dead_writes(body: list[Instruction]) -> tuple[list[Instruction], int]:
+    removed_total = 0
+    changed = True
+    while changed:
+        changed = False
+        live: set[int] = set()
+        keep: list[bool] = [True] * len(body)
+        for index in range(len(body) - 1, -1, -1):
+            instr = body[index]
+            if isinstance(instr, StoreMatrix):
+                live.add(instr.src)
+            elif isinstance(instr, (LoadMatrix, FillMatrix)):
+                if instr.dst not in live:
+                    keep[index] = False
+                else:
+                    live.discard(instr.dst)
+            elif isinstance(instr, Mmo):
+                if instr.d not in live:
+                    keep[index] = False
+                else:
+                    live.discard(instr.d)
+                    live.update((instr.a, instr.b, instr.c))
+        if not all(keep):
+            changed = True
+            removed_total += keep.count(False)
+            body = [instr for instr, flag in zip(body, keep) if flag]
+    return body, removed_total
+
+
+def optimize_program(program: Program) -> OptimizationResult:
+    """Apply both passes and return a behaviour-equivalent program."""
+    body = [instr for instr in program if not isinstance(instr, Halt)]
+    body, removed_loads = _eliminate_redundant_loads(body)
+    body, removed_writes = _eliminate_dead_writes(body)
+    # Dead-write elimination can re-expose redundant loads and vice versa.
+    again = True
+    while again:
+        body, more_loads = _eliminate_redundant_loads(body)
+        body, more_writes = _eliminate_dead_writes(body)
+        removed_loads += more_loads
+        removed_writes += more_writes
+        again = bool(more_loads or more_writes)
+    return OptimizationResult(
+        program=Program(body, auto_halt=True),
+        removed_loads=removed_loads,
+        removed_writes=removed_writes,
+    )

@@ -1,0 +1,133 @@
+"""Warp-program container with static validation and statistics."""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from collections.abc import Iterator, Sequence
+
+from repro.isa.instructions import (
+    FillMatrix,
+    Halt,
+    Instruction,
+    LoadMatrix,
+    Mmo,
+    NUM_MATRIX_REGISTERS,
+    StoreMatrix,
+)
+from repro.isa.opcodes import InstructionKind, IsaError, MmoOpcode
+
+__all__ = ["Program", "ProgramStats"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProgramStats:
+    """Static instruction counts of a program (input to the timing model)."""
+
+    loads: int
+    stores: int
+    fills: int
+    mmos: int
+    mmos_by_opcode: dict[MmoOpcode, int]
+
+    @property
+    def total(self) -> int:
+        return self.loads + self.stores + self.fills + self.mmos
+
+
+class Program(Sequence[Instruction]):
+    """An ordered, validated list of SIMD² instructions for one warp.
+
+    A valid program contains exactly one ``halt``, as its final
+    instruction.  Construction validates this plus register ranges and
+    use-before-define hazards (reading a matrix register that no prior
+    ``load``/``fill``/``mmo`` wrote).
+    """
+
+    def __init__(self, instructions: Sequence[Instruction], *, auto_halt: bool = False):
+        instructions = list(instructions)
+        if auto_halt and (not instructions or not isinstance(instructions[-1], Halt)):
+            instructions.append(Halt())
+        self._instructions: tuple[Instruction, ...] = tuple(instructions)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if not self._instructions:
+            raise IsaError("program is empty (needs at least a halt)")
+        *body, last = self._instructions
+        if not isinstance(last, Halt):
+            raise IsaError("program must end with halt")
+        if any(isinstance(instr, Halt) for instr in body):
+            raise IsaError("halt must be the final instruction")
+
+        written: set[int] = set()
+        for index, instr in enumerate(body):
+            if isinstance(instr, (LoadMatrix, FillMatrix)):
+                written.add(instr.dst)
+            elif isinstance(instr, StoreMatrix):
+                if instr.src not in written:
+                    raise IsaError(
+                        f"instruction {index}: store reads m{instr.src} "
+                        "before any write"
+                    )
+            elif isinstance(instr, Mmo):
+                for name, reg in (("a", instr.a), ("b", instr.b), ("c", instr.c)):
+                    if reg not in written:
+                        raise IsaError(
+                            f"instruction {index}: mmo operand {name}=m{reg} "
+                            "read before any write"
+                        )
+                written.add(instr.d)
+            else:  # pragma: no cover - new instruction kinds
+                raise IsaError(f"unsupported instruction {instr!r}")
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return self._instructions[index]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Program) and self._instructions == other._instructions
+
+    def __hash__(self) -> int:
+        return hash(self._instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Program({len(self)} instructions)"
+
+    # ------------------------------------------------------------------
+    def stats(self) -> ProgramStats:
+        """Count instructions per kind and mmo opcode."""
+        by_kind = collections.Counter(instr.kind for instr in self._instructions)
+        by_opcode: collections.Counter[MmoOpcode] = collections.Counter(
+            instr.opcode for instr in self._instructions if isinstance(instr, Mmo)
+        )
+        return ProgramStats(
+            loads=by_kind[InstructionKind.LOAD],
+            stores=by_kind[InstructionKind.STORE],
+            fills=by_kind[InstructionKind.FILL],
+            mmos=by_kind[InstructionKind.MMO],
+            mmos_by_opcode=dict(by_opcode),
+        )
+
+    def registers_used(self) -> set[int]:
+        """All matrix registers the program touches."""
+        regs: set[int] = set()
+        for instr in self._instructions:
+            if isinstance(instr, (LoadMatrix, FillMatrix)):
+                regs.add(instr.dst)
+            elif isinstance(instr, StoreMatrix):
+                regs.add(instr.src)
+            elif isinstance(instr, Mmo):
+                regs.update((instr.d, instr.a, instr.b, instr.c))
+        if any(reg >= NUM_MATRIX_REGISTERS for reg in regs):  # pragma: no cover
+            raise IsaError("register out of range")  # instructions already check
+        return regs

@@ -1,0 +1,147 @@
+"""Static verification of SIMD² warp programs.
+
+:class:`~repro.isa.program.Program` guarantees structural well-formedness
+(halt placement, use-before-define).  This module adds the checks a
+compiler back-end would run before emitting code:
+
+- **element-type checking** — tracks the format each register holds across
+  the program and rejects mmo operands whose format cannot feed the unit's
+  ports (fp32 into an fp16 ⊗ port, a boolean accumulator under a numeric
+  opcode, ...), turning the emulator's *runtime* faults into *static*
+  diagnostics;
+- **liveness analysis** — dead stores (a register written and never read
+  again) and the set of live-in-free registers, for register-budget
+  reporting;
+- **shared-memory footprint** — the minimal scratchpad size the program's
+  load/store addresses require.
+
+``verify_program`` returns a :class:`VerificationReport`; ``check=True``
+raises on the first error instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa.instructions import (
+    FillMatrix,
+    Halt,
+    LoadMatrix,
+    Mmo,
+    StoreMatrix,
+)
+from repro.isa.opcodes import ElementType, IsaError
+from repro.isa.program import Program
+
+__all__ = ["VerificationReport", "verify_program"]
+
+_TILE = 16
+
+
+@dataclasses.dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of static verification."""
+
+    errors: tuple[str, ...]
+    warnings: tuple[str, ...]
+    registers_used: frozenset[int]
+    dead_stores: tuple[int, ...]  # instruction indices whose result dies
+    shared_memory_bytes: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def _expected_types(instr: Mmo) -> tuple[ElementType, ElementType]:
+    ring = instr.opcode.semiring
+    if ring.is_boolean():
+        return ElementType.B8, ElementType.B8
+    return ElementType.F16, ElementType.F32
+
+
+def verify_program(program: Program, *, check: bool = False) -> VerificationReport:
+    """Statically verify a warp program.
+
+    With ``check=True``, raises :class:`~repro.isa.opcodes.IsaError` on the
+    first type error instead of collecting it.
+    """
+    errors: list[str] = []
+    warnings: list[str] = []
+    reg_types: dict[int, ElementType] = {}
+    last_write: dict[int, int] = {}
+    read_since_write: dict[int, bool] = {}
+    footprint = 0
+
+    def fail(message: str) -> None:
+        if check:
+            raise IsaError(message)
+        errors.append(message)
+
+    def note_read(reg: int) -> None:
+        read_since_write[reg] = True
+
+    def note_write(reg: int, etype: ElementType, index: int) -> None:
+        if reg in last_write and not read_since_write.get(reg, True):
+            warnings.append(
+                f"instruction {last_write[reg]}: value in m{reg} is overwritten "
+                f"at {index} without being read (dead store)"
+            )
+        reg_types[reg] = etype
+        last_write[reg] = index
+        read_since_write[reg] = False
+
+    for index, instr in enumerate(program):
+        if isinstance(instr, (LoadMatrix, StoreMatrix)):
+            last = (instr.addr + (_TILE - 1) * instr.ld + _TILE) * instr.etype.nbytes
+            footprint = max(footprint, last)
+        if isinstance(instr, LoadMatrix):
+            note_write(instr.dst, instr.etype, index)
+        elif isinstance(instr, FillMatrix):
+            note_write(instr.dst, instr.etype, index)
+        elif isinstance(instr, StoreMatrix):
+            held = reg_types.get(instr.src)
+            if held is not None and held is not instr.etype:
+                fail(
+                    f"instruction {index}: store.{instr.etype.suffix} of m{instr.src} "
+                    f"which holds {held.suffix}"
+                )
+            note_read(instr.src)
+        elif isinstance(instr, Mmo):
+            in_etype, out_etype = _expected_types(instr)
+            for name, reg in (("a", instr.a), ("b", instr.b)):
+                held = reg_types.get(reg)
+                if held is not None and held is not in_etype:
+                    fail(
+                        f"instruction {index}: mmo.{instr.opcode.mnemonic} operand "
+                        f"{name}=m{reg} holds {held.suffix}, port needs {in_etype.suffix}"
+                    )
+                note_read(reg)
+            held_c = reg_types.get(instr.c)
+            if held_c is not None and held_c is not out_etype:
+                fail(
+                    f"instruction {index}: mmo.{instr.opcode.mnemonic} accumulator "
+                    f"c=m{instr.c} holds {held_c.suffix}, port needs {out_etype.suffix}"
+                )
+            note_read(instr.c)
+            note_write(instr.d, out_etype, index)
+        elif isinstance(instr, Halt):
+            break
+
+    dead_stores = tuple(
+        last_write[reg] for reg in sorted(last_write) if not read_since_write.get(reg, True)
+    )
+    for reg in sorted(last_write):
+        if not read_since_write.get(reg, True):
+            warnings.append(
+                f"instruction {last_write[reg]}: final value of m{reg} is never "
+                "read or stored"
+            )
+
+    return VerificationReport(
+        errors=tuple(errors),
+        warnings=tuple(warnings),
+        registers_used=frozenset(last_write),
+        dead_stores=dead_stores,
+        shared_memory_bytes=footprint,
+    )

@@ -1,0 +1,38 @@
+"""SIMD² programming model: tile API, whole-matrix kernels, closure loops."""
+
+from repro.runtime.api import MatrixHandle, RuntimeError_, TileProgramBuilder
+from repro.runtime.kernels import (
+    KernelStats,
+    build_tile_mmo_program,
+    mmo_tiled,
+    mmo_tiled_split_k,
+)
+from repro.runtime.closure import ClosureResult, closure, max_iterations_for
+from repro.runtime.host import HostClosureOutcome, HostEvent, HostRuntime
+from repro.runtime.batched import BatchStats, batched_mmo
+from repro.runtime.vector import VectorResult, reachable_from, sssp, vxm
+from repro.runtime.multidevice import DeviceShare, mmo_tiled_multi_device
+
+__all__ = [
+    "MatrixHandle",
+    "RuntimeError_",
+    "TileProgramBuilder",
+    "KernelStats",
+    "build_tile_mmo_program",
+    "mmo_tiled",
+    "mmo_tiled_split_k",
+    "ClosureResult",
+    "closure",
+    "max_iterations_for",
+    "HostClosureOutcome",
+    "HostEvent",
+    "HostRuntime",
+    "BatchStats",
+    "batched_mmo",
+    "VectorResult",
+    "reachable_from",
+    "sssp",
+    "vxm",
+    "DeviceShare",
+    "mmo_tiled_multi_device",
+]

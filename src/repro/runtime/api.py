@@ -1,0 +1,147 @@
+"""The low-level SIMD² programming interface (paper Table 3).
+
+The paper exposes C++ functions — ``simd2::matrix``, ``simd2::fillmatrix``,
+``simd2::loadmatrix``, ``simd2::mmo``, ``simd2::storematrix`` — that map
+one-to-one onto ISA instructions.  :class:`TileProgramBuilder` is the
+Python analogue: each method appends the corresponding instruction and the
+builder allocates matrix registers behind fragment handles, so kernels read
+like the paper's Figure 6 listing::
+
+    builder = TileProgramBuilder()
+    a = builder.matrix("a")            # simd2::matrix<matrix_a, ...>
+    b = builder.matrix("b")
+    acc = builder.matrix("accumulator")
+    builder.loadmatrix(a, addr=0, ld=16)
+    builder.loadmatrix(b, addr=256, ld=16)
+    builder.fillmatrix(acc, math.inf)
+    builder.mmo(acc, a, b, acc, "minplus")
+    builder.storematrix(addr=512, source=acc, ld=16)
+    program = builder.build()
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa.instructions import (
+    FillMatrix,
+    Instruction,
+    LoadMatrix,
+    Mmo,
+    NUM_MATRIX_REGISTERS,
+    StoreMatrix,
+)
+from repro.isa.opcodes import ElementType, IsaError, MmoOpcode
+from repro.isa.program import Program
+
+__all__ = ["MatrixHandle", "TileProgramBuilder", "RuntimeError_", "ROLE_ETYPES"]
+
+
+class RuntimeError_(RuntimeError):
+    """Raised on misuse of the runtime programming interface."""
+
+
+#: Default element types per declared matrix role, mirroring wmma fragment
+#: kinds: operand fragments are fp16, accumulators fp32.
+ROLE_ETYPES: dict[str, ElementType] = {
+    "a": ElementType.F16,
+    "b": ElementType.F16,
+    "accumulator": ElementType.F32,
+}
+
+#: Boolean variants used by the or-and ring.
+_BOOLEAN_ROLE_ETYPES: dict[str, ElementType] = {
+    "a": ElementType.B8,
+    "b": ElementType.B8,
+    "accumulator": ElementType.B8,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class MatrixHandle:
+    """An opaque handle to an allocated fragment register."""
+
+    register: int
+    role: str
+    etype: ElementType
+
+
+class TileProgramBuilder:
+    """Builds one warp's tile program through Table-3-style calls."""
+
+    def __init__(self, *, boolean: bool = False):
+        self._instructions: list[Instruction] = []
+        self._next_register = 0
+        self._boolean = boolean
+        self._built = False
+
+    # ------------------------------------------------------------------
+    def matrix(self, role: str) -> MatrixHandle:
+        """Declare a fragment (``simd2::matrix``) and reserve its register."""
+        roles = _BOOLEAN_ROLE_ETYPES if self._boolean else ROLE_ETYPES
+        if role not in roles:
+            raise RuntimeError_(
+                f"unknown matrix role {role!r}; expected one of {sorted(roles)}"
+            )
+        if self._next_register >= NUM_MATRIX_REGISTERS:
+            raise RuntimeError_(
+                f"register file exhausted ({NUM_MATRIX_REGISTERS} fragments)"
+            )
+        handle = MatrixHandle(self._next_register, role, roles[role])
+        self._next_register += 1
+        return handle
+
+    def fillmatrix(self, target: MatrixHandle, value: float) -> None:
+        """``simd2::fillmatrix`` — broadcast an immediate into a fragment."""
+        self._append(FillMatrix(dst=target.register, value=float(value), etype=target.etype))
+
+    def loadmatrix(self, target: MatrixHandle, addr: int, ld: int) -> None:
+        """``simd2::loadmatrix`` — shared memory → fragment."""
+        self._append(LoadMatrix(dst=target.register, addr=addr, ld=ld, etype=target.etype))
+
+    def mmo(
+        self,
+        destination: MatrixHandle,
+        a: MatrixHandle,
+        b: MatrixHandle,
+        c: MatrixHandle,
+        opcode: MmoOpcode | str,
+    ) -> None:
+        """``simd2::mmo`` — ``D = C ⊕ (A ⊗ B)`` on fragments."""
+        if isinstance(opcode, str):
+            opcode = MmoOpcode.from_mnemonic(opcode)
+        for name, handle, want in (("a", a, "a"), ("b", b, "b")):
+            if handle.role not in ("a", "b"):
+                raise RuntimeError_(
+                    f"mmo operand {name} must be an operand fragment, "
+                    f"got role {handle.role!r}"
+                )
+        for name, handle in (("c", c), ("d", destination)):
+            if handle.role != "accumulator":
+                raise RuntimeError_(
+                    f"mmo {name} must be an accumulator fragment, "
+                    f"got role {handle.role!r}"
+                )
+        self._append(
+            Mmo(opcode, destination.register, a.register, b.register, c.register)
+        )
+
+    def storematrix(self, addr: int, source: MatrixHandle, ld: int) -> None:
+        """``simd2::storematrix`` — fragment → shared memory."""
+        self._append(StoreMatrix(src=source.register, addr=addr, ld=ld, etype=source.etype))
+
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Finalise into a validated :class:`~repro.isa.program.Program`."""
+        if self._built:
+            raise RuntimeError_("builder already built; create a new one")
+        self._built = True
+        try:
+            return Program(self._instructions, auto_halt=True)
+        except IsaError as exc:
+            raise RuntimeError_(f"invalid tile program: {exc}") from exc
+
+    def _append(self, instruction: Instruction) -> None:
+        if self._built:
+            raise RuntimeError_("builder already built; create a new one")
+        self._instructions.append(instruction)

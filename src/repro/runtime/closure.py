@@ -1,0 +1,148 @@
+"""Semiring closure iteration — the host-side loop of the paper's Figure 7.
+
+Graph problems solved with SIMD² iterate a whole-matrix mmo until a
+fixpoint.  The paper discusses three iteration policies (Sections 4, 6.4):
+
+- **All-pairs Bellman-Ford**: ``D ← D ⊕ (D ⊗ A)`` — one relaxation per
+  step; needs up to ``|V|`` iterations (the graph diameter with a
+  convergence check).
+- **Leyzorek's algorithm**: ``D ← D ⊕ (D ⊗ D)`` — repeated squaring;
+  needs at most ``⌈log₂|V|⌉`` iterations (``⌈log₂ diameter⌉`` with a
+  convergence check).
+- either of the above **with a convergence check**: a CUDA-core
+  element-wise comparison after every mmo that terminates the loop as
+  soon as the matrix stops changing.
+
+:func:`closure` implements all three and reports iteration/mmo statistics,
+which both the applications (for validation) and the timing model (for
+Figures 11–12) consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.core.registry import get_semiring
+from repro.core.semiring import Semiring, SemiringError
+from repro.hw.device import Simd2Device
+from repro.runtime.kernels import KernelStats, mmo_tiled
+
+__all__ = ["ClosureResult", "closure", "max_iterations_for"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ClosureResult:
+    """Outcome of a closure iteration."""
+
+    matrix: np.ndarray
+    iterations: int
+    converged: bool
+    method: str
+    mmo_calls: int
+    convergence_checks: int
+    kernel_stats: tuple[KernelStats, ...]
+
+    @property
+    def total_mmo_instructions(self) -> int:
+        return sum(stats.mmo_instructions for stats in self.kernel_stats)
+
+
+def max_iterations_for(method: str, num_vertices: int) -> int:
+    """Worst-case iteration bound per iteration policy (paper Section 6.4)."""
+    if num_vertices <= 1:
+        return 1
+    if method == "bellman-ford":
+        return num_vertices
+    if method == "leyzorek":
+        return max(1, math.ceil(math.log2(num_vertices)))
+    raise SemiringError(f"unknown closure method {method!r}")
+
+
+def closure(
+    ring: Semiring | str,
+    adjacency: np.ndarray,
+    *,
+    method: str = "leyzorek",
+    convergence_check: bool = True,
+    max_iterations: int | None = None,
+    backend: str = "vectorized",
+    device: Simd2Device | None = None,
+) -> ClosureResult:
+    """Iterate ``D ← D ⊕ (D ⊗ X)`` to a fixpoint under ``ring``.
+
+    Parameters
+    ----------
+    ring:
+        The semiring (e.g. ``"min-plus"`` for shortest paths).
+    adjacency:
+        The initial matrix ``D₀`` — typically the adjacency matrix with
+        the problem's "self" value on the diagonal (0 for min-plus).
+        Must be square.
+    method:
+        ``"leyzorek"`` (squaring, ``X = D``) or ``"bellman-ford"``
+        (relaxation, ``X = D₀``).
+    convergence_check:
+        Stop as soon as an iteration leaves the matrix unchanged.  Costs
+        one element-wise comparison per iteration (a pure CUDA-core
+        kernel in the paper), which the result records.
+    max_iterations:
+        Iteration cap; defaults to the method's worst case for the given
+        vertex count.
+    backend / device:
+        Forwarded to :func:`~repro.runtime.kernels.mmo_tiled`.
+
+    Returns
+    -------
+    ClosureResult
+        Final matrix plus iteration and instruction statistics.
+    """
+    ring = get_semiring(ring)
+    current = np.asarray(adjacency, dtype=ring.output_dtype)
+    if current.ndim != 2 or current.shape[0] != current.shape[1]:
+        raise SemiringError(
+            f"closure needs a square matrix, got shape {current.shape}"
+        )
+    n = current.shape[0]
+    if max_iterations is not None:
+        limit = max_iterations
+    else:
+        # With a convergence check the loop runs until the matrix stops
+        # changing; one extra iteration is needed to *observe* the fixpoint.
+        limit = max_iterations_for(method, n) + (1 if convergence_check else 0)
+    if limit <= 0:
+        raise SemiringError(f"max_iterations must be positive, got {limit}")
+    if method not in ("leyzorek", "bellman-ford"):
+        raise SemiringError(f"unknown closure method {method!r}")
+
+    base = current.copy()
+    converged = False
+    iterations = 0
+    checks = 0
+    all_stats: list[KernelStats] = []
+    for _ in range(limit):
+        operand = current if method == "leyzorek" else base
+        updated, stats = mmo_tiled(
+            ring, current, operand, current, backend=backend, device=device
+        )
+        all_stats.append(stats)
+        iterations += 1
+        if convergence_check:
+            checks += 1
+            if np.array_equal(updated, current):
+                current = updated
+                converged = True
+                break
+        current = updated
+
+    return ClosureResult(
+        matrix=current,
+        iterations=iterations,
+        converged=converged,
+        method=method,
+        mmo_calls=len(all_stats),
+        convergence_checks=checks,
+        kernel_stats=tuple(all_stats),
+    )

@@ -1,0 +1,164 @@
+"""Host-side runtime driver — the paper's Figure 7 workflow as an API.
+
+The SIMD² programming model keeps a host program in charge: allocate
+device buffers, move data, launch matrix kernels, interleave scalar/vector
+kernels (convergence checks), and read results back.  :class:`HostRuntime`
+packages that workflow over the emulated device and records an *event
+timeline* (malloc/memcpy/launch/check) so tests and examples can assert
+the exact host-device interaction pattern — e.g. that a convergence-
+checked closure performs no extra device↔host transfers between the mmo
+and the check, the data-movement property the paper highlights.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.registry import get_semiring
+from repro.core.semiring import Semiring, SemiringError
+from repro.hw.device import Simd2Device
+from repro.runtime.closure import max_iterations_for
+from repro.runtime.kernels import KernelStats, mmo_tiled
+
+__all__ = ["HostEvent", "HostClosureOutcome", "HostRuntime"]
+
+
+@dataclasses.dataclass(frozen=True)
+class HostEvent:
+    """One entry of the host-device interaction timeline."""
+
+    kind: str  # malloc | memcpy_h2d | memcpy_d2h | mmo_launch | check | free
+    detail: str
+
+
+@dataclasses.dataclass(frozen=True)
+class HostClosureOutcome:
+    """Result of :meth:`HostRuntime.run_closure`."""
+
+    matrix: np.ndarray
+    iterations: int
+    converged: bool
+    kernel_stats: tuple[KernelStats, ...]
+
+
+class HostRuntime:
+    """Drives SIMD² computations on a device, logging every host step."""
+
+    def __init__(self, device: Simd2Device | None = None, *, backend: str = "emulate"):
+        self.device = device if device is not None else Simd2Device(sm_count=4)
+        self.backend = backend
+        self.events: list[HostEvent] = []
+
+    # ------------------------------------------------------------------
+    def _log(self, kind: str, detail: str) -> None:
+        self.events.append(HostEvent(kind, detail))
+
+    def event_kinds(self) -> list[str]:
+        return [event.kind for event in self.events]
+
+    # ------------------------------------------------------------------
+    # buffer management (cudaMalloc / cudaMemcpy analogues)
+    # ------------------------------------------------------------------
+    def upload(self, name: str, host_array: np.ndarray, dtype=np.float32) -> None:
+        """malloc + memcpy H2D."""
+        host_array = np.asarray(host_array)
+        self.device.malloc(name, host_array.shape, dtype)
+        self._log("malloc", f"{name}{host_array.shape}")
+        self.device.memcpy_h2d(name, host_array)
+        self._log("memcpy_h2d", name)
+
+    def download(self, name: str) -> np.ndarray:
+        self._log("memcpy_d2h", name)
+        return self.device.memcpy_d2h(name)
+
+    def free(self, name: str) -> None:
+        self.device.free(name)
+        self._log("free", name)
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def run_mmo(
+        self,
+        ring: Semiring | str,
+        a_name: str,
+        b_name: str,
+        c_name: str | None,
+        out_name: str,
+    ) -> KernelStats:
+        """One whole-matrix mmo over named device buffers."""
+        ring = get_semiring(ring)
+        a = self.device.global_memory[a_name]
+        b = self.device.global_memory[b_name]
+        c = None if c_name is None else self.device.global_memory[c_name]
+        result, stats = mmo_tiled(
+            ring, a, b, c,
+            backend=self.backend,
+            device=self.device if self.backend == "emulate" else None,
+        )
+        if out_name not in self.device.global_memory:
+            self.device.malloc(out_name, result.shape, result.dtype)
+            self._log("malloc", f"{out_name}{result.shape}")
+        self.device.global_memory[out_name][...] = result
+        self._log("mmo_launch", f"{ring.name}: {a_name}x{b_name}->{out_name}")
+        return stats
+
+    def run_closure(
+        self,
+        ring: Semiring | str,
+        adjacency_name: str,
+        *,
+        method: str = "leyzorek",
+        convergence_check: bool = True,
+        max_iterations: int | None = None,
+    ) -> HostClosureOutcome:
+        """The Figure 7 loop over a named device buffer.
+
+        Allocates a scratch ``<name>__delta`` buffer, iterates
+        ``delta = dist ⊕ (dist ⊗ X)`` with a device-side convergence check,
+        and leaves the final matrix in the adjacency buffer.
+        """
+        ring = get_semiring(ring)
+        if method not in ("leyzorek", "bellman-ford"):
+            raise SemiringError(f"unknown closure method {method!r}")
+        dist = self.device.global_memory[adjacency_name]
+        if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+            raise SemiringError(f"closure needs a square buffer, got {dist.shape}")
+        n = dist.shape[0]
+        base = dist.copy()
+        if max_iterations is not None:
+            limit = max_iterations
+        else:
+            limit = max_iterations_for(method, n) + (1 if convergence_check else 0)
+
+        converged = False
+        iterations = 0
+        all_stats: list[KernelStats] = []
+        for _ in range(limit):
+            operand = dist if method == "leyzorek" else base
+            delta, stats = mmo_tiled(
+                ring, dist, operand, dist,
+                backend=self.backend,
+                device=self.device if self.backend == "emulate" else None,
+            )
+            all_stats.append(stats)
+            self._log("mmo_launch", f"{ring.name} closure step {iterations}")
+            iterations += 1
+            if convergence_check:
+                same = bool(np.array_equal(delta, dist))
+                self._log("check", f"convergence after step {iterations}")
+                dist[...] = delta
+                if same:
+                    converged = True
+                    break
+            else:
+                dist[...] = delta
+
+        return HostClosureOutcome(
+            matrix=dist.copy(),
+            iterations=iterations,
+            converged=converged,
+            kernel_stats=tuple(all_stats),
+        )

@@ -1,0 +1,308 @@
+"""High-level whole-matrix SIMD² kernels (paper Figure 6).
+
+:func:`mmo_tiled` is the Python analogue of the paper's ``simd2_minplus``
+family: it accepts arbitrarily-shaped matrices, handles tiling/padding
+implicitly, and computes ``D = C ⊕ (A ⊗ B)`` by iterating 16×16 tile
+operations.  Two interchangeable backends mirror the paper's evaluation
+framework (Section 5.1):
+
+- ``"vectorized"`` — the cuASR/CUTLASS-like CUDA-core backend: NumPy
+  vectorised semiring arithmetic with identical padding and precision.
+- ``"emulate"`` — the instruction-level backend: builds one warp program
+  per output tile through the Table-3 API, stages operand panels into
+  shared memory, and executes on the :class:`~repro.hw.device.Simd2Device`
+  emulator, returning exact dynamic instruction statistics.
+
+Both backends produce identical results (bit-for-bit for the min/max/or
+rings and for integer-valued data; up to summation-order ulps otherwise),
+which is exactly the cross-validation the paper's framework performs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import ops as core_ops
+from repro.core.registry import get_semiring
+from repro.core.semiring import Semiring
+from repro.core.tiles import TILE, ceil_div, crop, pad_to_tiles
+from repro.hw.device import Simd2Device, WarpWorkItem
+from repro.hw.shared_memory import SharedMemory
+from repro.hw.warp import ExecutionStats
+from repro.isa.opcodes import ElementType, MmoOpcode
+from repro.isa.program import Program
+from repro.runtime.api import RuntimeError_, TileProgramBuilder
+
+__all__ = ["KernelStats", "mmo_tiled", "mmo_tiled_split_k", "build_tile_mmo_program"]
+
+_TILE_ELEMS = TILE * TILE
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelStats:
+    """Static tiling statistics of one whole-matrix mmo kernel call.
+
+    These are the counts the paper's validation flow collects to check the
+    performance-emulation backend issues exactly the expected number of
+    SIMD² operations; the timing model consumes them as well.
+    """
+
+    m: int
+    n: int
+    k: int
+    tiles_m: int
+    tiles_n: int
+    tiles_k: int
+    execution: ExecutionStats | None = None
+
+    @property
+    def warp_programs(self) -> int:
+        """One warp program per output tile."""
+        return self.tiles_m * self.tiles_n
+
+    @property
+    def mmo_instructions(self) -> int:
+        return self.tiles_m * self.tiles_n * self.tiles_k
+
+    @property
+    def load_instructions(self) -> int:
+        """Per program: the C tile plus an (A, B) tile pair per inner step."""
+        return self.warp_programs * (1 + 2 * self.tiles_k)
+
+    @property
+    def store_instructions(self) -> int:
+        return self.warp_programs
+
+    @property
+    def unit_ops(self) -> int:
+        """4×4×4 unit operations: 64 per 16×16×16 warp-level mmo."""
+        return self.mmo_instructions * (TILE // 4) ** 3
+
+
+def build_tile_mmo_program(
+    opcode: MmoOpcode, tiles_k: int, *, boolean: bool
+) -> tuple[Program, int, int]:
+    """Build the per-output-tile warp program of the Figure 6 kernel.
+
+    Shared-memory layout (element addresses within each type's space):
+
+    - A panel: ``tiles_k`` input tiles at ``kk * 256``,
+    - B panel: ``tiles_k`` input tiles at ``(tiles_k + kk) * 256``,
+    - C tile then D tile in the output element space, starting past the
+      input panel bytes.
+
+    Returns ``(program, c_addr, d_addr)`` with the output-space addresses.
+    """
+    if tiles_k <= 0:
+        raise RuntimeError_(f"tiles_k must be positive, got {tiles_k}")
+    in_etype = ElementType.B8 if boolean else ElementType.F16
+    out_etype = ElementType.B8 if boolean else ElementType.F32
+    input_bytes = in_etype.nbytes * 2 * tiles_k * _TILE_ELEMS
+    c_addr = ceil_div(input_bytes, out_etype.nbytes)
+    d_addr = c_addr + _TILE_ELEMS
+
+    builder = TileProgramBuilder(boolean=boolean)
+    a_frag = builder.matrix("a")
+    b_frag = builder.matrix("b")
+    acc = builder.matrix("accumulator")
+    builder.loadmatrix(acc, addr=c_addr, ld=TILE)
+    for kk in range(tiles_k):
+        builder.loadmatrix(a_frag, addr=kk * _TILE_ELEMS, ld=TILE)
+        builder.loadmatrix(b_frag, addr=(tiles_k + kk) * _TILE_ELEMS, ld=TILE)
+        builder.mmo(acc, a_frag, b_frag, acc, opcode)
+    builder.storematrix(addr=d_addr, source=acc, ld=TILE)
+    return builder.build(), c_addr, d_addr
+
+
+def mmo_tiled(
+    ring: Semiring | str | MmoOpcode,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    *,
+    backend: str = "vectorized",
+    device: Simd2Device | None = None,
+) -> tuple[np.ndarray, KernelStats]:
+    """Whole-matrix ``D = C ⊕ (A ⊗ B)`` with implicit 16×16 tiling.
+
+    Parameters
+    ----------
+    ring:
+        Semiring, semiring name, or mmo opcode.
+    a, b, c:
+        ``(m, k)``, ``(k, n)`` and optional ``(m, n)`` matrices.
+    backend:
+        ``"vectorized"`` (CUDA-core analogue) or ``"emulate"``
+        (instruction-level emulation on SIMD² units).
+    device:
+        Device to run the ``"emulate"`` backend on; a 4-SM device is
+        created when omitted.  Ignored by the vectorised backend.
+
+    Returns
+    -------
+    (D, KernelStats)
+        The result cropped to ``(m, n)`` plus tiling statistics (with
+        dynamic :class:`ExecutionStats` attached for the emulate backend).
+    """
+    if isinstance(ring, MmoOpcode):
+        opcode = ring
+    else:
+        opcode = MmoOpcode.from_semiring(get_semiring(ring))
+    semiring = opcode.semiring
+
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise RuntimeError_(
+            f"bad mmo operand shapes A{a.shape} x B{b.shape}"
+        )
+    m, k = a.shape
+    n = b.shape[1]
+    if c is not None:
+        c = np.asarray(c)
+        if c.shape != (m, n):
+            raise RuntimeError_(f"accumulator shape {c.shape} != {(m, n)}")
+    if m == 0 or n == 0:
+        empty = semiring.full((m, n)) if c is None else np.asarray(c, semiring.output_dtype)
+        return empty, KernelStats(m, n, k, 0, 0, ceil_div(k, TILE) if k else 0)
+
+    a_pad = pad_to_tiles(a.astype(semiring.output_dtype), semiring.k_pad_a)
+    b_pad = pad_to_tiles(b.astype(semiring.output_dtype), semiring.k_pad_b)
+    c_full = semiring.full((m, n)) if c is None else np.asarray(c, semiring.output_dtype)
+    c_pad = pad_to_tiles(c_full, semiring.oplus_identity)
+    # Degenerate inner dimension: run one full tile of absorbed inner steps.
+    if k == 0:
+        a_pad = np.full(
+            (c_pad.shape[0], TILE), semiring.k_pad_a, semiring.output_dtype
+        )
+        b_pad = np.full(
+            (TILE, c_pad.shape[1]), semiring.k_pad_b, semiring.output_dtype
+        )
+
+    tiles_m = a_pad.shape[0] // TILE
+    tiles_k = a_pad.shape[1] // TILE
+    tiles_n = b_pad.shape[1] // TILE
+    stats = KernelStats(m, n, k, tiles_m, tiles_n, tiles_k)
+
+    if backend == "vectorized":
+        d_pad = core_ops.mmo(semiring, a_pad, b_pad, c_pad)
+        return crop(d_pad, m, n).copy(), stats
+
+    if backend != "emulate":
+        raise RuntimeError_(f"unknown backend {backend!r}")
+
+    device = device if device is not None else Simd2Device(sm_count=4)
+    program, c_addr, d_addr = build_tile_mmo_program(
+        opcode, tiles_k, boolean=semiring.is_boolean()
+    )
+    in_etype = ElementType.B8 if semiring.is_boolean() else ElementType.F16
+    out_etype = ElementType.B8 if semiring.is_boolean() else ElementType.F32
+
+    shared_bytes = (
+        in_etype.nbytes * 2 * tiles_k * _TILE_ELEMS + out_etype.nbytes * 2 * _TILE_ELEMS
+    ) + 64
+    work_items: list[tuple[int, int, SharedMemory]] = []
+    items: list[WarpWorkItem] = []
+    for ti in range(tiles_m):
+        for tj in range(tiles_n):
+            shm = SharedMemory(shared_bytes)
+            for kk in range(tiles_k):
+                a_tile = a_pad[ti * TILE : (ti + 1) * TILE, kk * TILE : (kk + 1) * TILE]
+                b_tile = b_pad[kk * TILE : (kk + 1) * TILE, tj * TILE : (tj + 1) * TILE]
+                shm.write_matrix(kk * _TILE_ELEMS, a_tile, in_etype)
+                shm.write_matrix((tiles_k + kk) * _TILE_ELEMS, b_tile, in_etype)
+            c_tile = c_pad[ti * TILE : (ti + 1) * TILE, tj * TILE : (tj + 1) * TILE]
+            shm.write_matrix(c_addr, c_tile, out_etype)
+            work_items.append((ti, tj, shm))
+            items.append(WarpWorkItem(program, shm))
+
+    execution = device.launch(items)
+    d_pad = np.empty_like(c_pad)
+    for ti, tj, shm in work_items:
+        d_tile = shm.read_matrix(d_addr, (TILE, TILE), out_etype)
+        d_pad[ti * TILE : (ti + 1) * TILE, tj * TILE : (tj + 1) * TILE] = d_tile
+
+    stats = dataclasses.replace(stats, execution=execution)
+    _check_emulation_parity(stats)
+    return crop(d_pad, m, n).copy(), stats
+
+
+def _check_emulation_parity(stats: KernelStats) -> None:
+    """Assert the emulator issued exactly the statically predicted counts.
+
+    This is the paper's statistics cross-check between the validation and
+    performance-emulation backends.
+    """
+    execution = stats.execution
+    assert execution is not None
+    if (
+        execution.mmos != stats.mmo_instructions
+        or execution.loads != stats.load_instructions
+        or execution.stores != stats.store_instructions
+        or execution.unit_ops != stats.unit_ops
+    ):
+        raise RuntimeError_(
+            "emulation statistics diverge from the static tiling prediction: "
+            f"{execution} vs {stats}"
+        )
+
+
+def mmo_tiled_split_k(
+    ring: Semiring | str | MmoOpcode,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    *,
+    splits: int = 2,
+    backend: str = "vectorized",
+    device: Simd2Device | None = None,
+) -> tuple[np.ndarray, list[KernelStats]]:
+    """Split-k scheduling: partition the inner dimension across kernels.
+
+    Deep reductions limit parallelism when the ``m×n`` tile grid is small;
+    GPUs then split k across concurrent kernels, each producing a partial
+    result, and combine the partials — valid for *every* SIMD² ring since
+    ⊕ is associative and commutative (the same property the reduction tree
+    relies on).  The accumulator ``C`` is folded in exactly once.
+
+    Returns the combined result and per-split kernel statistics.
+    """
+    if isinstance(ring, MmoOpcode):
+        semiring = ring.semiring
+    else:
+        semiring = get_semiring(ring)
+    if splits <= 0:
+        raise RuntimeError_(f"splits must be positive, got {splits}")
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise RuntimeError_(f"bad mmo operand shapes A{a.shape} x B{b.shape}")
+    k = a.shape[1]
+    splits = min(splits, k) if k else 1
+
+    bounds = np.linspace(0, k, splits + 1, dtype=int)
+    partials: list[np.ndarray] = []
+    stats_list: list[KernelStats] = []
+    for s in range(splits):
+        lo, hi = int(bounds[s]), int(bounds[s + 1])
+        partial, stats = mmo_tiled(
+            semiring, a[:, lo:hi], b[lo:hi, :], None, backend=backend, device=device
+        )
+        partials.append(partial)
+        stats_list.append(stats)
+
+    combined = partials[0]
+    for partial in partials[1:]:
+        combined = np.asarray(
+            semiring.oplus(combined, partial), dtype=semiring.output_dtype
+        )
+    if c is not None:
+        c = np.asarray(c, dtype=semiring.output_dtype)
+        if c.shape != combined.shape:
+            raise RuntimeError_(f"accumulator shape {c.shape} != {combined.shape}")
+        combined = np.asarray(
+            semiring.oplus(combined, c), dtype=semiring.output_dtype
+        )
+    return combined, stats_list

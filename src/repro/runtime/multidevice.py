@@ -1,0 +1,108 @@
+"""Multi-device work partitioning for whole-matrix mmos.
+
+The paper notes that MXU programming models "perform work partitioning and
+tiling to execute a larger GEMM with multiple MXUs in a system or across
+systems".  This module implements the across-devices level for SIMD²:
+:func:`mmo_tiled_multi_device` splits the output rows of one mmo across a
+list of emulated devices (each device gets a contiguous row band, B is
+broadcast), runs each band on its device, and reassembles the result —
+with per-device statistics so tests can assert the partition is balanced
+and that the union of executed work equals the single-device run exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.registry import get_semiring
+from repro.core.semiring import Semiring
+from repro.core.tiles import TILE, ceil_div
+from repro.hw.device import Simd2Device
+from repro.isa.opcodes import MmoOpcode
+from repro.runtime.api import RuntimeError_
+from repro.runtime.kernels import KernelStats, mmo_tiled
+
+__all__ = ["DeviceShare", "mmo_tiled_multi_device"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceShare:
+    """One device's slice of the partitioned mmo."""
+
+    device_index: int
+    row_start: int
+    row_stop: int
+    stats: KernelStats
+
+    @property
+    def rows(self) -> int:
+        return self.row_stop - self.row_start
+
+
+def mmo_tiled_multi_device(
+    ring: Semiring | str | MmoOpcode,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    *,
+    devices: list[Simd2Device],
+    backend: str = "emulate",
+) -> tuple[np.ndarray, list[DeviceShare]]:
+    """``D = C ⊕ (A ⊗ B)`` partitioned row-wise across devices.
+
+    Rows are split into tile-aligned bands (multiples of 16) so no tile
+    straddles a device boundary; devices at the tail may receive nothing
+    when there are fewer row tiles than devices.
+    """
+    if not devices:
+        raise RuntimeError_("need at least one device")
+    if isinstance(ring, MmoOpcode):
+        semiring = ring.semiring
+    else:
+        semiring = get_semiring(ring)
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise RuntimeError_(f"bad mmo operand shapes A{a.shape} x B{b.shape}")
+    m, _ = a.shape
+    n = b.shape[1]
+    if c is not None:
+        c = np.asarray(c)
+        if c.shape != (m, n):
+            raise RuntimeError_(f"accumulator shape {c.shape} != {(m, n)}")
+
+    row_tiles = ceil_div(m, TILE) if m else 0
+    tiles_per_device = ceil_div(row_tiles, len(devices)) if row_tiles else 0
+
+    out = np.empty((m, n), dtype=semiring.output_dtype)
+    shares: list[DeviceShare] = []
+    for index, device in enumerate(devices):
+        start_tile = index * tiles_per_device
+        stop_tile = min(row_tiles, (index + 1) * tiles_per_device)
+        row_start = min(m, start_tile * TILE)
+        row_stop = min(m, stop_tile * TILE)
+        if row_stop <= row_start:
+            continue
+        band_c = None if c is None else c[row_start:row_stop]
+        band, stats = mmo_tiled(
+            semiring,
+            a[row_start:row_stop],
+            b,
+            band_c,
+            backend=backend,
+            device=device if backend == "emulate" else None,
+        )
+        out[row_start:row_stop] = band
+        shares.append(
+            DeviceShare(
+                device_index=index,
+                row_start=row_start,
+                row_stop=row_stop,
+                stats=stats,
+            )
+        )
+    if m == 0:
+        out = semiring.full((m, n)) if c is None else np.asarray(c, semiring.output_dtype)
+    return out, shares

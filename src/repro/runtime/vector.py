@@ -1,0 +1,131 @@
+"""Matrix-vector semiring operations and single-source algorithms.
+
+All-pairs problems map onto mmo tiles; their *single-source* siblings map
+onto ``y = y ⊕ (x ⊗ A)`` — one fragment row against the matrix, the
+GraphBLAS ``vxm`` pattern.  On SIMD² hardware a vector op runs as a 1×16
+slice of a fragment (utilisation is poor, which is exactly why the paper
+targets all-pairs formulations), but the *algebra* is identical; this
+module provides it for completeness and for validating the all-pairs
+results row by row:
+
+- :func:`vxm` — one relaxation step,
+- :func:`sssp` — single-source shortest paths (min-plus Bellman-Ford),
+- :func:`reachable_from` — single-source reachability (or-and).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.registry import get_semiring
+from repro.core.semiring import Semiring, SemiringError
+from repro.core.precision import quantize_input
+
+__all__ = ["VectorResult", "vxm", "sssp", "reachable_from"]
+
+
+@dataclasses.dataclass(frozen=True)
+class VectorResult:
+    """Outcome of a single-source iteration."""
+
+    values: np.ndarray
+    iterations: int
+    converged: bool
+
+
+def vxm(
+    ring: Semiring | str,
+    x: np.ndarray,
+    a: np.ndarray,
+    y: np.ndarray | None = None,
+) -> np.ndarray:
+    """``y ⊕ (x ⊗ A)`` — one vector-matrix semiring product.
+
+    ``x`` is a length-``k`` vector, ``a`` is ``k×n``; the result has
+    length ``n``.  ``y`` defaults to the ⊕ identity.
+    """
+    ring = get_semiring(ring)
+    x = np.asarray(x)
+    a = np.asarray(a)
+    if x.ndim != 1 or a.ndim != 2 or x.shape[0] != a.shape[0]:
+        raise SemiringError(
+            f"vxm shapes mismatch: x{x.shape} with A{a.shape}"
+        )
+    x16 = quantize_input(x, ring).astype(ring.output_dtype)
+    a16 = quantize_input(a, ring).astype(ring.output_dtype)
+    with np.errstate(invalid="ignore"):
+        products = ring.otimes(x16[:, None], a16)
+    products = np.asarray(products, dtype=ring.output_dtype)
+    if not ring.is_boolean():
+        identity = np.asarray(ring.oplus_identity, dtype=ring.output_dtype)
+        missing = (x16[:, None] == identity) | (a16 == identity) | np.isnan(products)
+        np.copyto(products, identity, where=missing)
+    reduced = ring.reduce(products, axis=0)
+    if y is None:
+        return reduced
+    y = np.asarray(y, dtype=ring.output_dtype)
+    if y.shape != reduced.shape:
+        raise SemiringError(f"accumulator shape {y.shape} != {reduced.shape}")
+    return np.asarray(ring.oplus(y, reduced), dtype=ring.output_dtype)
+
+
+def _single_source(
+    ring_name: str,
+    adjacency: np.ndarray,
+    source: int,
+    source_value,
+    *,
+    max_iterations: int | None,
+) -> VectorResult:
+    ring = get_semiring(ring_name)
+    adjacency = np.asarray(adjacency)
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise SemiringError(f"adjacency must be square, got {adjacency.shape}")
+    n = adjacency.shape[0]
+    if not (0 <= source < n):
+        raise SemiringError(f"source {source} out of range for {n} vertices")
+    frontier = ring.full((n,))
+    frontier[source] = source_value
+    limit = max_iterations if max_iterations is not None else n
+    if limit <= 0:
+        raise SemiringError(f"max_iterations must be positive, got {limit}")
+
+    converged = False
+    iterations = 0
+    for _ in range(limit):
+        updated = vxm(ring, frontier, adjacency, frontier)
+        iterations += 1
+        if np.array_equal(updated, frontier):
+            converged = True
+            frontier = updated
+            break
+        frontier = updated
+    return VectorResult(values=frontier, iterations=iterations, converged=converged)
+
+
+def sssp(
+    adjacency: np.ndarray, source: int, *, max_iterations: int | None = None
+) -> VectorResult:
+    """Single-source shortest paths: min-plus Bellman-Ford over vxm.
+
+    ``adjacency`` uses the min-plus encoding (+inf non-edges, 0 diagonal);
+    the result's ``values[v]`` is the distance from ``source`` to ``v`` —
+    row ``source`` of the all-pairs closure (asserted in tests).
+    """
+    return _single_source(
+        "min-plus", adjacency, source, 0.0, max_iterations=max_iterations
+    )
+
+
+def reachable_from(
+    adjacency: np.ndarray, source: int, *, max_iterations: int | None = None
+) -> VectorResult:
+    """Single-source reachability: or-and frontier expansion."""
+    adjacency = np.asarray(adjacency)
+    if adjacency.dtype != np.dtype(bool):
+        raise SemiringError(f"adjacency must be boolean, got dtype {adjacency.dtype}")
+    return _single_source(
+        "or-and", adjacency, source, True, max_iterations=max_iterations
+    )

@@ -1,0 +1,158 @@
+"""Sparse semiring closure — the paper's "SIMD² GAMMA" extension (§6.5).
+
+For extremely sparse graphs the paper proposes pairing the SIMD² idea with
+a GAMMA-class spGEMM accelerator: the same ``D = C ⊕ (A ⊗ B)`` iteration,
+but over compressed operands with one configurable ⊗ ALU and one ⊕ ALU per
+PE ("this SIMD² GAMMA accelerator would then be able to run APSP on sparse
+graphs").  This module implements that functionally: closure iteration over
+CSR matrices using the row-wise semiring spGEMM, with the same
+Bellman-Ford / Leyzorek / convergence-check policies as the dense runtime.
+
+The implicit value of all CSR operands is the ring's ⊕ identity, so the
+sparse closure is exactly equivalent to the dense closure on
+``csr.to_dense(implicit=ring.oplus_identity)`` — asserted by the tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.registry import get_semiring
+from repro.core.semiring import Semiring, SemiringError
+from repro.runtime.closure import max_iterations_for
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.spgemm import SpgemmStats, spgemm
+
+__all__ = ["SparseClosureResult", "sparse_closure", "elementwise_oplus"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SparseClosureResult:
+    """Outcome of a sparse closure iteration."""
+
+    matrix: CsrMatrix
+    iterations: int
+    converged: bool
+    method: str
+    total_products: int
+    spgemm_stats: tuple[SpgemmStats, ...]
+
+    @property
+    def final_nnz(self) -> int:
+        return self.matrix.nnz
+
+
+def elementwise_oplus(ring: Semiring | str, a: CsrMatrix, b: CsrMatrix) -> CsrMatrix:
+    """Sparse ``A ⊕ B``: union of patterns, ⊕ on overlaps.
+
+    Implicit entries are the ⊕ identity, so they never change the other
+    operand's values — the sparse analogue of the accumulate path.
+    """
+    ring = get_semiring(ring)
+    if a.shape != b.shape:
+        raise SemiringError(f"shape mismatch: {a.shape} vs {b.shape}")
+    identity = np.asarray(ring.oplus_identity, dtype=ring.output_dtype)
+    rows = a.shape[0]
+    indptr = np.zeros(rows + 1, dtype=np.int64)
+    indices_parts: list[np.ndarray] = []
+    data_parts: list[np.ndarray] = []
+    for i in range(rows):
+        a_cols, a_vals = a.row(i)
+        b_cols, b_vals = b.row(i)
+        merged: dict[int, np.ndarray] = {
+            int(c): np.asarray(v, dtype=ring.output_dtype)
+            for c, v in zip(a_cols, a_vals)
+        }
+        for c, v in zip(b_cols, b_vals):
+            key = int(c)
+            value = np.asarray(v, dtype=ring.output_dtype)
+            if key in merged:
+                merged[key] = np.asarray(
+                    ring.oplus(merged[key], value), dtype=ring.output_dtype
+                )
+            else:
+                merged[key] = value
+        cols = np.array(sorted(merged), dtype=np.int64)
+        vals = np.array([merged[int(c)] for c in cols], dtype=ring.output_dtype)
+        keep = vals != identity
+        cols, vals = cols[keep], vals[keep]
+        indices_parts.append(cols)
+        data_parts.append(vals)
+        indptr[i + 1] = indptr[i] + len(cols)
+    return CsrMatrix(
+        shape=a.shape,
+        indptr=indptr,
+        indices=np.concatenate(indices_parts) if indices_parts else np.empty(0, np.int64),
+        data=(
+            np.concatenate(data_parts)
+            if data_parts
+            else np.empty(0, ring.output_dtype)
+        ),
+    )
+
+
+def _equal(a: CsrMatrix, b: CsrMatrix) -> bool:
+    return (
+        a.shape == b.shape
+        and np.array_equal(a.indptr, b.indptr)
+        and np.array_equal(a.indices, b.indices)
+        and np.array_equal(a.data, b.data)
+    )
+
+
+def sparse_closure(
+    ring: Semiring | str,
+    adjacency: CsrMatrix,
+    *,
+    method: str = "leyzorek",
+    convergence_check: bool = True,
+    max_iterations: int | None = None,
+) -> SparseClosureResult:
+    """Iterate ``D ← D ⊕ (D ⊗ X)`` over CSR operands under ``ring``.
+
+    Same contract as :func:`repro.runtime.closure.closure` with the dense
+    matrix replaced by a :class:`~repro.sparse.csr.CsrMatrix` whose
+    implicit value is the ring's ⊕ identity.
+    """
+    ring = get_semiring(ring)
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise SemiringError(f"closure needs a square matrix, got {adjacency.shape}")
+    if method not in ("leyzorek", "bellman-ford"):
+        raise SemiringError(f"unknown closure method {method!r}")
+    n = adjacency.shape[0]
+    if max_iterations is not None:
+        limit = max_iterations
+    else:
+        limit = max_iterations_for(method, n) + (1 if convergence_check else 0)
+    if limit <= 0:
+        raise SemiringError(f"max_iterations must be positive, got {limit}")
+
+    current = adjacency
+    base = adjacency
+    converged = False
+    iterations = 0
+    total_products = 0
+    all_stats: list[SpgemmStats] = []
+    for _ in range(limit):
+        operand = current if method == "leyzorek" else base
+        product, stats = spgemm(ring, current, operand)
+        updated = elementwise_oplus(ring, current, product)
+        all_stats.append(stats)
+        total_products += stats.products
+        iterations += 1
+        if convergence_check and _equal(updated, current):
+            converged = True
+            current = updated
+            break
+        current = updated
+
+    return SparseClosureResult(
+        matrix=current,
+        iterations=iterations,
+        converged=converged,
+        method=method,
+        total_products=total_products,
+        spgemm_stats=tuple(all_stats),
+    )

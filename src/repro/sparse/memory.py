@@ -1,0 +1,74 @@
+"""Memory-footprint model for dense vs sparse matrix processing.
+
+Figure 14's "OOM" region comes from cuSparse exhausting the RTX 3080's
+10 GB when multiplying insufficiently sparse large matrices: CSR inputs
+cost index+value per non-zero (more than fp16 dense below ~66 % sparsity)
+and spGEMM needs workspace proportional to the intermediate products.
+This model computes those footprints in closed form so the crossover bench
+can reproduce the OOM cells and the "dense fits a 32768² multiply in
+10 GB" observation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["MemoryModel", "RTX3080_MEMORY_BYTES"]
+
+#: Device memory of the paper's testbed GPU (10 GB).
+RTX3080_MEMORY_BYTES = 10 * 1024**3
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryModel:
+    """Byte-accounting for an ``n × n`` (times ``n × n``) multiplication."""
+
+    device_bytes: int = RTX3080_MEMORY_BYTES
+    dense_value_bytes: int = 2  # fp16 inputs
+    dense_output_bytes: int = 4  # fp32 accumulators
+    csr_index_bytes: int = 4
+    csr_value_bytes: int = 4
+    #: cuSparse-style merge workspace, amortised across row chunks.
+    workspace_bytes_per_product: float = 2.0
+
+    # ------------------------------------------------------------------
+    def dense_gemm_bytes(self, n: int) -> int:
+        """A, B dense fp16 + one fp32 output (C accumulates in place)."""
+        return 2 * n * n * self.dense_value_bytes + n * n * self.dense_output_bytes
+
+    def csr_bytes(self, n: int, density: float) -> int:
+        """One CSR operand at the given density."""
+        nnz = round(n * n * density)
+        return (n + 1) * self.csr_index_bytes + nnz * (
+            self.csr_index_bytes + self.csr_value_bytes
+        )
+
+    def expected_products(self, n: int, density: float) -> float:
+        """Expected scalar products of an spGEMM with uniform random operands.
+
+        Row i of A holds ``n·d`` non-zeros on average, each selecting a row
+        of B with ``n·d`` non-zeros: ``n · (n·d) · (n·d) = n³·d²``.
+        """
+        return n**3 * density**2
+
+    def spgemm_bytes(self, n: int, density: float) -> int:
+        """Two CSR inputs + output CSR + merge workspace."""
+        output_nnz_bound = min(n * n, round(self.expected_products(n, density)))
+        output_bytes = (n + 1) * self.csr_index_bytes + output_nnz_bound * (
+            self.csr_index_bytes + self.csr_value_bytes
+        )
+        workspace = round(
+            self.expected_products(n, density) * self.workspace_bytes_per_product
+        )
+        return 2 * self.csr_bytes(n, density) + output_bytes + workspace
+
+    # ------------------------------------------------------------------
+    def dense_fits(self, n: int) -> bool:
+        return self.dense_gemm_bytes(n) <= self.device_bytes
+
+    def spgemm_fits(self, n: int, density: float) -> bool:
+        return self.spgemm_bytes(n, density) <= self.device_bytes
+
+    def csr_smaller_than_dense(self, n: int, density: float) -> bool:
+        """True when one CSR operand is smaller than its fp16 dense form."""
+        return self.csr_bytes(n, density) < n * n * self.dense_value_bytes

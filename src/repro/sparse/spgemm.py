@@ -1,0 +1,118 @@
+"""Semiring spGEMM — Gustavson's row-wise algorithm over any SIMD² ring.
+
+This plays the role of cuSparse's ``spGemm`` (and of the GAMMA-style
+SIMD² sparse accelerator the paper sketches in Section 6.5): it multiplies
+CSR operands under an arbitrary ``(⊕, ⊗)`` pair, skipping every
+ineffectual (implicit-identity) product.  The returned statistics — the
+number of scalar products actually performed — drive the Figure 14
+crossover model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.registry import get_semiring
+from repro.core.semiring import Semiring
+from repro.sparse.csr import CsrMatrix, SparseError
+
+__all__ = ["SpgemmStats", "spgemm"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SpgemmStats:
+    """Work counters of one spGEMM call."""
+
+    products: int  # scalar ⊗ operations performed
+    output_nnz: int
+    rows_touched: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """Products per output non-zero (≥ 1; high values mean heavy merging)."""
+        return self.products / self.output_nnz if self.output_nnz else 0.0
+
+
+def spgemm(
+    ring: Semiring | str,
+    a: CsrMatrix,
+    b: CsrMatrix,
+    *,
+    keep_identity: bool = False,
+) -> tuple[CsrMatrix, SpgemmStats]:
+    """``C = A ⊗.⊕ B`` on CSR operands (implicit value = the ⊕ identity).
+
+    Gustavson's algorithm: for each row ``i`` of A, scale-and-merge the
+    rows of B selected by A's column indices into a sparse accumulator.
+    Entries that come out equal to the ⊕ identity are dropped unless
+    ``keep_identity`` is set.
+    """
+    ring = get_semiring(ring)
+    if a.shape[1] != b.shape[0]:
+        raise SparseError(
+            f"inner dimensions differ: A is {a.shape}, B is {b.shape}"
+        )
+    m = a.shape[0]
+    n = b.shape[1]
+
+    out_indptr = np.zeros(m + 1, dtype=np.int64)
+    out_indices: list[np.ndarray] = []
+    out_data: list[np.ndarray] = []
+    products = 0
+    rows_touched = 0
+    identity = np.asarray(ring.oplus_identity, dtype=ring.output_dtype)
+
+    for i in range(m):
+        a_cols, a_vals = a.row(i)
+        accumulator: dict[int, np.ndarray] = {}
+        if len(a_cols):
+            rows_touched += 1
+        for a_col, a_val in zip(a_cols, a_vals):
+            b_cols, b_vals = b.row(int(a_col))
+            if not len(b_cols):
+                continue
+            with np.errstate(invalid="ignore"):
+                prods = ring.otimes(
+                    np.asarray(a_val, dtype=ring.output_dtype),
+                    np.asarray(b_vals, dtype=ring.output_dtype),
+                )
+            prods = np.asarray(prods, dtype=ring.output_dtype)
+            products += len(b_cols)
+            for b_col, value in zip(b_cols, prods):
+                key = int(b_col)
+                if key in accumulator:
+                    accumulator[key] = np.asarray(
+                        ring.oplus(accumulator[key], value), dtype=ring.output_dtype
+                    )
+                else:
+                    accumulator[key] = value
+        if accumulator:
+            cols_sorted = np.array(sorted(accumulator), dtype=np.int64)
+            vals = np.array(
+                [accumulator[int(c)] for c in cols_sorted], dtype=ring.output_dtype
+            )
+            if not keep_identity:
+                keep = vals != identity
+                cols_sorted = cols_sorted[keep]
+                vals = vals[keep]
+            out_indices.append(cols_sorted)
+            out_data.append(vals)
+            out_indptr[i + 1] = out_indptr[i] + len(cols_sorted)
+        else:
+            out_indptr[i + 1] = out_indptr[i]
+
+    indices = (
+        np.concatenate(out_indices) if out_indices else np.empty(0, dtype=np.int64)
+    )
+    data = (
+        np.concatenate(out_data)
+        if out_data
+        else np.empty(0, dtype=ring.output_dtype)
+    )
+    result = CsrMatrix(shape=(m, n), indptr=out_indptr, indices=indices, data=data)
+    stats = SpgemmStats(
+        products=products, output_nnz=result.nnz, rows_touched=rows_touched
+    )
+    return result, stats

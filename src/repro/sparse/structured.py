@@ -1,0 +1,132 @@
+"""2:4 structured sparsity — the sparse Tensor Core format.
+
+The paper's sparse SIMD² study (Figure 13) builds on the RTX 3080's sparse
+Tensor Cores, which double throughput for operands where every group of 4
+consecutive elements along the inner dimension contains at most 2
+non-zeros ("2:4 structured sparsity").  This module implements:
+
+- :func:`prune_2_4` — magnitude-based pruning of a dense operand to the
+  2:4 pattern (how such operands are prepared),
+- :func:`check_2_4` — pattern validation,
+- :class:`Structured24Matrix` — the compressed representation (values +
+  2-bit metadata indices, exactly two slots per group), with exact
+  round-trip decompression.
+
+The *speedup* of the sparse unit is a property of the datapath (half the
+products are skipped), which the timing model applies; functionally a
+structured operand computes like its decompressed dense form.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.sparse.csr import SparseError
+
+__all__ = ["GROUP", "KEEP_PER_GROUP", "Structured24Matrix", "prune_2_4", "check_2_4"]
+
+#: Group length along the inner dimension.
+GROUP = 4
+#: Non-zeros kept per group.
+KEEP_PER_GROUP = 2
+
+
+def _check_inner_dim(cols: int) -> None:
+    if cols % GROUP:
+        raise SparseError(
+            f"2:4 structured sparsity needs the inner dimension to be a "
+            f"multiple of {GROUP}, got {cols}"
+        )
+
+
+def prune_2_4(matrix: np.ndarray, *, zero: float = 0.0) -> np.ndarray:
+    """Magnitude-prune each group of 4 row elements to its top 2.
+
+    Entries outside the top 2 magnitudes of their group become ``zero``
+    (ties keep the earlier element, matching a stable hardware selector).
+    """
+    matrix = np.asarray(matrix, dtype=np.float32)
+    if matrix.ndim != 2:
+        raise SparseError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    _check_inner_dim(matrix.shape[1])
+    rows, cols = matrix.shape
+    groups = matrix.reshape(rows, cols // GROUP, GROUP)
+    # Stable top-2 by magnitude: sort on (-|value|, position).
+    order = np.argsort(-np.abs(groups), axis=2, kind="stable")
+    keep = np.zeros_like(groups, dtype=bool)
+    np.put_along_axis(keep, order[:, :, :KEEP_PER_GROUP], True, axis=2)
+    pruned = np.where(keep, groups, np.float32(zero))
+    return pruned.reshape(rows, cols)
+
+
+def check_2_4(matrix: np.ndarray, *, zero: float = 0.0) -> bool:
+    """True when every 4-group has at most 2 entries different from ``zero``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[1] % GROUP:
+        return False
+    rows, cols = matrix.shape
+    groups = matrix.reshape(rows, cols // GROUP, GROUP)
+    return bool(np.all((groups != zero).sum(axis=2) <= KEEP_PER_GROUP))
+
+
+@dataclasses.dataclass
+class Structured24Matrix:
+    """Compressed 2:4 operand: 2 values + 2 two-bit indices per group.
+
+    ``values`` has shape ``(rows, cols // 2)`` and ``metadata`` the same —
+    ``metadata[r, g*2 + s]`` is the position (0..3) of ``values[r, g*2+s]``
+    within group ``g``.  This halves value storage exactly like the sparse
+    Tensor Core operand format.
+    """
+
+    shape: tuple[int, int]
+    values: np.ndarray
+    metadata: np.ndarray
+    zero: float = 0.0
+
+    @classmethod
+    def compress(cls, matrix: np.ndarray, *, zero: float = 0.0) -> "Structured24Matrix":
+        """Compress a matrix already obeying the 2:4 pattern."""
+        matrix = np.asarray(matrix, dtype=np.float32)
+        if not check_2_4(matrix, zero=zero):
+            raise SparseError("matrix does not satisfy the 2:4 pattern")
+        rows, cols = matrix.shape
+        num_groups = cols // GROUP
+        values = np.full((rows, num_groups * KEEP_PER_GROUP), np.float32(zero))
+        metadata = np.zeros((rows, num_groups * KEEP_PER_GROUP), dtype=np.uint8)
+        groups = matrix.reshape(rows, num_groups, GROUP)
+        for r in range(rows):
+            for g in range(num_groups):
+                nonzero_pos = np.flatnonzero(groups[r, g] != zero)[:KEEP_PER_GROUP]
+                for slot in range(len(nonzero_pos)):
+                    pos = int(nonzero_pos[slot])
+                    values[r, g * KEEP_PER_GROUP + slot] = groups[r, g, pos]
+                    metadata[r, g * KEEP_PER_GROUP + slot] = pos
+                # Unused slots keep metadata distinct so decompression is
+                # unambiguous: point them at a position holding `zero`.
+                for slot in range(len(nonzero_pos), KEEP_PER_GROUP):
+                    spare = [p for p in range(GROUP) if p not in nonzero_pos[:slot]]
+                    metadata[r, g * KEEP_PER_GROUP + slot] = spare[slot - len(nonzero_pos)]
+        return cls(shape=(rows, cols), values=values, metadata=metadata, zero=zero)
+
+    def decompress(self) -> np.ndarray:
+        """Exact dense reconstruction."""
+        rows, cols = self.shape
+        num_groups = cols // GROUP
+        out = np.full((rows, cols), np.float32(self.zero))
+        for r in range(rows):
+            for g in range(num_groups):
+                for slot in range(KEEP_PER_GROUP):
+                    pos = int(self.metadata[r, g * KEEP_PER_GROUP + slot])
+                    value = self.values[r, g * KEEP_PER_GROUP + slot]
+                    if value != self.zero:
+                        out[r, g * GROUP + pos] = value
+        return out
+
+    def memory_bytes(self, *, value_bytes: int = 2) -> int:
+        """Compressed footprint: half the values + 2-bit metadata each."""
+        num_values = self.values.size
+        metadata_bits = 2 * num_values
+        return num_values * value_bytes + (metadata_bits + 7) // 8

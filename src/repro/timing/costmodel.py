@@ -1,0 +1,192 @@
+"""Per-opcode kernel cost model: CUDA-core backend vs SIMD² units.
+
+This is the quantitative core of the reproduction of Figures 9 and 10.
+For an ``m × n × k`` whole-matrix mmo it models the latency of
+
+- the **CUDA-core backend** (cuASR/CUTLASS-style vectorised semiring
+  kernels): ``m·n·k`` operand pairs, each costing
+  ``instr_per_pair / efficiency`` issue slots,
+- the **SIMD² unit backend**: the same pairs at the units' peak rate,
+  derated by a tile-pipeline utilisation factor that charges the O(n²)
+  fragment movement against the O(n³) compute (this is what makes small
+  matrices slower and saturates speedup past ~4096², as in Figure 9).
+
+The per-opcode CUDA costs encode the paper's own explanations:
+
+- ``mma`` retires one FMA per pair (fused ⊗ and ⊕) — lowest speedup;
+- ``addnorm`` baselines use the norm-expansion trick, which is GEMM-shaped
+  and therefore also FMA-fused;
+- the min/max/plus/mul rings need two dependent instructions per pair and
+  run at cuASR-like efficiency;
+- ``minmax``/``maxmin``/``orand`` additionally suffer the *structural
+  hazard* the paper identifies: min and max (and logical and/or) issue to
+  the same ALU port, halving effective throughput — these ops gain the
+  most from SIMD² (up to ~15.8×).
+
+Efficiencies are calibrated once against the Figure 9 saturation levels
+and reused for every experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa.opcodes import MmoOpcode
+from repro.timing.specs import GpuSpec, RTX3080
+
+__all__ = [
+    "CudaOpCost",
+    "CUDA_OP_COSTS",
+    "KernelTimes",
+    "mmo_kernel_times",
+    "cuda_mmo_time",
+    "simd2_mmo_time",
+    "simd2_utilization",
+    "elementwise_pass_time",
+    "TILE_PIPELINE_KAPPA",
+]
+
+#: Fragment-movement derate: utilisation = mnk / (mnk + κ·(mk + kn + mn)).
+#: κ = 62 places the Fig-9 knee so gmean ≈ 8.7× at 1024² rising to ~10.3×
+#: past 4096² (the paper's reported range).
+TILE_PIPELINE_KAPPA = 62.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CudaOpCost:
+    """Issue cost of one ⊗⊕ pair on the CUDA-core backend."""
+
+    instructions_per_pair: float
+    efficiency: float
+    note: str
+
+    @property
+    def slots_per_pair(self) -> float:
+        """Effective issue slots consumed per operand pair."""
+        return self.instructions_per_pair / self.efficiency
+
+
+#: Calibrated per-opcode CUDA-core costs (see module docstring).
+CUDA_OP_COSTS: dict[MmoOpcode, CudaOpCost] = {
+    MmoOpcode.MMA: CudaOpCost(1, 0.62, "FMA fuses ⊗ and ⊕; CUTLASS-grade GEMM"),
+    MmoOpcode.ADDNORM: CudaOpCost(1, 0.60, "norm-expansion trick is GEMM-shaped"),
+    MmoOpcode.MINPLUS: CudaOpCost(2, 0.30, "two dependent ops; cuASR semiring kernel"),
+    MmoOpcode.MAXPLUS: CudaOpCost(2, 0.30, "two dependent ops; cuASR semiring kernel"),
+    MmoOpcode.MINMUL: CudaOpCost(2, 0.30, "two dependent ops; cuASR semiring kernel"),
+    MmoOpcode.MAXMUL: CudaOpCost(2, 0.30, "two dependent ops; cuASR semiring kernel"),
+    MmoOpcode.MINMAX: CudaOpCost(2, 0.24, "min and max share an ALU port (hazard)"),
+    MmoOpcode.MAXMIN: CudaOpCost(2, 0.24, "min and max share an ALU port (hazard)"),
+    MmoOpcode.ORAND: CudaOpCost(2, 0.24, "and/or share an ALU port (hazard)"),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelTimes:
+    """Modelled latencies of one whole-matrix mmo on both backends."""
+
+    cuda_s: float
+    simd2_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.cuda_s / self.simd2_s
+
+
+def _pairs(m: int, n: int, k: int) -> float:
+    return float(m) * float(n) * float(k)
+
+
+def _mmo_dram_bytes(
+    m: int, n: int, k: int, *, boolean: bool, accumulate: bool = True
+) -> float:
+    """DRAM traffic: stream A and B once, write D; read C only when the
+    kernel accumulates into a real C operand (closures do, one-shot
+    kernels like the KNN distance matrix start from the ⊕ identity)."""
+    in_bytes = 1 if boolean else 2
+    out_bytes = 1 if boolean else 4
+    c_read = m * n * out_bytes if accumulate else 0
+    return (m * k + k * n) * in_bytes + m * n * out_bytes + c_read
+
+
+def simd2_utilization(m: int, n: int, k: int) -> float:
+    """Tile-pipeline utilisation of the SIMD² units for an m×n×k mmo."""
+    pairs = _pairs(m, n, k)
+    movement = float(m) * k + float(k) * n + float(m) * n
+    return pairs / (pairs + TILE_PIPELINE_KAPPA * movement)
+
+
+def cuda_mmo_time(
+    opcode: MmoOpcode,
+    m: int,
+    n: int,
+    k: int,
+    spec: GpuSpec = RTX3080,
+    *,
+    accumulate: bool = True,
+) -> float:
+    """Latency of the mmo on the CUDA-core (cuASR/CUTLASS) backend."""
+    cost = CUDA_OP_COSTS[opcode]
+    boolean = opcode.semiring.is_boolean()
+    compute = _pairs(m, n, k) * cost.slots_per_pair / spec.cuda_instr_rate
+    memory = (
+        _mmo_dram_bytes(m, n, k, boolean=boolean, accumulate=accumulate)
+        / spec.dram_bytes_per_s
+    )
+    return spec.kernel_launch_overhead_s + max(compute, memory)
+
+
+def simd2_mmo_time(
+    opcode: MmoOpcode,
+    m: int,
+    n: int,
+    k: int,
+    spec: GpuSpec = RTX3080,
+    *,
+    sparse_unit: bool = False,
+    accumulate: bool = True,
+) -> float:
+    """Latency of the mmo on SIMD² units.
+
+    ``sparse_unit=True`` models the 2:4 structured-sparse unit of the
+    Figure 13 study, which doubles pair throughput.
+    """
+    boolean = opcode.semiring.is_boolean()
+    rate = spec.simd2_pair_rate * simd2_utilization(m, n, k)
+    if sparse_unit:
+        rate *= spec.sparse_speedup
+    compute = _pairs(m, n, k) / rate
+    memory = (
+        _mmo_dram_bytes(m, n, k, boolean=boolean, accumulate=accumulate)
+        / spec.dram_bytes_per_s
+    )
+    return spec.kernel_launch_overhead_s + max(compute, memory)
+
+
+def mmo_kernel_times(
+    opcode: MmoOpcode,
+    m: int,
+    n: int,
+    k: int,
+    spec: GpuSpec = RTX3080,
+    *,
+    sparse_unit: bool = False,
+) -> KernelTimes:
+    """Both backends' latencies for one mmo (the Fig 9/10 microbenchmark)."""
+    return KernelTimes(
+        cuda_s=cuda_mmo_time(opcode, m, n, k, spec),
+        simd2_s=simd2_mmo_time(opcode, m, n, k, spec, sparse_unit=sparse_unit),
+    )
+
+
+def elementwise_pass_time(
+    elements: float, bytes_per_element: float, spec: GpuSpec = RTX3080
+) -> float:
+    """A bandwidth-bound element-wise CUDA kernel (e.g. convergence check).
+
+    Reads two operands and writes a flag — dominated by streaming the
+    matrices once; modelled as a memory-bound pass plus launch overhead.
+    """
+    return (
+        spec.kernel_launch_overhead_s
+        + elements * bytes_per_element / spec.dram_bytes_per_s
+    )

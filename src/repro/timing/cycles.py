@@ -1,0 +1,107 @@
+"""Cycle accounting: convert emulator statistics into unit cycles.
+
+The functional emulator (:mod:`repro.hw`) reports *what* executed —
+instruction and unit-op counts; this module prices that execution in
+cycles, connecting the two halves of the evaluation framework the way the
+paper's statistics cross-check does:
+
+- every SIMD² arithmetic instruction has the *same* unit occupancy (the
+  paper provisions all nine opcodes at MXU throughput): a 16×16×16 warp
+  mmo decomposes into 64 unit passes, 4 per output subtile step,
+- load/store move fragments through the shared-memory ports at a fixed
+  bytes/cycle, and
+- fills are register-file broadcasts.
+
+:func:`stats_to_cycles` prices an :class:`~repro.hw.warp.ExecutionStats`;
+:func:`kernel_cycle_estimate` prices a whole tiled kernel from its static
+:class:`~repro.runtime.kernels.KernelStats` and agrees exactly with the
+dynamic path (asserted in tests).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hw.warp import ExecutionStats
+from repro.runtime.kernels import KernelStats
+from repro.timing.specs import GpuSpec, RTX3080
+
+__all__ = ["CycleCosts", "CycleBreakdown", "stats_to_cycles", "kernel_cycle_estimate"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CycleCosts:
+    """Per-event cycle prices of one SIMD² unit + its memory ports."""
+
+    #: One 4×4×4 unit pass per cycle (64 ⊗⊕ pairs — the unit's peak rate).
+    cycles_per_unit_op: float = 1.0
+    #: Shared-memory port width for fragment load/store.
+    shared_bytes_per_cycle: float = 128.0
+    #: Register-file broadcast of an immediate.
+    cycles_per_fill: float = 4.0
+    #: Front-end issue of any instruction.
+    issue_cycles: float = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CycleBreakdown:
+    """Cycles attributed per activity."""
+
+    compute: float
+    memory: float
+    fills: float
+    issue: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.memory + self.fills + self.issue
+
+    def seconds(self, spec: GpuSpec = RTX3080) -> float:
+        """Wall time of one unit executing this work serially."""
+        return self.total / (spec.clock_ghz * 1e9)
+
+
+def stats_to_cycles(
+    stats: ExecutionStats, costs: CycleCosts = CycleCosts()
+) -> CycleBreakdown:
+    """Price dynamically observed execution statistics."""
+    compute = stats.unit_ops * costs.cycles_per_unit_op
+    memory = (
+        stats.shared_bytes_read + stats.shared_bytes_written
+    ) / costs.shared_bytes_per_cycle
+    fills = stats.fills * costs.cycles_per_fill
+    issue = stats.instructions * costs.issue_cycles
+    return CycleBreakdown(compute=compute, memory=memory, fills=fills, issue=issue)
+
+
+def kernel_cycle_estimate(
+    stats: KernelStats,
+    *,
+    boolean: bool = False,
+    costs: CycleCosts = CycleCosts(),
+) -> CycleBreakdown:
+    """Price a tiled kernel statically from its tiling statistics.
+
+    Matches :func:`stats_to_cycles` of the dynamic run exactly: the tiled
+    kernel issues ``1 + 2·tiles_k`` loads, ``tiles_k`` mmos and one store
+    per warp program, plus one halt.
+    """
+    fragment = 16 * 16
+    in_bytes = 1 if boolean else 2
+    out_bytes = 1 if boolean else 4
+    loads_bytes = stats.warp_programs * (
+        fragment * out_bytes + 2 * stats.tiles_k * fragment * in_bytes
+    )
+    stores_bytes = stats.store_instructions * fragment * out_bytes
+    instructions = (
+        stats.load_instructions
+        + stats.store_instructions
+        + stats.mmo_instructions
+        + stats.warp_programs  # halts
+    )
+    return CycleBreakdown(
+        compute=stats.unit_ops * costs.cycles_per_unit_op,
+        memory=(loads_bytes + stores_bytes) / costs.shared_bytes_per_cycle,
+        fills=0.0,
+        issue=instructions * costs.issue_cycles,
+    )

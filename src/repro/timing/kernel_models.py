@@ -1,0 +1,361 @@
+"""Per-application latency models — reproduce Figures 11, 12 and 13.
+
+For each of the paper's eight applications this module models three
+implementations at the Table 4 input sizes:
+
+- **baseline** — the state-of-the-art GPU implementation (ECL-APSP,
+  CUDA-FW, CUDA MST/Kruskal, cuBool, KNN-CUDA),
+- **SIMD² on CUDA cores** — the same semiring algorithm executed by the
+  cuASR/CUTLASS backend (no SIMD² units),
+- **SIMD² with SIMD² units** — the same algorithm on the matrix units.
+
+The structural ingredients are principled: iteration counts come from a
+closure-policy model (Leyzorek squaring vs Bellman-Ford relaxation, with
+or without convergence checks) applied to workload diameter estimates;
+closure iterations pay an mmo plus a bandwidth-bound convergence check;
+Floyd–Warshall baselines pay one sequential kernel launch per (blocked)
+pivot; Kruskal is edge-dominated at ``E log E``.  The dimensionless
+*structure-efficiency* constants that derate each baseline (dependency
+stalls, sync overhead, library quality) are calibrated once against the
+paper's Figure 11 and documented inline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+
+from repro.isa.opcodes import MmoOpcode
+from repro.timing.costmodel import (
+    CUDA_OP_COSTS,
+    cuda_mmo_time,
+    elementwise_pass_time,
+    simd2_mmo_time,
+)
+from repro.timing.specs import GpuSpec, RTX3080
+
+__all__ = [
+    "ClosurePolicy",
+    "AppTimes",
+    "APP_SIZES",
+    "APPS",
+    "app_times",
+    "er_diameter",
+    "dag_longest_path",
+    "closure_iterations",
+]
+
+
+class ClosurePolicy(enum.Enum):
+    """Iteration policies of Section 6.4 / Figure 12."""
+
+    LEYZOREK = "leyzorek"  # squaring + convergence check (the default)
+    LEYZOREK_NOCONV = "leyzorek-noconv"  # squaring, worst-case ⌈log₂ n⌉
+    BELLMAN_FORD = "bellman-ford"  # relaxation + convergence check
+    BELLMAN_FORD_NOCONV = "bellman-ford-noconv"  # worst case |V|
+
+
+@dataclasses.dataclass(frozen=True)
+class AppTimes:
+    """Modelled latencies of one application at one input size."""
+
+    app: str
+    size: int
+    baseline_s: float
+    simd2_cuda_s: float
+    simd2_units_s: float
+    iterations: int
+
+    @property
+    def speedup_units(self) -> float:
+        """SIMD² with units vs the SOTA baseline (the Fig 11 bar)."""
+        return self.baseline_s / self.simd2_units_s
+
+    @property
+    def speedup_cuda(self) -> float:
+        """SIMD² algorithm on CUDA cores vs the SOTA baseline."""
+        return self.baseline_s / self.simd2_cuda_s
+
+    @property
+    def unit_gap(self) -> float:
+        """With-units vs without-units gap (paper: 4.79–6.43× for KNN)."""
+        return self.simd2_cuda_s / self.simd2_units_s
+
+
+#: Table 4 input sizes (Small, Medium, Large) per application.
+APP_SIZES: dict[str, tuple[int, int, int]] = {
+    "APSP": (4096, 8192, 16384),
+    "APLP": (4096, 8192, 16384),
+    "MCP": (4096, 8192, 16384),
+    "MAXRP": (4096, 8192, 16384),
+    "MINRP": (4096, 8192, 16384),
+    "MST": (1024, 2048, 4096),
+    "GTC": (1024, 4096, 8192),
+    "KNN": (4096, 8192, 16384),
+}
+
+APPS: tuple[str, ...] = tuple(APP_SIZES)
+
+# ----------------------------------------------------------------------
+# workload structure models
+# ----------------------------------------------------------------------
+
+#: Average vertex degree of the Erdős–Rényi evaluation graphs.
+ER_AVG_DEGREE = 16.0
+#: MST workloads are sparser network graphs.
+MST_AVG_DEGREE = 16.0
+#: Critical-path DAG density: deeper chains in bigger instances — this is
+#: what makes APLP (and MinRP) need more iterations at larger sizes and
+#: reproduces their Figure 11 degradation.
+DAG_EDGE_PROBABILITY = 0.005
+#: KNN point dimensionality and neighbour count.
+KNN_DIMS = 128
+KNN_K = 20
+
+
+def er_diameter(n: int, avg_degree: float = ER_AVG_DEGREE) -> int:
+    """Diameter estimate of an Erdős–Rényi digraph: ln n / ln degree."""
+    if n <= 2:
+        return 1
+    return max(2, math.ceil(math.log(n) / math.log(max(2.0, avg_degree))))
+
+
+def dag_longest_path(n: int, edge_probability: float = DAG_EDGE_PROBABILITY) -> int:
+    """Longest-path estimate of a random DAG: ≈ e·n·p edges."""
+    return max(2, math.ceil(math.e * n * edge_probability))
+
+
+def closure_iterations(policy: ClosurePolicy, diameter: int, n: int) -> int:
+    """mmo iterations a closure needs under the given policy."""
+    diameter = max(1, diameter)
+    if policy is ClosurePolicy.LEYZOREK:
+        return max(1, math.ceil(math.log2(diameter))) + 1  # +1 observes fixpoint
+    if policy is ClosurePolicy.LEYZOREK_NOCONV:
+        return max(1, math.ceil(math.log2(n)))
+    if policy is ClosurePolicy.BELLMAN_FORD:
+        return diameter + 1
+    if policy is ClosurePolicy.BELLMAN_FORD_NOCONV:
+        return n
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+# ----------------------------------------------------------------------
+# baseline structure efficiencies (calibrated against Figure 11)
+# ----------------------------------------------------------------------
+
+#: ECL-APSP: phase-tiled FW — well optimised but serialised over 3·(n/64)
+#: dependent phases.
+ECL_FW_STRUCT_EFF = 0.30
+ECL_FW_TILE = 64
+#: Plain CUDA-FW (MaxCP): n dependent pivots with a global sync each; its
+#: min/max inner loop also rides the shared-ALU-port hazard.
+CUDA_FW_MAXMIN_STRUCT_EFF = 0.14
+#: Plain CUDA-FW with multiply updates (MaxRP/MinRP) — the multiplier is a
+#: separate port, so the baseline is less hazard-bound.
+CUDA_FW_MUL_STRUCT_EFF = 0.42
+#: CUDA MST (Kruskal): time per edge through sort + union-find, largely
+#: serial on a GPU.
+KRUSKAL_SECONDS_PER_EDGE_LOG = 20e-9
+#: cuBool dense boolean closure: effective issue slots per ⊗⊕ pair.
+CUBOOL_SLOTS_PER_PAIR = 35.0
+#: KNN-CUDA custom distance kernel: 3 instructions (sub, mul, add) per
+#: pair at modest occupancy.
+KNN_BASE_INSTR = 3.0
+KNN_BASE_EFF = 0.18
+#: cuASR plus-norm (no expansion trick): 2 dependent instructions.
+KNN_CUASR_INSTR = 2.0
+KNN_CUASR_EFF = 0.45
+
+
+# ----------------------------------------------------------------------
+# building blocks
+# ----------------------------------------------------------------------
+
+
+def _check_time(n: int, spec: GpuSpec) -> float:
+    """Convergence check: stream two fp32 matrices once."""
+    return elementwise_pass_time(float(n) * n, 8.0, spec)
+
+
+def _closure_units_time(
+    opcode: MmoOpcode, n: int, iterations: int, spec: GpuSpec, *, sparse: bool,
+    convergence_checked: bool = True,
+) -> float:
+    per_iter = simd2_mmo_time(opcode, n, n, n, spec, sparse_unit=sparse)
+    if convergence_checked:
+        per_iter += _check_time(n, spec)
+    return iterations * per_iter
+
+
+def _closure_cuda_time(
+    opcode: MmoOpcode, n: int, iterations: int, spec: GpuSpec,
+    convergence_checked: bool = True,
+) -> float:
+    per_iter = cuda_mmo_time(opcode, n, n, n, spec)
+    if convergence_checked:
+        per_iter += _check_time(n, spec)
+    return iterations * per_iter
+
+
+def _fw_baseline_time(
+    opcode: MmoOpcode, n: int, spec: GpuSpec, *, struct_eff: float, launches: int
+) -> float:
+    compute = cuda_mmo_time(opcode, n, n, n, spec) / struct_eff
+    return compute + launches * spec.kernel_launch_overhead_s
+
+
+def _policy_checks(policy: ClosurePolicy) -> bool:
+    return policy in (ClosurePolicy.LEYZOREK, ClosurePolicy.BELLMAN_FORD)
+
+
+# ----------------------------------------------------------------------
+# the eight applications
+# ----------------------------------------------------------------------
+
+
+def _closure_app(
+    app: str,
+    opcode: MmoOpcode,
+    n: int,
+    diameter: int,
+    policy: ClosurePolicy,
+    spec: GpuSpec,
+    baseline_s: float,
+    *,
+    sparse: bool,
+) -> AppTimes:
+    iterations = closure_iterations(policy, diameter, n)
+    checked = _policy_checks(policy)
+    return AppTimes(
+        app=app,
+        size=n,
+        baseline_s=baseline_s,
+        simd2_cuda_s=_closure_cuda_time(
+            opcode, n, iterations, spec, convergence_checked=checked
+        ),
+        simd2_units_s=_closure_units_time(
+            opcode, n, iterations, spec, sparse=sparse, convergence_checked=checked
+        ),
+        iterations=iterations,
+    )
+
+
+def app_times(
+    app: str,
+    size: int,
+    *,
+    policy: ClosurePolicy = ClosurePolicy.LEYZOREK,
+    spec: GpuSpec = RTX3080,
+    sparse_unit: bool = False,
+) -> AppTimes:
+    """Modelled latencies of one application at one input size.
+
+    ``policy`` selects the Figure 12 algorithmic variant; ``sparse_unit``
+    runs the SIMD² mmos on the 2:4 structured-sparse unit (Figure 13).
+    """
+    if app == "APSP":
+        baseline = _fw_baseline_time(
+            MmoOpcode.MINPLUS,
+            size,
+            spec,
+            struct_eff=ECL_FW_STRUCT_EFF,
+            launches=3 * max(1, size // ECL_FW_TILE),
+        )
+        return _closure_app(
+            app, MmoOpcode.MINPLUS, size, er_diameter(size), policy, spec, baseline,
+            sparse=sparse_unit,
+        )
+    if app == "APLP":
+        baseline = _fw_baseline_time(
+            MmoOpcode.MAXPLUS,
+            size,
+            spec,
+            struct_eff=ECL_FW_STRUCT_EFF,
+            launches=3 * max(1, size // ECL_FW_TILE),
+        )
+        return _closure_app(
+            app, MmoOpcode.MAXPLUS, size, dag_longest_path(size), policy, spec,
+            baseline, sparse=sparse_unit,
+        )
+    if app == "MCP":
+        baseline = _fw_baseline_time(
+            MmoOpcode.MAXMIN, size, spec,
+            struct_eff=CUDA_FW_MAXMIN_STRUCT_EFF, launches=size,
+        )
+        return _closure_app(
+            app, MmoOpcode.MAXMIN, size, er_diameter(size), policy, spec, baseline,
+            sparse=sparse_unit,
+        )
+    if app == "MAXRP":
+        baseline = _fw_baseline_time(
+            MmoOpcode.MAXMUL, size, spec,
+            struct_eff=CUDA_FW_MUL_STRUCT_EFF, launches=size,
+        )
+        return _closure_app(
+            app, MmoOpcode.MAXMUL, size, er_diameter(size), policy, spec, baseline,
+            sparse=sparse_unit,
+        )
+    if app == "MINRP":
+        baseline = _fw_baseline_time(
+            MmoOpcode.MINMUL, size, spec,
+            struct_eff=CUDA_FW_MUL_STRUCT_EFF, launches=size,
+        )
+        return _closure_app(
+            app, MmoOpcode.MINMUL, size, dag_longest_path(size), policy, spec,
+            baseline, sparse=sparse_unit,
+        )
+    if app == "MST":
+        edges = MST_AVG_DEGREE / 2.0 * size
+        baseline = (
+            edges * math.log2(max(2.0, edges)) * KRUSKAL_SECONDS_PER_EDGE_LOG
+            + spec.kernel_launch_overhead_s
+        )
+        return _closure_app(
+            app, MmoOpcode.MINMAX, size, er_diameter(size, MST_AVG_DEGREE), policy,
+            spec, baseline, sparse=sparse_unit,
+        )
+    if app == "GTC":
+        pairs = float(size) ** 3
+        baseline = (
+            pairs * CUBOOL_SLOTS_PER_PAIR / spec.cuda_instr_rate
+            + spec.kernel_launch_overhead_s
+        )
+        return _closure_app(
+            app, MmoOpcode.ORAND, size, er_diameter(size), policy, spec, baseline,
+            sparse=sparse_unit,
+        )
+    if app == "KNN":
+        return _knn_times(size, spec, sparse_unit=sparse_unit)
+    raise ValueError(f"unknown application {app!r}; expected one of {APPS}")
+
+
+def _knn_times(n: int, spec: GpuSpec, *, sparse_unit: bool) -> AppTimes:
+    pairs = float(n) * n * KNN_DIMS
+    # Top-k selection streams the fp32 distance matrix once.
+    selection = elementwise_pass_time(float(n) * n, 4.0, spec)
+    baseline = (
+        pairs * KNN_BASE_INSTR / KNN_BASE_EFF / spec.cuda_instr_rate
+        + spec.kernel_launch_overhead_s
+        + selection
+    )
+    simd2_cuda = (
+        pairs * KNN_CUASR_INSTR / KNN_CUASR_EFF / spec.cuda_instr_rate
+        + spec.kernel_launch_overhead_s
+        + selection
+    )
+    simd2_units = (
+        simd2_mmo_time(
+            MmoOpcode.ADDNORM, n, n, KNN_DIMS, spec,
+            sparse_unit=sparse_unit, accumulate=False,
+        )
+        + selection
+    )
+    return AppTimes(
+        app="KNN",
+        size=n,
+        baseline_s=baseline,
+        simd2_cuda_s=simd2_cuda,
+        simd2_units_s=simd2_units,
+        iterations=1,
+    )

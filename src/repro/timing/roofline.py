@@ -1,0 +1,117 @@
+"""Roofline analysis of SIMD² kernels.
+
+Section 2.2 of the paper argues from exactly this model: semiring-like
+algorithms have O(n³) compute over O(n²) data, so their operational
+intensity grows with size and "the number of ALUs can scale much more than
+the on-chip memory bandwidth".  This module makes the argument
+quantitative: per-kernel operational intensity (⊗⊕ pairs per DRAM byte),
+the attainable pair rate under a spec's compute ceiling and bandwidth
+roof, and which resource binds.
+
+Used by tests to verify the cost model's compute/memory crossovers and by
+the ablation bench to show where the SIMD² ceiling actually lifts the
+roof (large mmo) versus where bandwidth hides it (convergence checks,
+thin-k panels).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.isa.opcodes import MmoOpcode
+from repro.timing.costmodel import CUDA_OP_COSTS, _mmo_dram_bytes, _pairs
+from repro.timing.specs import GpuSpec, RTX3080
+
+__all__ = ["Bound", "RooflinePoint", "mmo_roofline", "crossover_intensity"]
+
+
+class Bound(enum.Enum):
+    COMPUTE = "compute"
+    MEMORY = "memory"
+
+
+@dataclasses.dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on one backend's roofline."""
+
+    backend: str  # "cuda" | "simd2"
+    intensity: float  # ⊗⊕ pairs per DRAM byte
+    peak_rate: float  # pairs/s ceiling of the backend
+    bandwidth: float  # bytes/s roof
+    attainable_rate: float  # min(peak, intensity·bandwidth)
+    bound: Bound
+
+    @property
+    def roof_fraction(self) -> float:
+        """Attainable rate as a fraction of the compute ceiling."""
+        return self.attainable_rate / self.peak_rate
+
+
+def _place(backend: str, intensity: float, peak: float, spec: GpuSpec) -> RooflinePoint:
+    bandwidth = spec.dram_bytes_per_s
+    memory_rate = intensity * bandwidth
+    if memory_rate < peak:
+        return RooflinePoint(
+            backend=backend,
+            intensity=intensity,
+            peak_rate=peak,
+            bandwidth=bandwidth,
+            attainable_rate=memory_rate,
+            bound=Bound.MEMORY,
+        )
+    return RooflinePoint(
+        backend=backend,
+        intensity=intensity,
+        peak_rate=peak,
+        bandwidth=bandwidth,
+        attainable_rate=peak,
+        bound=Bound.COMPUTE,
+    )
+
+
+def mmo_roofline(
+    opcode: MmoOpcode,
+    m: int,
+    n: int,
+    k: int,
+    spec: GpuSpec = RTX3080,
+    *,
+    accumulate: bool = True,
+) -> tuple[RooflinePoint, RooflinePoint]:
+    """Place one mmo on the CUDA-core and SIMD²-unit rooflines.
+
+    Returns ``(cuda_point, simd2_point)``.  The CUDA backend's pair-rate
+    ceiling is derated by the opcode's issue cost (FMA fusing, hazards);
+    the SIMD² ceiling is the units' uniform peak.
+    """
+    if m <= 0 or n <= 0 or k <= 0:
+        raise ValueError(f"dimensions must be positive, got {(m, n, k)}")
+    boolean = opcode.semiring.is_boolean()
+    pairs = _pairs(m, n, k)
+    traffic = _mmo_dram_bytes(m, n, k, boolean=boolean, accumulate=accumulate)
+    intensity = pairs / traffic
+    cuda_peak = spec.cuda_instr_rate / CUDA_OP_COSTS[opcode].slots_per_pair
+    simd2_peak = spec.simd2_pair_rate
+    return (
+        _place("cuda", intensity, cuda_peak, spec),
+        _place("simd2", intensity, simd2_peak, spec),
+    )
+
+
+def crossover_intensity(
+    opcode: MmoOpcode, spec: GpuSpec = RTX3080, *, backend: str = "simd2"
+) -> float:
+    """Operational intensity at which the backend leaves the bandwidth roof.
+
+    Kernels below this intensity are memory-bound and gain nothing from a
+    faster matrix unit — the regime the paper's convergence checks and the
+    Fig 10 thin-k panels live in.
+    """
+    if backend == "simd2":
+        peak = spec.simd2_pair_rate
+    elif backend == "cuda":
+        peak = spec.cuda_instr_rate / CUDA_OP_COSTS[opcode].slots_per_pair
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    return peak / spec.dram_bytes_per_s

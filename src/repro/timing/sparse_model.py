@@ -1,0 +1,106 @@
+"""Sparse-vs-dense crossover model — reproduces Figure 14.
+
+The paper compares cuSparse's ``spGemm`` against cuBlas' dense ``gemmEx``
+(both GEMM, plus-mul) across input sparsity and size, finding:
+
+- at 1024², sparse never wins (fixed overheads dominate),
+- at 4096², sparse wins only beyond ~99 % sparsity,
+- at 16384², cuSparse runs out of the 10 GB device memory below ~90 %
+  sparsity, while dense processing handles ≥ 32768² matrices.
+
+The model: dense time is a Tensor-Core GEMM from
+:mod:`repro.timing.costmodel`; sparse time is dominated by the expected
+``n³·d²`` scalar products at a cuSparse-class product throughput (a few
+Gproducts/s on random CSR — orders of magnitude below dense MXU rates,
+because of irregular gather/merge work), plus per-row and setup overheads;
+feasibility comes from :class:`repro.sparse.memory.MemoryModel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa.opcodes import MmoOpcode
+from repro.sparse.memory import MemoryModel
+from repro.timing.costmodel import simd2_mmo_time
+from repro.timing.specs import GpuSpec, RTX3080
+
+__all__ = ["SparseCrossoverModel", "SparseVsDensePoint"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SparseVsDensePoint:
+    """One cell of the Figure 14 sweep."""
+
+    n: int
+    sparsity: float
+    dense_s: float
+    sparse_s: float | None  # None = out of memory
+
+    @property
+    def speedup(self) -> float | None:
+        """spGemm speedup over dense gemmEx (< 1: dense wins; None: OOM)."""
+        if self.sparse_s is None:
+            return None
+        return self.dense_s / self.sparse_s
+
+
+@dataclasses.dataclass(frozen=True)
+class SparseCrossoverModel:
+    """Latency + feasibility model of sparse vs dense GEMM."""
+
+    spec: GpuSpec = RTX3080
+    memory: MemoryModel = dataclasses.field(default_factory=MemoryModel)
+    #: cuSparse-class spGEMM throughput on uniform random CSR operands.
+    products_per_s: float = 3.5e9
+    #: Per-row bookkeeping of the row-wise algorithm.
+    row_overhead_s: float = 1e-7
+    #: Buffer estimation / format setup before the multiply.
+    setup_s: float = 50e-6
+
+    # ------------------------------------------------------------------
+    def dense_time(self, n: int) -> float:
+        """Dense fp16 GEMM on the matrix units (cuBlas gemmEx class)."""
+        return simd2_mmo_time(MmoOpcode.MMA, n, n, n, self.spec)
+
+    def sparse_time(self, n: int, sparsity: float) -> float | None:
+        """cuSparse-class spGEMM latency; ``None`` when it cannot fit."""
+        if not (0.0 <= sparsity <= 1.0):
+            raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+        density = 1.0 - sparsity
+        if not self.memory.spgemm_fits(n, density):
+            return None
+        products = self.memory.expected_products(n, density)
+        traffic = 2 * self.memory.csr_bytes(n, density) / self.spec.dram_bytes_per_s
+        return (
+            self.setup_s
+            + n * self.row_overhead_s
+            + products / self.products_per_s
+            + traffic
+        )
+
+    def point(self, n: int, sparsity: float) -> SparseVsDensePoint:
+        return SparseVsDensePoint(
+            n=n,
+            sparsity=sparsity,
+            dense_s=self.dense_time(n),
+            sparse_s=self.sparse_time(n, sparsity),
+        )
+
+    def crossover_sparsity(self, n: int, *, resolution: float = 1e-4) -> float | None:
+        """Lowest sparsity at which spGEMM beats dense GEMM (None: never).
+
+        Binary-searches the monotone region above 50 % sparsity.
+        """
+        lo, hi = 0.5, 1.0
+        point_hi = self.point(n, hi)
+        if point_hi.speedup is None or point_hi.speedup < 1.0:
+            return None
+        while hi - lo > resolution:
+            mid = (lo + hi) / 2
+            speedup = self.point(n, mid).speedup
+            if speedup is not None and speedup >= 1.0:
+                hi = mid
+            else:
+                lo = mid
+        return hi

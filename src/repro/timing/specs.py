@@ -1,0 +1,95 @@
+"""GPU specifications for the analytic performance model.
+
+The paper measures on an RTX 3080 (Ampere).  Without that hardware, the
+timing model computes kernel latencies from first-order throughput
+parameters: how many scalar instructions the CUDA cores issue per second,
+how many semiring pairs the SIMD² units process per second, DRAM
+bandwidth, and per-kernel launch overhead.  :data:`RTX3080` mirrors the
+testbed; other presets exist for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["GpuSpec", "RTX3080", "RTX2080TI"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GpuSpec:
+    """First-order throughput model of a GPU hosting SIMD² units."""
+
+    name: str
+    sm_count: int
+    clock_ghz: float
+    cuda_cores_per_sm: int
+    simd2_units_per_sm: int
+    #: 4×4×4 unit → 64 ⊗⊕ pairs per cycle; provisioned so one warp-level
+    #: 16×16×16 mmo retires at Tensor-Core-like throughput.
+    unit_pairs_per_cycle: int
+    dram_bandwidth_gbs: float
+    kernel_launch_overhead_s: float = 5e-6
+    #: Structured-sparsity (2:4) throughput multiplier of sparse SIMD²
+    #: units, as on Ampere sparse Tensor Cores.
+    sparse_speedup: float = 2.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "sm_count",
+            "clock_ghz",
+            "cuda_cores_per_sm",
+            "simd2_units_per_sm",
+            "unit_pairs_per_cycle",
+            "dram_bandwidth_gbs",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def cuda_instr_rate(self) -> float:
+        """Peak scalar instructions per second across all CUDA cores."""
+        return self.sm_count * self.cuda_cores_per_sm * self.clock_ghz * 1e9
+
+    @property
+    def simd2_pair_rate(self) -> float:
+        """Peak ⊗⊕ pairs per second across all SIMD² units."""
+        return (
+            self.sm_count
+            * self.simd2_units_per_sm
+            * self.unit_pairs_per_cycle
+            * self.clock_ghz
+            * 1e9
+        )
+
+    @property
+    def dram_bytes_per_s(self) -> float:
+        return self.dram_bandwidth_gbs * 1e9
+
+
+#: The paper's testbed: RTX 3080 — 68 SMs @ 1.71 GHz, 128 FP32 lanes and
+#: 4 matrix units per SM, 760 GB/s GDDR6X.  Each SIMD² unit is the paper's
+#: 4×4×4 design retiring 64 ⊗⊕ pairs per cycle, so the 4 units sustain
+#: 256 pairs/cycle/SM — 2× the per-SM scalar instruction rate, the same
+#: provisioning ("same throughput as the conventional MXUs") the paper uses.
+RTX3080 = GpuSpec(
+    name="RTX 3080",
+    sm_count=68,
+    clock_ghz=1.71,
+    cuda_cores_per_sm=128,
+    simd2_units_per_sm=4,
+    unit_pairs_per_cycle=64,
+    dram_bandwidth_gbs=760.0,
+)
+
+#: Previous-generation reference (the paper notes the 3080 has twice the
+#: CUDA cores of its predecessor).
+RTX2080TI = GpuSpec(
+    name="RTX 2080 Ti",
+    sm_count=68,
+    clock_ghz=1.55,
+    cuda_cores_per_sm=64,
+    simd2_units_per_sm=4,
+    unit_pairs_per_cycle=64,
+    dram_bandwidth_gbs=616.0,
+)

@@ -1,0 +1,101 @@
+"""Area/performance trade-off analysis across unit designs.
+
+The paper justifies the combined SIMD² unit twice over: it beats the
+baseline MXU on *capability* (8 more instruction classes at +69 % unit
+area ≈ +5 % die) and beats dedicated per-op accelerators on *efficiency*
+(the farm needs ~3 units of extra silicon for the same capability).  This
+module quantifies the whole design space by joining the area model with
+the application timing model:
+
+- **mxu-only** — today's hardware: matrix algorithms fall back to the
+  CUDA cores (the "SIMD² w/ CUDA cores" backend),
+- **simd2** — the paper's combined unit,
+- **accelerator-farm** — one standalone PE per instruction (same
+  performance as simd2, much more silicon).
+
+For each design: application speedups, the extra die area it costs, and
+the figure of merit (geomean speedup per mm² of added silicon) that makes
+the paper's choice visible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.hwmodel.components import BASELINE_MMA_AREA_UNITS
+from repro.hwmodel.scaling import RTX3080_CHIP, ChipSpec
+from repro.hwmodel.units import mma_unit_area, simd2_unit_area, standalone_total_area
+from repro.timing.kernel_models import APP_SIZES, APPS, app_times
+from repro.timing.specs import GpuSpec, RTX3080
+
+__all__ = ["DesignPoint", "DESIGNS", "design_point", "design_space"]
+
+DESIGNS = ("mxu-only", "simd2", "accelerator-farm")
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignPoint:
+    """One unit design evaluated chip-wide."""
+
+    design: str
+    extra_area_units: float  # silicon added per unit site, MMA = 1
+    extra_die_mm2: float  # across all SMs, at the chip's node
+    geomean_speedup: float  # over the SOTA baselines, Medium inputs
+
+    @property
+    def speedup_per_mm2(self) -> float:
+        """Geomean speedup gained per mm² of added die area."""
+        if self.extra_die_mm2 == 0.0:
+            return math.inf if self.geomean_speedup > 1 else 0.0
+        return (self.geomean_speedup - 1.0) / self.extra_die_mm2
+
+
+def _geomean(values) -> float:
+    return float(np.exp(np.mean(np.log(list(values)))))
+
+
+def design_point(
+    design: str,
+    *,
+    spec: GpuSpec = RTX3080,
+    chip: ChipSpec = RTX3080_CHIP,
+    size_index: int = 1,
+) -> DesignPoint:
+    """Evaluate one design across the application suite (Medium inputs)."""
+    if design not in DESIGNS:
+        raise ValueError(f"unknown design {design!r}; expected one of {DESIGNS}")
+    times = [app_times(app, APP_SIZES[app][size_index], spec=spec) for app in APPS]
+    if design == "mxu-only":
+        extra_units = 0.0
+        speedups = [t.speedup_cuda for t in times]
+    else:
+        speedups = [t.speedup_units for t in times]
+        if design == "simd2":
+            extra_units = simd2_unit_area(16) - mma_unit_area(16)
+        else:  # accelerator-farm
+            extra_units = standalone_total_area(16)
+    extra_mm2 = (
+        extra_units
+        * BASELINE_MMA_AREA_UNITS
+        * chip.mm2_per_area_unit
+        * chip.sm_count
+    )
+    return DesignPoint(
+        design=design,
+        extra_area_units=extra_units,
+        extra_die_mm2=extra_mm2,
+        geomean_speedup=_geomean(speedups),
+    )
+
+
+def design_space(
+    *, spec: GpuSpec = RTX3080, chip: ChipSpec = RTX3080_CHIP, size_index: int = 1
+) -> list[DesignPoint]:
+    """All three designs, comparable side by side."""
+    return [
+        design_point(design, spec=spec, chip=chip, size_index=size_index)
+        for design in DESIGNS
+    ]

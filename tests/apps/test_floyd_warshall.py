@@ -1,0 +1,111 @@
+"""Tests for the Floyd–Warshall substrate (plain and blocked)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import blocked_floyd_warshall, floyd_warshall
+from repro.core import SemiringError
+from repro.datasets import (
+    GraphSpec,
+    boolean_graph,
+    capacity_graph,
+    distance_graph,
+    reliability_graph,
+)
+
+
+def _scipy_shortest_paths(adj: np.ndarray) -> np.ndarray:
+    from scipy.sparse.csgraph import shortest_path
+
+    dense = np.where(np.isfinite(adj), adj, 0.0)
+    mask = np.isfinite(adj) & (adj > 0)
+    graph = np.where(mask, dense, 0.0)
+    return shortest_path(graph, method="FW", directed=True)
+
+
+class TestPlainFw:
+    def test_min_plus_matches_scipy(self):
+        adj = distance_graph(GraphSpec(30, 0.15, seed=2))
+        got, stats = floyd_warshall("min-plus", adj)
+        expected = _scipy_shortest_paths(adj)
+        np.testing.assert_allclose(got, expected.astype(np.float32), rtol=1e-6)
+        assert stats.sequential_steps == 30
+
+    def test_max_min_capacity_triangle(self):
+        #     0 —10— 1 —7— 2   and a direct 0 —3— 2 edge
+        adj = np.array(
+            [
+                [np.inf, 10.0, 3.0],
+                [10.0, np.inf, 7.0],
+                [3.0, 7.0, np.inf],
+            ]
+        )
+        encoded = np.where(np.isfinite(adj), adj, -np.inf)
+        np.fill_diagonal(encoded, np.inf)
+        got, _ = floyd_warshall("max-min", encoded)
+        assert got[0, 2] == 7.0  # through vertex 1 beats the direct capacity 3
+
+    def test_max_mul_no_ieee_poisoning(self):
+        # Two isolated vertices (reliability 0 everywhere off-diagonal):
+        # (-inf)·(-inf)-style poisoning must not occur with 0 encoding.
+        adj = np.array([[1.0, 0.0], [0.0, 1.0]])
+        got, _ = floyd_warshall("max-mul", adj)
+        np.testing.assert_array_equal(got, adj.astype(np.float32))
+
+    def test_or_and_closure(self):
+        adj = boolean_graph(GraphSpec(12, 0.15, seed=4))
+        got, _ = floyd_warshall("or-and", adj)
+        # oracle: repeated boolean matrix powers
+        reach = adj.copy()
+        for _ in range(12):
+            reach = reach | (reach.astype(int) @ reach.astype(int) > 0)
+        np.testing.assert_array_equal(got, reach)
+
+    def test_plus_mul_rejected(self):
+        with pytest.raises(SemiringError, match="idempotent"):
+            floyd_warshall("plus-mul", np.zeros((2, 2)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(SemiringError, match="square"):
+            floyd_warshall("min-plus", np.zeros((2, 3)))
+
+
+class TestBlockedFw:
+    @pytest.mark.parametrize("n,block", [(32, 16), (30, 16), (16, 16), (20, 8)])
+    def test_matches_plain_fw(self, n, block):
+        adj = distance_graph(GraphSpec(n, 0.2, seed=n))
+        plain, _ = floyd_warshall("min-plus", adj)
+        blocked, stats = blocked_floyd_warshall("min-plus", adj, block=block)
+        np.testing.assert_array_equal(blocked, plain)
+        assert stats.block == block
+
+    def test_max_plus_on_dag(self):
+        from repro.datasets import dag_distance_graph
+
+        adj = dag_distance_graph(GraphSpec(24, 0.3, seed=9))
+        plain, _ = floyd_warshall("max-plus", adj)
+        blocked, _ = blocked_floyd_warshall("max-plus", adj, block=16)
+        np.testing.assert_array_equal(blocked, plain)
+
+    def test_capacity_ring(self):
+        adj = capacity_graph(GraphSpec(20, 0.25, seed=5), maximize=True)
+        plain, _ = floyd_warshall("max-min", adj)
+        blocked, _ = blocked_floyd_warshall("max-min", adj, block=16)
+        np.testing.assert_array_equal(blocked, plain)
+
+    def test_reliability_ring(self):
+        adj = reliability_graph(GraphSpec(20, 0.25, seed=6), maximize=True)
+        plain, _ = floyd_warshall("max-mul", adj)
+        blocked, _ = blocked_floyd_warshall("max-mul", adj, block=16)
+        np.testing.assert_array_equal(blocked, plain)
+
+    def test_sequential_phase_count(self):
+        adj = distance_graph(GraphSpec(32, 0.2, seed=1))
+        _, stats = blocked_floyd_warshall("min-plus", adj, block=16)
+        assert stats.sequential_steps == 3 * 2  # two block-diagonal steps
+
+    def test_bad_block_rejected(self):
+        with pytest.raises(SemiringError, match="block"):
+            blocked_floyd_warshall("min-plus", np.zeros((4, 4)), block=0)

@@ -1,0 +1,81 @@
+"""Tests for the K-means application (add-norm extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import kmeans_baseline, kmeans_simd2
+from repro.datasets import PointCloudSpec, gaussian_clusters
+
+
+@pytest.fixture(scope="module")
+def clustered_points():
+    spec = PointCloudSpec(num_points=120, dimensions=8, num_clusters=3, seed=21)
+    return gaussian_clusters(spec)
+
+
+class TestAgreement:
+    def test_simd2_matches_baseline(self, clustered_points):
+        points, _ = clustered_points
+        base = kmeans_baseline(points, 3, seed=1)
+        simd = kmeans_simd2(points, 3, seed=1)
+        np.testing.assert_array_equal(simd.assignments, base.assignments)
+        np.testing.assert_allclose(simd.centroids, base.centroids)
+        assert simd.iterations == base.iterations
+        assert simd.converged == base.converged
+
+    def test_emulate_backend_small(self):
+        points, _ = gaussian_clusters(
+            PointCloudSpec(num_points=40, dimensions=6, num_clusters=2, seed=3)
+        )
+        base = kmeans_baseline(points, 2, seed=0, max_iterations=8)
+        simd = kmeans_simd2(points, 2, seed=0, max_iterations=8, backend="emulate")
+        np.testing.assert_array_equal(simd.assignments, base.assignments)
+
+
+class TestQuality:
+    def test_recovers_well_separated_clusters(self, clustered_points):
+        points, labels = clustered_points
+        result = kmeans_simd2(points, 3, seed=4)
+        # Cluster ids are arbitrary: check that each found cluster is
+        # dominated by one true label (>80% purity overall).
+        purity = 0
+        for cluster in range(3):
+            members = labels[result.assignments == cluster]
+            if len(members):
+                purity += np.bincount(members).max()
+        assert purity / len(points) > 0.8
+
+    def test_inertia_decreases_with_more_clusters(self, clustered_points):
+        points, _ = clustered_points
+        inertia = [kmeans_simd2(points, k, seed=2).inertia for k in (1, 2, 3)]
+        assert inertia[0] > inertia[1] > inertia[2]
+
+    def test_convergence_flag(self, clustered_points):
+        points, _ = clustered_points
+        result = kmeans_simd2(points, 3, seed=5, max_iterations=50)
+        assert result.converged
+        capped = kmeans_simd2(points, 3, seed=5, max_iterations=1)
+        assert not capped.converged
+        assert capped.iterations == 1
+
+
+class TestValidation:
+    def test_k_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            kmeans_simd2(np.zeros((4, 2)), 5)
+
+    def test_non_2d_points(self):
+        with pytest.raises(ValueError, match="2-D"):
+            kmeans_baseline(np.zeros(4), 1)
+
+    def test_bad_max_iterations(self):
+        with pytest.raises(ValueError, match="positive"):
+            kmeans_simd2(np.zeros((4, 2)), 2, max_iterations=0)
+
+    def test_k_equals_n_zero_inertia(self):
+        points = np.arange(12, dtype=float).reshape(4, 3)
+        result = kmeans_simd2(points, 4, seed=0)
+        assert result.inertia == 0.0
+        assert len(set(result.assignments.tolist())) == 4

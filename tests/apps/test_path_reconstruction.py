@@ -1,0 +1,96 @@
+"""Tests for shortest-path reconstruction from closures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import apsp_baseline
+from repro.apps.path_reconstruction import extract_path, shortest_paths_with_successors
+from repro.datasets import GraphSpec, distance_graph, grid_distance_graph
+
+
+def _path_length(adjacency: np.ndarray, path: list[int]) -> float:
+    return float(sum(adjacency[u, v] for u, v in zip(path, path[1:])))
+
+
+class TestDistances:
+    def test_distances_match_apsp(self):
+        adj = distance_graph(GraphSpec(30, 0.15, seed=44))
+        routed = shortest_paths_with_successors(adj)
+        np.testing.assert_array_equal(routed.distances, apsp_baseline(adj).distances)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            shortest_paths_with_successors(np.zeros((2, 3)))
+        bad = np.zeros((3, 3))
+        bad[0, 0] = 1.0
+        with pytest.raises(ValueError, match="zero diagonal"):
+            shortest_paths_with_successors(bad)
+
+
+class TestPaths:
+    def test_every_reachable_pair_yields_a_valid_optimal_path(self):
+        adj = distance_graph(GraphSpec(24, 0.15, seed=45))
+        routed = shortest_paths_with_successors(adj)
+        n = adj.shape[0]
+        checked = 0
+        for i in range(n):
+            for j in range(n):
+                if i == j or not np.isfinite(routed.distances[i, j]):
+                    continue
+                path = extract_path(routed, i, j)
+                assert path is not None
+                assert path[0] == i and path[-1] == j
+                # every hop is a real edge, and the total length is optimal
+                for u, v in zip(path, path[1:]):
+                    assert np.isfinite(adj[u, v])
+                assert _path_length(adj, path) == pytest.approx(
+                    float(routed.distances[i, j])
+                )
+                checked += 1
+        assert checked > 50  # the graph is well connected
+
+    def test_grid_paths_have_manhattan_length(self):
+        adj = grid_distance_graph(4, 4)
+        routed = shortest_paths_with_successors(adj)
+        path = extract_path(routed, 0, 15)  # corner to corner
+        assert path is not None
+        assert len(path) == 7  # 6 unit moves
+        assert _path_length(adj, path) == 6.0
+
+    def test_unreachable_returns_none(self):
+        adj = np.full((3, 3), np.inf)
+        np.fill_diagonal(adj, 0.0)
+        adj[0, 1] = 1.0
+        routed = shortest_paths_with_successors(adj)
+        assert extract_path(routed, 1, 0) is None
+        assert extract_path(routed, 0, 2) is None
+
+    def test_self_path(self):
+        adj = distance_graph(GraphSpec(6, 0.4, seed=1))
+        routed = shortest_paths_with_successors(adj)
+        assert extract_path(routed, 3, 3) == [3]
+
+    def test_endpoint_validation(self):
+        adj = distance_graph(GraphSpec(6, 0.4, seed=1))
+        routed = shortest_paths_with_successors(adj)
+        with pytest.raises(ValueError, match="out of range"):
+            extract_path(routed, 0, 9)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_random_graphs_paths_are_consistent(self, seed):
+        adj = distance_graph(GraphSpec(14, 0.25, seed=seed))
+        routed = shortest_paths_with_successors(adj)
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            i, j = rng.integers(0, 14, 2)
+            path = extract_path(routed, int(i), int(j))
+            if path is None:
+                assert i != j and not np.isfinite(routed.distances[i, j])
+            else:
+                assert _path_length(adj, path) == pytest.approx(
+                    float(routed.distances[i, j])
+                )

@@ -1,0 +1,86 @@
+"""Tests for strongly connected components via or-and closures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.scc import scc_baseline, scc_simd2
+from repro.datasets import GraphSpec, boolean_graph
+
+
+class TestAgainstEachOther:
+    def test_random_graph(self):
+        adj = boolean_graph(GraphSpec(40, 0.08, seed=50), reflexive=False)
+        base = scc_baseline(adj)
+        simd = scc_simd2(adj)
+        np.testing.assert_array_equal(simd.labels, base.labels)
+        assert simd.num_components == base.num_components
+
+    def test_networkx_cross_check(self):
+        import networkx as nx
+
+        adj = boolean_graph(GraphSpec(24, 0.1, seed=51), reflexive=False)
+        graph = nx.from_numpy_array(adj, create_using=nx.DiGraph)
+        expected = {frozenset(c) for c in nx.strongly_connected_components(graph)}
+        simd = scc_simd2(adj)
+        got = {
+            frozenset(np.flatnonzero(simd.labels == label).tolist())
+            for label in np.unique(simd.labels)
+        }
+        assert got == expected
+
+    @given(st.integers(2, 20), st.floats(0.0, 0.4), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_agreement(self, n, density, seed):
+        rng = np.random.default_rng(seed)
+        adj = rng.random((n, n)) < density
+        np.fill_diagonal(adj, False)
+        base = scc_baseline(adj)
+        simd = scc_simd2(adj)
+        np.testing.assert_array_equal(simd.labels, base.labels)
+
+
+class TestKnownStructures:
+    def test_single_cycle_is_one_component(self):
+        n = 6
+        adj = np.zeros((n, n), dtype=bool)
+        for i in range(n):
+            adj[i, (i + 1) % n] = True
+        result = scc_simd2(adj)
+        assert result.num_components == 1
+        np.testing.assert_array_equal(result.labels, np.zeros(n, dtype=np.int64))
+
+    def test_dag_is_all_singletons(self):
+        adj = np.triu(np.ones((5, 5), dtype=bool), k=1)
+        result = scc_simd2(adj)
+        assert result.num_components == 5
+        np.testing.assert_array_equal(result.labels, np.arange(5))
+
+    def test_two_cycles_with_bridge(self):
+        # 0↔1 and 2↔3, with a one-way bridge 1→2.
+        adj = np.zeros((4, 4), dtype=bool)
+        adj[0, 1] = adj[1, 0] = True
+        adj[2, 3] = adj[3, 2] = True
+        adj[1, 2] = True
+        result = scc_simd2(adj)
+        assert result.num_components == 2
+        np.testing.assert_array_equal(result.labels, [0, 0, 2, 2])
+
+    def test_labels_are_canonical_smallest_member(self):
+        adj = boolean_graph(GraphSpec(15, 0.2, seed=52), reflexive=False)
+        result = scc_simd2(adj)
+        for label in np.unique(result.labels):
+            members = np.flatnonzero(result.labels == label)
+            assert members.min() == label
+
+
+class TestValidation:
+    def test_non_boolean_rejected(self):
+        with pytest.raises(ValueError, match="boolean"):
+            scc_simd2(np.zeros((3, 3)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            scc_baseline(np.zeros((2, 3), dtype=bool))

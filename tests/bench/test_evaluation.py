@@ -1,0 +1,49 @@
+"""Tests for the Figure-8 evaluation driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.evaluation import (
+    EVALUATION_SUITE,
+    evaluate_all,
+    evaluate_application,
+)
+from repro.timing import APPS
+
+
+class TestSuite:
+    def test_covers_all_eight_applications(self):
+        assert set(EVALUATION_SUITE) == set(APPS)
+
+    @pytest.mark.parametrize("app", sorted(EVALUATION_SUITE))
+    def test_each_application_validates(self, app):
+        evaluation = evaluate_application(app)
+        assert evaluation.validated, f"{app}: SIMD² output diverged from baseline"
+        assert evaluation.emulation_consistent, (
+            f"{app}: emulator output diverged from the vectorised backend"
+        )
+
+    def test_exact_apps_have_zero_error(self):
+        for app in ("APSP", "GTC", "MST", "KNN"):
+            assert evaluate_application(app).max_relative_error == 0.0
+
+    def test_mul_rings_within_fp16_tolerance(self):
+        for app in ("MAXRP", "MINRP"):
+            evaluation = evaluate_application(app)
+            assert 0.0 < evaluation.max_relative_error <= 1e-2
+
+    def test_speedups_attached(self):
+        evaluation = evaluate_application("MCP")
+        assert len(evaluation.modelled_speedups) == 3
+        assert all(s > 30 for s in evaluation.modelled_speedups)
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            evaluate_application("SORT")
+
+    def test_evaluate_all_rows(self):
+        rows = [evaluation.as_row() for evaluation in evaluate_all()]
+        assert len(rows) == 8
+        assert all(row["validated"] for row in rows)
+        assert {"app", "speedup_S", "speedup_M", "speedup_L"} <= set(rows[0])

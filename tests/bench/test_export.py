@@ -1,0 +1,52 @@
+"""Tests for CSV export of experiment data."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.bench.export import export_all, export_experiment, rows_to_csv
+
+
+class TestRowsToCsv:
+    def test_basic(self):
+        text = rows_to_csv([{"a": 1, "b": 2.5}, {"a": 3, "b": None}])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert lines[2] == "3,OOM"
+
+    def test_union_of_columns(self):
+        text = rows_to_csv([{"a": 1}, {"b": 2}])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,"
+        assert lines[2] == ",2"
+
+    def test_empty(self):
+        assert rows_to_csv([]) == "\n"
+
+
+class TestExport:
+    def test_export_fig9(self, tmp_path):
+        path = export_experiment("fig9", tmp_path)
+        assert path.name == "fig9.csv"
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 5  # five sizes
+        assert "gmean" in rows[0]
+        assert float(rows[-1]["gmean"]) > 9.0
+
+    def test_export_fig14_contains_oom(self, tmp_path):
+        path = export_experiment("fig14", tmp_path)
+        assert "OOM" in path.read_text()
+
+    def test_unknown_experiment(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            export_experiment("fig99", tmp_path)
+
+    def test_export_all(self, tmp_path):
+        paths = export_all(tmp_path)
+        assert len(paths) == 8
+        assert all(path.exists() and path.stat().st_size > 0 for path in paths)

@@ -1,0 +1,114 @@
+"""Tests for the experiment harness and table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    EXPERIMENTS,
+    fig9_micro_square_rows,
+    fig11_application_rows,
+    fig13_sparse_unit_rows,
+    fig14_sparse_crossover_rows,
+    format_value,
+    render_table,
+    run_experiment,
+    table5_area_rows,
+)
+from repro.timing import APPS
+
+
+class TestRegistry:
+    def test_every_paper_experiment_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table5",
+            "validate",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+        }
+
+    @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+    def test_all_experiments_render(self, name):
+        text = run_experiment(name)
+        assert EXPERIMENTS[name][0].split(":")[0] in text
+        assert len(text.splitlines()) > 4
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_cli_main(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["table5"]) == 0
+        assert "Table 5" in capsys.readouterr().out
+        assert main(["bogus"]) == 2
+
+
+class TestRowStructure:
+    def test_table5_covers_all_subtables(self):
+        configs = [row["config"] for row in table5_area_rows()]
+        assert "MMA + all SIMD2 insts" in configs
+        assert "standalone total (8 PEs)" in configs
+        assert "SIMD2 (64-bit)" in configs
+        assert "die overhead fraction" in configs
+
+    def test_fig9_covers_all_opcodes_and_sizes(self):
+        rows = fig9_micro_square_rows()
+        assert [row["size"] for row in rows] == [1024, 2048, 4096, 8192, 16384]
+        assert {"mma", "minplus", "orand", "addnorm", "gmean"} <= set(rows[0])
+
+    def test_fig11_covers_all_apps_and_sizes(self):
+        rows = fig11_application_rows()
+        apps = {row["app"] for row in rows}
+        assert apps == set(APPS) | {"GMEAN"}
+        app_rows = [row for row in rows if row["app"] != "GMEAN"]
+        assert len(app_rows) == len(APPS) * 3
+
+    def test_fig13_gain_bounded_by_sparse_throughput(self):
+        gains = [
+            row["gain_over_dense"]
+            for row in fig13_sparse_unit_rows()
+            if "gain_over_dense" in row
+        ]
+        assert all(1.0 <= g <= 2.0 + 1e-6 for g in gains)
+
+    def test_fig14_contains_oom_cells(self):
+        rows = fig14_sparse_crossover_rows()
+        large = next(row for row in rows if row["size"] == 16384)
+        assert large["s=0.5"] is None
+
+
+class TestRendering:
+    def test_format_value(self):
+        assert format_value(None) == "OOM"
+        assert format_value(True) == "yes"
+        assert format_value(1.5) == "1.5"
+        assert format_value(12345.6) == "1.23e+04"
+        assert format_value("text") == "text"
+        assert format_value(0.0) == "0"
+
+    def test_render_alignment(self):
+        rows = [{"a": 1, "bb": 2.5}, {"a": 100, "bb": None}]
+        text = render_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) <= 2  # aligned columns
+        assert "OOM" in text
+
+    def test_missing_keys_render_blank(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = render_table(rows)
+        assert text.splitlines()[-1].rstrip() == "3"
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([], title="X")
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]

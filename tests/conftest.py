@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SEMIRINGS, Semiring
+
+
+def make_ring_inputs(
+    ring: Semiring,
+    m: int,
+    k: int,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    with_c: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Random inputs exactly representable in the ring's input format.
+
+    Small-integer values keep fp32 accumulation exact, so backends can be
+    compared bit-for-bit regardless of reduction order.
+    """
+    if ring.is_boolean():
+        a = rng.random((m, k)) < 0.4
+        b = rng.random((k, n)) < 0.4
+        c = (rng.random((m, n)) < 0.2) if with_c else None
+        return a, b, c
+    a = rng.integers(-8, 9, size=(m, k)).astype(np.float64)
+    b = rng.integers(-8, 9, size=(k, n)).astype(np.float64)
+    c = rng.integers(-8, 9, size=(m, n)).astype(np.float64) if with_c else None
+    return a, b, c
+
+
+@pytest.fixture(params=sorted(SEMIRINGS))
+def ring(request) -> Semiring:
+    """Parametrised fixture running a test across all nine semirings."""
+    return SEMIRINGS[request.param]
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0x51D2)

@@ -1,0 +1,92 @@
+"""Direct tests for the precision helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SEMIRINGS
+from repro.core.precision import (
+    HALF_MAX,
+    quantize_input,
+    quantize_output,
+    representable_input,
+)
+
+
+class TestQuantizeInput:
+    def test_fp16_rounds(self):
+        ring = SEMIRINGS["min-plus"]
+        got = quantize_input(np.array([1.0 / 3.0]), ring)
+        assert got.dtype == np.float16
+        assert got[0] == np.float16(1.0 / 3.0)
+
+    def test_infinities_survive_fp16(self):
+        ring = SEMIRINGS["min-plus"]
+        got = quantize_input(np.array([np.inf, -np.inf]), ring)
+        assert np.isposinf(got[0]) and np.isneginf(got[1])
+
+    def test_fp16_overflow_to_inf(self):
+        ring = SEMIRINGS["min-plus"]
+        got = quantize_input(np.array([HALF_MAX * 4]), ring)
+        assert np.isposinf(got[0])
+
+    def test_boolean_ring(self):
+        ring = SEMIRINGS["or-and"]
+        got = quantize_input(np.array([0.0, 2.0, -1.0]), ring)
+        np.testing.assert_array_equal(got, [False, True, True])
+
+    def test_integer_ring_saturates(self):
+        from repro.core import int8_variant
+
+        ring = int8_variant("plus-mul")
+        got = quantize_input(np.array([300.0, -300.0, 2.6, np.nan]), ring)
+        np.testing.assert_array_equal(got, np.array([127, -128, 3, 0], np.int8))
+
+
+class TestQuantizeOutput:
+    def test_fp32(self):
+        ring = SEMIRINGS["min-plus"]
+        got = quantize_output(np.array([1.0], dtype=np.float64), ring)
+        assert got.dtype == np.float32
+
+
+class TestRepresentable:
+    def test_grid_values_representable(self):
+        ring = SEMIRINGS["min-plus"]
+        assert representable_input(np.array([0.125, 3.0, np.inf]), ring)
+
+    def test_non_grid_values_not_representable(self):
+        ring = SEMIRINGS["min-plus"]
+        assert not representable_input(np.array([1.0 / 3.0]), ring)
+
+
+class TestSelectKSmallest:
+    def test_sorted_with_index_tiebreak(self):
+        from repro.apps import select_k_smallest
+
+        distances = np.array([[3.0, 1.0, 1.0, 0.5]])
+        indices, values = select_k_smallest(distances, 3)
+        np.testing.assert_array_equal(indices, [[3, 1, 2]])
+        np.testing.assert_array_equal(values, [[0.5, 1.0, 1.0]])
+
+
+class TestMinimaxMatrix:
+    def test_direct_call(self):
+        from repro.apps import minimax_matrix
+
+        weights = np.full((3, 3), np.inf)
+        np.fill_diagonal(weights, 0.0)
+        weights[0, 1] = weights[1, 0] = 5.0
+        weights[1, 2] = weights[2, 1] = 2.0
+        result = minimax_matrix(weights)
+        assert result.matrix[0, 2] == 5.0  # bottleneck of the only path
+        assert result.converged
+
+
+class TestScaledArea:
+    def test_direct_call(self):
+        from repro.hwmodel import scaled_area
+
+        assert scaled_area("mul_fused", 16) == pytest.approx(64 * 0.0125)
+        assert scaled_area("fabric", 16) == pytest.approx(0.072)

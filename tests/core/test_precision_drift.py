@@ -1,0 +1,120 @@
+"""Quantifying the fp16 datapath's accuracy — the paper's §3.2 rationale.
+
+The paper fixes fp16 inputs / fp32 accumulation and notes that for many
+algorithms a *fixed-precision* (integer) format "cannot converge to the
+same result as baseline fp32 implementations".  These tests quantify the
+behaviour of this reproduction's datapath:
+
+- which rings are exact on which input families,
+- how much the mul rings drift per closure iteration,
+- why an int8-quantised datapath would be worse (the paper's argument for
+  not shipping int8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SEMIRINGS, mmo
+from repro.datasets import GraphSpec, distance_graph, reliability_graph
+from repro.runtime import closure
+
+
+def _fp64_closure(oplus, otimes, adjacency, iterations):
+    """Reference closure in float64 (no fp16 quantisation anywhere)."""
+    current = np.asarray(adjacency, dtype=np.float64)
+    for _ in range(iterations):
+        with np.errstate(invalid="ignore"):
+            products = otimes(current[:, :, None], current[None, :, :])
+        reduced = oplus.reduce(products, axis=1)
+        current = oplus(current, reduced)
+    return current
+
+
+class TestExactRings:
+    """min/max/plus rings on grid-valued inputs are drift-free."""
+
+    def test_min_plus_closure_is_exact(self):
+        adj = distance_graph(GraphSpec(24, 0.2, seed=1))
+        simd2 = closure("min-plus", adj).matrix
+        reference = _fp64_closure(np.minimum, np.add, adj, 6)
+        np.testing.assert_array_equal(simd2, reference.astype(np.float32))
+
+    def test_capacity_rings_are_exact(self):
+        # min/max never create new values, so fp16-exact inputs stay exact.
+        rng = np.random.default_rng(2)
+        a = rng.integers(1, 9, (12, 12)).astype(float)
+        for ring_name in ("min-max", "max-min"):
+            got = mmo(ring_name, a, a)
+            assert set(np.unique(got)) <= set(np.unique(a.astype(np.float32)))
+
+    def test_plus_rings_exact_within_fp16_sum_budget(self):
+        # Sums of 1/8-grid values stay exact while |sum| < 2^11 / 8.
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 17, (10, 10)) / 8.0
+        got = mmo("min-plus", a, a)
+        reference = np.min(
+            a[:, :, None].astype(np.float64) + a[None, :, :], axis=1
+        )
+        np.testing.assert_array_equal(got, reference.astype(np.float32))
+
+
+class TestMulRingDrift:
+    def test_single_mmo_drift_is_fp16_bounded(self):
+        adj = reliability_graph(GraphSpec(30, 0.2, seed=4), maximize=True)
+        simd2 = mmo("max-mul", adj, adj, adj)
+        with np.errstate(invalid="ignore"):
+            products = adj[:, :, None] * adj[None, :, :]
+        reference = np.maximum(adj, products.max(axis=1))
+        rel = np.abs(simd2 - reference) / np.maximum(np.abs(reference), 1e-12)
+        # One fp16 rounding per operand: relative error ≤ ~2·2^-11.
+        assert rel.max() <= 2 * 2.0**-11 + 1e-7
+
+    def test_closure_drift_grows_with_iterations(self):
+        adj = reliability_graph(GraphSpec(30, 0.12, seed=5), maximize=True)
+        drifts = []
+        for iterations in (1, 2, 3):
+            simd2 = closure(
+                "max-mul", adj, convergence_check=False, max_iterations=iterations
+            ).matrix
+            reference = _fp64_closure(np.maximum, np.multiply, adj, iterations)
+            rel = np.abs(simd2 - reference) / np.maximum(np.abs(reference), 1e-12)
+            drifts.append(rel.max())
+        assert drifts[0] <= drifts[-1] + 1e-9
+        assert drifts[-1] < 0.01  # still well inside validation tolerance
+
+    def test_power_of_two_weights_do_not_drift(self):
+        rng = np.random.default_rng(6)
+        n = 20
+        mask = rng.random((n, n)) < 0.2
+        np.fill_diagonal(mask, False)
+        adj = np.where(mask, rng.choice([0.5, 0.25, 0.125], (n, n)), 0.0)
+        np.fill_diagonal(adj, 1.0)
+        simd2 = closure("max-mul", adj, convergence_check=False, max_iterations=3).matrix
+        reference = _fp64_closure(np.maximum, np.multiply, adj, 3)
+        np.testing.assert_array_equal(simd2, reference.astype(np.float32))
+
+
+class TestWhyNotInt8:
+    """The paper's argument: int8 cannot even represent the workloads."""
+
+    def test_int8_quantisation_breaks_shortest_paths(self):
+        adj = distance_graph(GraphSpec(24, 0.25, seed=7))
+        # Simulate an int8 datapath: round weights to integers, saturate
+        # at 127, and use 127 as the "infinity" stand-in.
+        int8 = np.where(np.isfinite(adj), np.clip(np.round(adj), -128, 127), 127.0)
+        exact = closure("min-plus", adj).matrix
+        quantised = closure("min-plus", int8).matrix
+        finite = np.isfinite(exact)
+        mismatches = np.sum(exact[finite] != quantised[finite])
+        assert mismatches > 0  # the fractional weights are unrepresentable
+
+    def test_fp16_input_path_preserves_these_workloads(self):
+        adj = distance_graph(GraphSpec(24, 0.25, seed=7))
+        exact = closure("min-plus", adj).matrix
+        # fp16 quantisation of the same inputs is lossless by construction.
+        np.testing.assert_array_equal(
+            closure("min-plus", adj.astype(np.float16).astype(np.float64)).matrix,
+            exact,
+        )

@@ -1,0 +1,89 @@
+"""Tests for the int8 quantized-ring variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SEMIRINGS, SemiringError, mmo
+from repro.core.quantized import (
+    INT32_BIG,
+    INT8_MAX,
+    INT8_MIN,
+    int8_variant,
+    quantize_saturating,
+)
+
+
+class TestQuantization:
+    def test_round_and_saturate(self):
+        values = np.array([1.4, 1.6, -200.0, 200.0, np.inf, -np.inf, np.nan])
+        got = quantize_saturating(values)
+        np.testing.assert_array_equal(
+            got, np.array([1, 2, INT8_MIN, INT8_MAX, INT8_MAX, INT8_MIN, 0], np.int8)
+        )
+
+    def test_int8_range_preserved(self):
+        exact = np.arange(INT8_MIN, INT8_MAX + 1, dtype=np.float64)
+        np.testing.assert_array_equal(quantize_saturating(exact), exact.astype(np.int8))
+
+
+class TestVariantConstruction:
+    @pytest.mark.parametrize(
+        "name", [n for n in sorted(SEMIRINGS) if n != "or-and"]
+    )
+    def test_every_numeric_ring_has_a_variant(self, name):
+        variant = int8_variant(name)
+        assert variant.name == f"{name}-int8"
+        assert variant.input_dtype == np.dtype(np.int8)
+        assert variant.output_dtype == np.dtype(np.int32)
+        # The Semiring constructor itself validated the k-padding pair.
+
+    def test_boolean_rejected(self):
+        with pytest.raises(SemiringError, match="1-bit"):
+            int8_variant("or-and")
+
+    def test_identities_are_finite_stand_ins(self):
+        assert int8_variant("min-plus").oplus_identity == INT32_BIG
+        assert int8_variant("max-plus").oplus_identity == -INT32_BIG
+        assert int8_variant("plus-mul").oplus_identity == 0
+
+
+class TestInt8Arithmetic:
+    def test_small_integer_gemm_is_exact(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(-5, 6, (12, 10)).astype(float)
+        b = rng.integers(-5, 6, (10, 9)).astype(float)
+        got = mmo(int8_variant("plus-mul"), a, b)
+        assert got.dtype == np.int32
+        np.testing.assert_array_equal(got, (a @ b).astype(np.int32))
+
+    def test_int8_minplus_matches_fp16_on_integer_graphs(self):
+        # With integer weights and BIG as "no edge", one relaxation agrees.
+        rng = np.random.default_rng(1)
+        adj = np.where(rng.random((10, 10)) < 0.4, rng.integers(1, 9, (10, 10)), np.inf).astype(float)
+        np.fill_diagonal(adj, 0.0)
+        int8_adj = np.where(np.isfinite(adj), adj, INT32_BIG)
+        ring = int8_variant("min-plus")
+        fp = mmo("min-plus", adj, adj, adj)
+        i8 = mmo(ring, np.where(np.isfinite(adj), adj, INT8_MAX),
+                 np.where(np.isfinite(adj), adj, INT8_MAX),
+                 int8_adj)
+        finite = np.isfinite(fp) & (fp < 100)
+        # Where paths are short and integer-weighted, both agree.
+        short = finite & (i8 < INT8_MAX)
+        np.testing.assert_array_equal(i8[short].astype(np.float32), fp[short])
+
+    def test_fractional_weights_break_int8(self):
+        # The §3.2 claim, demonstrated: 0.5-granularity weights collapse.
+        adj = np.array([[0.0, 0.5], [0.5, 0.0]])
+        fp = mmo("min-plus", adj, adj, adj)
+        i8 = mmo(int8_variant("min-plus"), adj, adj, adj)
+        assert fp[0, 1] == 0.5
+        assert i8[0, 1] != fp[0, 1]  # rounded away
+
+    def test_saturation_bounds_products(self):
+        # 127 × 127 stays well inside int32; BIG sentinels never overflow.
+        a = np.full((4, 4), INT8_MAX, dtype=float)
+        got = mmo(int8_variant("plus-mul"), a, a)
+        assert got.max() == INT8_MAX * INT8_MAX * 4

@@ -1,0 +1,102 @@
+"""Tests for the GraphBLAS-flavoured SemiringMatrix wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SemiringError, SemiringMatrix, mmo
+
+
+INF = np.inf
+
+
+@pytest.fixture
+def roads() -> SemiringMatrix:
+    return SemiringMatrix(
+        [[0.0, 3.0, INF], [3.0, 0.0, 1.0], [INF, 1.0, 0.0]], "min-plus"
+    )
+
+
+class TestConstruction:
+    def test_basic(self, roads):
+        assert roads.shape == (3, 3)
+        assert roads.ring.name == "min-plus"
+        assert roads.dtype == np.float32
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(SemiringError, match="2-D"):
+            SemiringMatrix([1.0, 2.0], "min-plus")
+
+    def test_identity_constructor(self):
+        ident = SemiringMatrix.identity(3, "min-plus", diagonal=0.0)
+        expected = np.full((3, 3), INF, dtype=np.float32)
+        np.fill_diagonal(expected, 0.0)
+        np.testing.assert_array_equal(ident.to_array(), expected)
+
+    def test_full_constructor(self):
+        empty = SemiringMatrix.full((2, 4), "max-plus")
+        assert np.all(np.isneginf(empty.to_array()))
+
+    def test_to_array_is_copy(self, roads):
+        array = roads.to_array()
+        array[0, 0] = 99.0
+        assert roads[0, 0] == 0.0
+
+
+class TestAlgebra:
+    def test_matmul_is_ring_product(self, roads):
+        product = roads @ roads
+        expected = mmo("min-plus", roads.to_array(), roads.to_array())
+        np.testing.assert_array_equal(product.to_array(), expected)
+        assert product[0, 2] == 4.0  # 0→1→2
+
+    def test_matmul_coerces_plain_arrays(self, roads):
+        product = roads @ roads.to_array()
+        assert isinstance(product, SemiringMatrix)
+        assert product.ring.name == "min-plus"
+
+    def test_mixed_rings_rejected(self, roads):
+        other = SemiringMatrix(np.zeros((3, 3)), "max-plus")
+        with pytest.raises(SemiringError, match="different rings"):
+            roads @ other
+
+    def test_mxm_with_accumulator(self, roads):
+        result = roads.mxm(roads, accumulator=roads)
+        expected = mmo("min-plus", roads.to_array(), roads.to_array(), roads.to_array())
+        np.testing.assert_array_equal(result.to_array(), expected)
+
+    def test_elementwise_add_is_oplus(self, roads):
+        doubled = roads + roads
+        np.testing.assert_array_equal(doubled.to_array(), roads.to_array())
+
+    def test_add_shape_mismatch(self, roads):
+        with pytest.raises(SemiringError, match="shape mismatch"):
+            roads + SemiringMatrix(np.zeros((2, 2)), "min-plus")
+
+    def test_transpose(self, roads):
+        np.testing.assert_array_equal(roads.T.to_array(), roads.to_array().T)
+
+    def test_equality(self, roads):
+        assert roads == SemiringMatrix(roads.to_array(), "min-plus")
+        assert roads != SemiringMatrix(roads.to_array(), "max-plus")
+        assert roads != "not a matrix"
+
+
+class TestClosure:
+    def test_closure_method(self, roads):
+        closed, result = roads.closure()
+        assert isinstance(closed, SemiringMatrix)
+        assert result.converged
+        assert closed[0, 2] == 4.0
+
+    def test_boolean_ring(self):
+        adj = SemiringMatrix(np.eye(3, dtype=bool) | np.eye(3, k=1, dtype=bool), "or-and")
+        closed, _ = adj.closure()
+        np.testing.assert_array_equal(closed.to_array(), np.triu(np.ones((3, 3), bool)))
+
+    def test_indexing_submatrix(self, roads):
+        sub = roads[:2, :2]
+        assert isinstance(sub, SemiringMatrix)
+        assert sub.shape == (2, 2)
+        assert sub.ring.name == "min-plus"

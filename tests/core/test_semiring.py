@@ -1,0 +1,165 @@
+"""Unit tests for the Semiring abstraction and the nine registry entries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SEMIRINGS, Semiring, SemiringError, get_semiring, semiring_names
+from repro.core.registry import (
+    MAX_MIN,
+    MAX_MUL,
+    MAX_PLUS,
+    MIN_MAX,
+    MIN_MUL,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_MUL,
+    PLUS_NORM,
+)
+
+
+class TestRegistry:
+    def test_nine_rings_exactly(self):
+        assert len(SEMIRINGS) == 9
+        assert set(semiring_names()) == {
+            "plus-mul",
+            "min-plus",
+            "max-plus",
+            "min-mul",
+            "max-mul",
+            "min-max",
+            "max-min",
+            "or-and",
+            "plus-norm",
+        }
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("mma", "plus-mul"),
+            ("gemm", "plus-mul"),
+            ("minplus", "min-plus"),
+            ("MIN_PLUS", "min-plus"),
+            ("Max-Plus", "max-plus"),
+            ("orand", "or-and"),
+            ("addnorm", "plus-norm"),
+            ("add-norm", "plus-norm"),
+            ("min-max", "min-max"),
+        ],
+    )
+    def test_aliases_resolve(self, alias, canonical):
+        assert get_semiring(alias).name == canonical
+
+    def test_passthrough_of_semiring_instance(self):
+        assert get_semiring(MIN_PLUS) is MIN_PLUS
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SemiringError, match="unknown semiring"):
+            get_semiring("times-div")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SemiringError):
+            Semiring(name="", oplus=np.add, otimes=np.multiply, oplus_identity=0.0)
+
+
+class TestIdentities:
+    def test_identity_values(self):
+        assert PLUS_MUL.oplus_identity == 0.0
+        assert MIN_PLUS.oplus_identity == np.inf
+        assert MAX_PLUS.oplus_identity == -np.inf
+        assert MIN_MUL.oplus_identity == np.inf
+        assert MAX_MUL.oplus_identity == -np.inf
+        assert MIN_MAX.oplus_identity == np.inf
+        assert MAX_MIN.oplus_identity == -np.inf
+        assert OR_AND.oplus_identity is False
+        assert PLUS_NORM.oplus_identity == 0.0
+
+    def test_identity_is_neutral_for_oplus(self, ring):
+        values = np.array([3.0, -2.0, 0.5]) if not ring.is_boolean() else np.array([True, False, True])
+        ident = ring.full(values.shape)
+        combined = ring.oplus(values.astype(ring.output_dtype), ident)
+        np.testing.assert_array_equal(
+            np.asarray(combined, dtype=ring.output_dtype),
+            values.astype(ring.output_dtype),
+        )
+
+    def test_full_uses_output_dtype(self, ring):
+        filled = ring.full((2, 3))
+        assert filled.dtype == ring.output_dtype
+        assert filled.shape == (2, 3)
+
+
+class TestReduce:
+    def test_reduce_matches_manual_fold(self, ring):
+        rng = np.random.default_rng(7)
+        if ring.is_boolean():
+            values = rng.random((4, 5)) < 0.5
+        else:
+            values = rng.integers(-4, 5, size=(4, 5)).astype(np.float64)
+        got = ring.reduce(values, axis=0)
+        expected = np.asarray(values[0], dtype=ring.output_dtype)
+        for i in range(1, values.shape[0]):
+            expected = np.asarray(
+                ring.oplus(expected, np.asarray(values[i], dtype=ring.output_dtype)),
+                dtype=ring.output_dtype,
+            )
+        np.testing.assert_array_equal(got, expected)
+
+    def test_reduce_empty_axis_yields_identity(self, ring):
+        values = np.zeros((0, 3), dtype=ring.output_dtype)
+        got = ring.reduce(values, axis=0)
+        np.testing.assert_array_equal(got, ring.full((3,)))
+
+    def test_reduce_axis_one(self):
+        values = np.array([[1.0, 5.0, 2.0], [4.0, 0.0, 3.0]])
+        np.testing.assert_array_equal(
+            MIN_PLUS.reduce(values, axis=1), np.array([1.0, 0.0], dtype=np.float32)
+        )
+
+
+class TestPairwise:
+    def test_plus_norm_is_squared_difference(self):
+        a = np.array([3.0, 1.0])
+        b = np.array([1.0, 4.0])
+        np.testing.assert_array_equal(
+            PLUS_NORM.pairwise(a, b), np.array([4.0, 9.0], dtype=np.float32)
+        )
+
+    def test_or_and_truth_table(self):
+        a = np.array([True, True, False, False])
+        b = np.array([True, False, True, False])
+        np.testing.assert_array_equal(
+            OR_AND.pairwise(a, b), np.array([True, False, False, False])
+        )
+
+    def test_pairwise_quantises_through_fp16(self):
+        # 1/3 is not representable in fp16; pairwise must round it first.
+        a = np.array([1.0 / 3.0])
+        got = PLUS_MUL.pairwise(a, np.array([3.0]))
+        expected = np.float32(np.float16(1.0 / 3.0)) * np.float32(3.0)
+        np.testing.assert_array_equal(got, np.array([expected], dtype=np.float32))
+
+    def test_min_max_family(self):
+        a = np.array([2.0, -1.0])
+        b = np.array([1.0, 5.0])
+        np.testing.assert_array_equal(MIN_MAX.pairwise(a, b), np.array([2.0, 5.0], dtype=np.float32))
+        np.testing.assert_array_equal(MAX_MIN.pairwise(a, b), np.array([1.0, -1.0], dtype=np.float32))
+
+
+class TestDtypes:
+    def test_numeric_rings_are_fp16_in_fp32_out(self, ring):
+        if ring.is_boolean():
+            assert ring.input_dtype == np.dtype(bool)
+            assert ring.output_dtype == np.dtype(bool)
+        else:
+            assert ring.input_dtype == np.dtype(np.float16)
+            assert ring.output_dtype == np.dtype(np.float32)
+
+    def test_plus_norm_flagged_nonassociative(self):
+        assert not PLUS_NORM.associative_otimes
+        assert all(
+            SEMIRINGS[name].associative_otimes
+            for name in semiring_names()
+            if name != "plus-norm"
+        )

@@ -1,0 +1,93 @@
+"""Tests for tiling helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tiles import (
+    TILE,
+    TilingError,
+    ceil_div,
+    crop,
+    iter_tile_indices,
+    pad_to_tiles,
+    padded_extent,
+    tile_counts,
+    tile_view,
+)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 16, 0), (1, 16, 1), (16, 16, 1), (17, 16, 2), (32, 16, 2)]
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(TilingError):
+            ceil_div(5, 0)
+
+
+class TestPadding:
+    def test_padded_extent(self):
+        assert padded_extent(0) == 0
+        assert padded_extent(1) == TILE
+        assert padded_extent(TILE) == TILE
+        assert padded_extent(TILE + 1) == 2 * TILE
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(TilingError):
+            padded_extent(-1)
+
+    def test_pad_fills_identity(self):
+        m = np.ones((3, 5))
+        padded = pad_to_tiles(m, np.inf)
+        assert padded.shape == (TILE, TILE)
+        np.testing.assert_array_equal(padded[:3, :5], m)
+        assert np.all(np.isinf(padded[3:, :]))
+        assert np.all(np.isinf(padded[:, 5:]))
+
+    def test_pad_aligned_matrix_is_copy(self):
+        m = np.zeros((TILE, TILE))
+        padded = pad_to_tiles(m, 0.0)
+        assert padded is not m
+        padded[0, 0] = 5
+        assert m[0, 0] == 0
+
+    def test_pad_rejects_non_2d(self):
+        with pytest.raises(TilingError):
+            pad_to_tiles(np.zeros(4), 0.0)
+
+    def test_crop_round_trip(self):
+        m = np.arange(12.0).reshape(3, 4)
+        assert np.array_equal(crop(pad_to_tiles(m, 0.0), 3, 4), m)
+
+    def test_crop_larger_than_matrix_rejected(self):
+        with pytest.raises(TilingError):
+            crop(np.zeros((4, 4)), 5, 4)
+
+
+class TestTileViews:
+    def test_view_is_writable_window(self):
+        m = np.zeros((2 * TILE, 2 * TILE))
+        tile_view(m, 1, 0)[:] = 7.0
+        assert np.all(m[TILE:, :TILE] == 7.0)
+        assert np.all(m[:TILE, :] == 0.0)
+
+    def test_unaligned_matrix_rejected(self):
+        with pytest.raises(TilingError, match="not tile-aligned"):
+            tile_view(np.zeros((TILE + 1, TILE)), 0, 0)
+
+    def test_out_of_range_tile_rejected(self):
+        with pytest.raises(TilingError, match="out of range"):
+            tile_view(np.zeros((TILE, TILE)), 1, 0)
+
+    def test_iter_tile_indices_cover(self):
+        indices = list(iter_tile_indices(TILE + 1, 2 * TILE))
+        assert indices == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_tile_counts(self):
+        assert tile_counts(16, 16, 16) == (1, 1, 1)
+        assert tile_counts(17, 33, 1) == (2, 3, 1)

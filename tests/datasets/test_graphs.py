@@ -1,0 +1,209 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SEMIRINGS
+from repro.core.precision import representable_input
+from repro.datasets import (
+    GraphSpec,
+    boolean_graph,
+    capacity_graph,
+    dag_distance_graph,
+    distance_graph,
+    random_dag_mask,
+    random_digraph_mask,
+    reliability_graph,
+    undirected_distance_graph,
+)
+
+
+class TestSpecs:
+    def test_bad_vertex_count(self):
+        with pytest.raises(ValueError, match="num_vertices"):
+            GraphSpec(num_vertices=0)
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError, match="edge_probability"):
+            GraphSpec(num_vertices=4, edge_probability=1.5)
+
+    def test_determinism(self):
+        spec = GraphSpec(32, 0.2, seed=7)
+        np.testing.assert_array_equal(distance_graph(spec), distance_graph(spec))
+
+    def test_seed_changes_graph(self):
+        a = distance_graph(GraphSpec(32, 0.2, seed=1))
+        b = distance_graph(GraphSpec(32, 0.2, seed=2))
+        assert not np.array_equal(a, b)
+
+
+class TestMasks:
+    def test_no_self_loops(self):
+        mask = random_digraph_mask(GraphSpec(20, 0.5, seed=0))
+        assert not mask.diagonal().any()
+
+    def test_dag_mask_is_upper_triangular(self):
+        mask = random_dag_mask(GraphSpec(20, 0.5, seed=0))
+        assert not np.tril(mask).any()
+
+    def test_density_roughly_matches(self):
+        spec = GraphSpec(200, 0.3, seed=0)
+        mask = random_digraph_mask(spec)
+        density = mask.sum() / (200 * 199)
+        assert 0.25 < density < 0.35
+
+
+class TestEncodings:
+    def test_distance_graph_encoding(self):
+        adj = distance_graph(GraphSpec(24, 0.3, seed=1))
+        assert np.all(np.diag(adj) == 0.0)
+        offdiag = adj[~np.eye(24, dtype=bool)]
+        finite = offdiag[np.isfinite(offdiag)]
+        assert np.all((finite >= 1.0) & (finite <= 9.0))
+        assert np.all(np.isposinf(offdiag[~np.isfinite(offdiag)]))
+
+    def test_dag_distance_graph_encoding(self):
+        adj = dag_distance_graph(GraphSpec(24, 0.3, seed=1))
+        assert np.all(np.diag(adj) == 0.0)
+        below = np.tril(adj, k=-1)
+        assert np.all(np.isneginf(below[below != 0.0]))
+
+    def test_reliability_maximize_encoding(self):
+        adj = reliability_graph(GraphSpec(24, 0.3, seed=1), maximize=True)
+        assert np.all(np.diag(adj) == 1.0)
+        offdiag = adj[~np.eye(24, dtype=bool)]
+        assert np.all((offdiag == 0.0) | ((offdiag > 0.5) & (offdiag <= 1.0)))
+
+    def test_reliability_minimize_is_dag(self):
+        adj = reliability_graph(GraphSpec(24, 0.3, seed=1), maximize=False)
+        finite = np.isfinite(adj)
+        np.fill_diagonal(finite, False)
+        assert not np.tril(finite).any()
+        assert np.all(np.diag(adj) == 1.0)
+
+    def test_capacity_graph_symmetry(self):
+        adj = capacity_graph(GraphSpec(24, 0.3, seed=1), maximize=True)
+        off = ~np.eye(24, dtype=bool)
+        np.testing.assert_array_equal(adj[off], adj.T[off])
+        assert np.all(np.isposinf(np.diag(adj)))
+
+    def test_capacity_minmax_encoding(self):
+        adj = capacity_graph(GraphSpec(24, 0.3, seed=1), maximize=False)
+        assert np.all(np.isneginf(np.diag(adj)))
+
+    def test_boolean_graph(self):
+        adj = boolean_graph(GraphSpec(16, 0.2, seed=0))
+        assert adj.dtype == bool
+        assert adj.diagonal().all()
+        assert not boolean_graph(GraphSpec(16, 0.2, seed=0), reflexive=False).diagonal().any()
+
+
+class TestMstGraph:
+    def test_distinct_weights_and_connectivity(self):
+        adj = undirected_distance_graph(GraphSpec(24, 0.1, seed=3))
+        upper = adj[np.triu_indices(24, k=1)]
+        weights = upper[np.isfinite(upper)]
+        assert len(set(weights.tolist())) == len(weights)
+        # connected: boolean closure of the finite mask reaches everything
+        reach = np.isfinite(adj) | np.eye(24, dtype=bool)
+        for _ in range(24):
+            reach = reach | ((reach.astype(np.uint8) @ reach.astype(np.uint8)) > 0)
+        assert reach.all()
+
+    def test_symmetry_and_diagonal(self):
+        adj = undirected_distance_graph(GraphSpec(12, 0.2, seed=0))
+        np.testing.assert_array_equal(adj, adj.T)
+        assert np.all(np.diag(adj) == 0.0)
+
+
+class TestFp16Exactness:
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            lambda spec: distance_graph(spec),
+            lambda spec: dag_distance_graph(spec),
+            lambda spec: reliability_graph(spec, maximize=True),
+            lambda spec: reliability_graph(spec, maximize=False),
+            lambda spec: capacity_graph(spec, maximize=True),
+            lambda spec: undirected_distance_graph(spec),
+        ],
+    )
+    def test_weights_survive_fp16(self, generator):
+        adj = generator(GraphSpec(20, 0.3, seed=5))
+        ring = SEMIRINGS["min-plus"]  # any fp16 ring
+        assert representable_input(adj, ring)
+
+
+class TestStructuredGenerators:
+    def test_grid_distances_are_manhattan(self):
+        from repro.datasets import grid_distance_graph
+        from repro.runtime import closure
+
+        rows, cols = 4, 5
+        adj = grid_distance_graph(rows, cols)
+        result = closure("min-plus", adj, method="leyzorek")
+        for r1 in range(rows):
+            for c1 in range(cols):
+                for r2 in range(rows):
+                    for c2 in range(cols):
+                        expected = abs(r1 - r2) + abs(c1 - c2)
+                        got = result.matrix[r1 * cols + c1, r2 * cols + c2]
+                        assert got == expected
+
+    def test_grid_validation(self):
+        from repro.datasets import grid_distance_graph
+
+        with pytest.raises(ValueError, match="positive"):
+            grid_distance_graph(0, 4)
+
+    def test_small_world_is_symmetric_and_connected_ring(self):
+        from repro.datasets import GraphSpec, small_world_distance_graph
+
+        adj = small_world_distance_graph(
+            GraphSpec(24, 0.1, seed=2), rewire_probability=0.0
+        )
+        np.testing.assert_array_equal(adj, adj.T)
+        # With no rewiring, each vertex links its 2 ring neighbours per side.
+        finite = np.isfinite(adj) & ~np.eye(24, dtype=bool)
+        assert finite.sum(axis=1).min() >= 4
+
+    def test_small_world_validation(self):
+        from repro.datasets import GraphSpec, small_world_distance_graph
+
+        with pytest.raises(ValueError, match="neighbours"):
+            small_world_distance_graph(GraphSpec(8, 0.1), neighbours=0)
+        with pytest.raises(ValueError, match="rewire_probability"):
+            small_world_distance_graph(GraphSpec(8, 0.1), rewire_probability=2.0)
+
+    def test_small_world_has_low_diameter(self):
+        from repro.datasets import GraphSpec, small_world_distance_graph
+        from repro.runtime import closure
+
+        adj = small_world_distance_graph(
+            GraphSpec(40, 0.1, seed=3), rewire_probability=0.2
+        )
+        hops = np.where(np.isfinite(adj) & (adj != 0), 1.0, np.inf)
+        np.fill_diagonal(hops, 0.0)
+        result = closure("min-plus", hops)
+        finite = result.matrix[np.isfinite(result.matrix)]
+        assert finite.max() <= 10  # far below the ring diameter of 10+... lattice 40/4
+
+    def test_scale_free_degree_distribution(self):
+        from repro.datasets import GraphSpec, scale_free_mask
+
+        mask = scale_free_mask(GraphSpec(200, 0.1, seed=4), attachment=2)
+        np.testing.assert_array_equal(mask, mask.T)
+        degrees = mask.sum(axis=1)
+        # Heavy tail: the max degree dwarfs the median.
+        assert degrees.max() >= 4 * np.median(degrees)
+        assert degrees.min() >= 2
+
+    def test_scale_free_validation(self):
+        from repro.datasets import GraphSpec, scale_free_mask
+
+        with pytest.raises(ValueError, match="attachment"):
+            scale_free_mask(GraphSpec(10, 0.1), attachment=0)
+        with pytest.raises(ValueError, match="more than"):
+            scale_free_mask(GraphSpec(2, 0.1), attachment=2)

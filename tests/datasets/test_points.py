@@ -1,0 +1,61 @@
+"""Tests for point-cloud generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SEMIRINGS
+from repro.core.precision import representable_input
+from repro.datasets import PointCloudSpec, gaussian_clusters, uniform_points
+
+
+class TestSpecs:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_points": 0},
+            {"num_points": 4, "dimensions": 0},
+            {"num_points": 4, "num_clusters": 0},
+        ],
+    )
+    def test_bad_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PointCloudSpec(**kwargs)
+
+    def test_determinism(self):
+        spec = PointCloudSpec(50, dimensions=6, seed=4)
+        a, la = gaussian_clusters(spec)
+        b, lb = gaussian_clusters(spec)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(la, lb)
+
+
+class TestGaussianClusters:
+    def test_shapes_and_labels(self):
+        spec = PointCloudSpec(80, dimensions=5, num_clusters=4, seed=0)
+        points, labels = gaussian_clusters(spec)
+        assert points.shape == (80, 5)
+        assert labels.shape == (80,)
+        assert set(np.unique(labels)) <= set(range(4))
+
+    def test_fp16_exact(self):
+        points, _ = gaussian_clusters(PointCloudSpec(40, dimensions=8, seed=1))
+        assert representable_input(points, SEMIRINGS["plus-norm"])
+
+    def test_clusters_are_separated(self):
+        spec = PointCloudSpec(200, dimensions=12, num_clusters=2, seed=6)
+        points, labels = gaussian_clusters(spec)
+        centroid0 = points[labels == 0].mean(axis=0)
+        centroid1 = points[labels == 1].mean(axis=0)
+        spread = points[labels == 0].std()
+        assert np.linalg.norm(centroid0 - centroid1) > spread
+
+
+class TestUniformPoints:
+    def test_range_and_grid(self):
+        points = uniform_points(PointCloudSpec(100, dimensions=4, seed=2))
+        assert points.shape == (100, 4)
+        assert points.min() >= -8.0 - 1e-9
+        assert points.max() <= 8.0 + 1e-9
+        np.testing.assert_array_equal(points, np.round(points * 16) / 16)

@@ -1,0 +1,68 @@
+"""Tests for the configurable ⊗/⊕ ALU models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.alu import ALU_CONFIG, OplusMode, OtimesMode, apply_oplus, apply_otimes
+from repro.isa import MmoOpcode
+
+
+class TestConfigTable:
+    def test_every_opcode_configured(self):
+        assert set(ALU_CONFIG) == set(MmoOpcode)
+
+    def test_config_matches_semiring_semantics(self):
+        # For every opcode, the ALU pair must compute exactly what the
+        # opcode's semiring computes element-wise.
+        rng = np.random.default_rng(3)
+        for opcode, (oplus_mode, otimes_mode) in ALU_CONFIG.items():
+            ring = opcode.semiring
+            if ring.is_boolean():
+                a = rng.random(16) < 0.5
+                b = rng.random(16) < 0.5
+            else:
+                a = rng.normal(size=16).astype(np.float32)
+                b = rng.normal(size=16).astype(np.float32)
+            np.testing.assert_array_equal(
+                apply_otimes(otimes_mode, a, b),
+                np.asarray(ring.otimes(a, b)),
+                err_msg=f"otimes mismatch for {opcode.mnemonic}",
+            )
+            np.testing.assert_array_equal(
+                apply_oplus(oplus_mode, a.astype(ring.output_dtype), b.astype(ring.output_dtype)),
+                np.asarray(ring.oplus(a.astype(ring.output_dtype), b.astype(ring.output_dtype))),
+                err_msg=f"oplus mismatch for {opcode.mnemonic}",
+            )
+
+    def test_otimes_mode_counts(self):
+        # Paper Fig 5: ⊗ ALU supports multiply, min/max, add/and, L2 dist.
+        used = {mode for _, mode in ALU_CONFIG.values()}
+        assert used == {
+            OtimesMode.MULTIPLY,
+            OtimesMode.ADD,
+            OtimesMode.MIN,
+            OtimesMode.MAX,
+            OtimesMode.AND,
+            OtimesMode.L2DIST,
+        }
+
+    def test_oplus_mode_counts(self):
+        # Paper Fig 5: ⊕ ALU supports add, min/max, or.
+        used = {mode for mode, _ in ALU_CONFIG.values()}
+        assert used == {OplusMode.ADD, OplusMode.MIN, OplusMode.MAX, OplusMode.OR}
+
+
+class TestFunctionalBehaviour:
+    def test_l2dist(self):
+        a = np.array([1.0, -2.0], dtype=np.float32)
+        b = np.array([4.0, 1.0], dtype=np.float32)
+        np.testing.assert_array_equal(
+            apply_otimes(OtimesMode.L2DIST, a, b), np.array([9.0, 9.0], dtype=np.float32)
+        )
+
+    def test_min_max(self):
+        a = np.array([1.0, 5.0])
+        b = np.array([3.0, 2.0])
+        np.testing.assert_array_equal(apply_otimes(OtimesMode.MIN, a, b), [1.0, 2.0])
+        np.testing.assert_array_equal(apply_otimes(OtimesMode.MAX, a, b), [3.0, 5.0])

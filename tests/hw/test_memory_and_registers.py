@@ -1,0 +1,134 @@
+"""Tests for the shared-memory scratchpad and the matrix register file."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tiles import TILE
+from repro.hw import MatrixRegisterFile, MemoryFault, RegisterFault, SharedMemory
+from repro.isa import ElementType
+
+
+class TestSharedMemoryFragments:
+    def test_store_load_round_trip_f16(self):
+        shm = SharedMemory(1 << 16)
+        fragment = np.arange(TILE * TILE, dtype=np.float16).reshape(TILE, TILE)
+        shm.store_fragment(0, TILE, ElementType.F16, fragment)
+        np.testing.assert_array_equal(
+            shm.load_fragment(0, TILE, ElementType.F16), fragment
+        )
+
+    def test_leading_dimension_strides_rows(self):
+        shm = SharedMemory(1 << 16)
+        matrix = np.arange(32 * 32, dtype=np.float32).reshape(32, 32)
+        shm.write_matrix(0, matrix, ElementType.F32)
+        # Tile (1, 1) of the 32x32 matrix via ld=32 strided access.
+        fragment = shm.load_fragment(16 * 32 + 16, 32, ElementType.F32)
+        np.testing.assert_array_equal(fragment, matrix[16:, 16:])
+
+    def test_boolean_fragments(self):
+        shm = SharedMemory(1 << 12)
+        fragment = np.random.default_rng(0).random((TILE, TILE)) < 0.5
+        shm.store_fragment(0, TILE, ElementType.B8, fragment)
+        got = shm.load_fragment(0, TILE, ElementType.B8)
+        assert got.dtype == bool
+        np.testing.assert_array_equal(got, fragment)
+
+    def test_type_aliasing_is_byte_accurate(self):
+        # One fp32 written at element 0 occupies the same bytes as two fp16s.
+        shm = SharedMemory(1 << 8)
+        shm._typed(ElementType.F32)[0] = 1.0
+        halves = shm._typed(ElementType.F16)[:2]
+        assert halves.tobytes() == np.float32(1.0).tobytes()
+
+    def test_out_of_bounds_load_rejected(self):
+        shm = SharedMemory(size_bytes=2 * TILE * TILE)  # exactly one f16 tile
+        shm.load_fragment(0, TILE, ElementType.F16)
+        with pytest.raises(MemoryFault, match="overruns"):
+            shm.load_fragment(1, TILE, ElementType.F16)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(MemoryFault, match="negative"):
+            SharedMemory(1 << 10).load_fragment(-1, TILE, ElementType.F16)
+
+    def test_ld_smaller_than_tile_rejected(self):
+        with pytest.raises(MemoryFault, match="leading dimension"):
+            SharedMemory(1 << 10).load_fragment(0, TILE - 1, ElementType.F16)
+
+    def test_bad_fragment_shape_rejected(self):
+        with pytest.raises(MemoryFault, match="does not match"):
+            SharedMemory(1 << 10).store_fragment(
+                0, TILE, ElementType.F16, np.zeros((TILE, TILE + 1))
+            )
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(MemoryFault):
+            SharedMemory(0)
+
+
+class TestSharedMemoryMatrices:
+    def test_matrix_round_trip(self):
+        shm = SharedMemory(1 << 16)
+        matrix = np.random.default_rng(1).normal(size=(7, 9)).astype(np.float32)
+        end = shm.write_matrix(5, matrix, ElementType.F32)
+        assert end == 5 + 63
+        np.testing.assert_array_equal(
+            shm.read_matrix(5, (7, 9), ElementType.F32), matrix
+        )
+
+    def test_matrix_overrun_rejected(self):
+        shm = SharedMemory(64)
+        with pytest.raises(MemoryFault, match="overruns"):
+            shm.write_matrix(0, np.zeros((8, 8)), ElementType.F32)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(MemoryFault, match="2-D"):
+            SharedMemory(1 << 10).write_matrix(0, np.zeros(4), ElementType.F32)
+
+    def test_clear(self):
+        shm = SharedMemory(1 << 10)
+        shm.write_matrix(0, np.ones((4, 4)), ElementType.F32)
+        shm.clear()
+        np.testing.assert_array_equal(
+            shm.read_matrix(0, (4, 4), ElementType.F32), np.zeros((4, 4))
+        )
+
+
+class TestRegisterFile:
+    def test_write_read_round_trip(self):
+        rf = MatrixRegisterFile()
+        fragment = np.arange(TILE * TILE, dtype=np.float32).reshape(TILE, TILE)
+        rf.write(3, fragment, ElementType.F32)
+        np.testing.assert_array_equal(rf.read(3), fragment)
+        assert rf.etype_of(3) is ElementType.F32
+
+    def test_write_converts_to_etype(self):
+        rf = MatrixRegisterFile()
+        rf.write(0, np.full((TILE, TILE), 1.0 / 3.0), ElementType.F16)
+        assert rf.read(0).dtype == np.float16
+
+    def test_read_returns_copy(self):
+        rf = MatrixRegisterFile()
+        rf.write(0, np.zeros((TILE, TILE)), ElementType.F32)
+        rf.read(0)[0, 0] = 99.0
+        assert rf.read(0)[0, 0] == 0.0
+
+    def test_uninitialised_read_faults(self):
+        with pytest.raises(RegisterFault, match="before initialisation"):
+            MatrixRegisterFile().read(0)
+
+    def test_out_of_range_faults(self):
+        rf = MatrixRegisterFile(num_registers=4)
+        with pytest.raises(RegisterFault, match="out of range"):
+            rf.read(4)
+
+    def test_bad_fragment_shape_faults(self):
+        with pytest.raises(RegisterFault, match="register geometry"):
+            MatrixRegisterFile().write(0, np.zeros((4, 4)), ElementType.F32)
+
+    def test_clear(self):
+        rf = MatrixRegisterFile()
+        rf.write(0, np.zeros((TILE, TILE)), ElementType.F32)
+        rf.clear()
+        assert not rf.is_initialised(0)

@@ -1,0 +1,91 @@
+"""Tests for the 4×4 SIMD² unit and the baseline MMA unit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import mmo
+from repro.hw import BaselineMmaUnit, HardwareError, Simd2Unit, UNIT_DIM, UnsupportedOpcode
+from repro.isa import MmoOpcode
+from tests.conftest import make_ring_inputs
+
+
+@pytest.fixture
+def unit() -> Simd2Unit:
+    return Simd2Unit()
+
+
+class TestSimd2Unit:
+    @pytest.mark.parametrize("opcode", list(MmoOpcode))
+    def test_matches_oracle_per_opcode(self, unit, opcode):
+        rng = np.random.default_rng(int(opcode) + 1)
+        ring = opcode.semiring
+        a, b, c = make_ring_inputs(ring, UNIT_DIM, UNIT_DIM, UNIT_DIM, rng)
+        got = unit.compute(opcode, np.asarray(a), np.asarray(b), np.asarray(c, dtype=ring.output_dtype))
+        expected = mmo(ring, a, b, c)
+        np.testing.assert_array_equal(got, expected)
+        assert got.dtype == ring.output_dtype
+
+    def test_bad_tile_shape_rejected(self, unit):
+        good = np.zeros((UNIT_DIM, UNIT_DIM))
+        bad = np.zeros((UNIT_DIM, UNIT_DIM + 1))
+        with pytest.raises(HardwareError, match="operand b"):
+            unit.compute(MmoOpcode.MMA, good, bad, good)
+
+    def test_op_counters(self, unit):
+        tile = np.zeros((UNIT_DIM, UNIT_DIM))
+        unit.compute(MmoOpcode.MMA, tile, tile, tile)
+        unit.compute(MmoOpcode.MINPLUS, tile, tile, tile)
+        unit.compute(MmoOpcode.MINPLUS, tile, tile, tile)
+        assert unit.op_counts[MmoOpcode.MMA] == 1
+        assert unit.op_counts[MmoOpcode.MINPLUS] == 2
+        assert unit.total_ops == 3
+        unit.reset_counters()
+        assert unit.total_ops == 0
+
+    def test_fp16_quantisation_on_inputs(self, unit):
+        # Inputs pass through fp16, so 1/3 is rounded before multiplying.
+        a = np.full((UNIT_DIM, UNIT_DIM), 1.0 / 3.0)
+        b = np.eye(UNIT_DIM)
+        c = np.zeros((UNIT_DIM, UNIT_DIM), dtype=np.float32)
+        got = unit.compute(MmoOpcode.MMA, a, b, c)
+        assert got[0, 0] == np.float32(np.float16(1.0 / 3.0))
+
+    def test_reduction_tree_order_is_deterministic(self, unit):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(UNIT_DIM, UNIT_DIM))
+        b = rng.normal(size=(UNIT_DIM, UNIT_DIM))
+        c = rng.normal(size=(UNIT_DIM, UNIT_DIM)).astype(np.float32)
+        first = unit.compute(MmoOpcode.MMA, a, b, c)
+        second = unit.compute(MmoOpcode.MMA, a, b, c)
+        np.testing.assert_array_equal(first, second)
+
+    def test_min_plus_with_infinite_padding(self, unit):
+        a = np.full((UNIT_DIM, UNIT_DIM), np.inf)
+        b = np.full((UNIT_DIM, UNIT_DIM), np.inf)
+        c = np.full((UNIT_DIM, UNIT_DIM), 3.0, dtype=np.float32)
+        got = unit.compute(MmoOpcode.MINPLUS, a, b, c)
+        np.testing.assert_array_equal(got, c)
+
+
+class TestBaselineMmaUnit:
+    def test_supports_only_mma(self):
+        unit = BaselineMmaUnit()
+        tile = np.zeros((UNIT_DIM, UNIT_DIM))
+        unit.compute(MmoOpcode.MMA, tile, tile, tile)
+        for opcode in MmoOpcode:
+            if opcode is MmoOpcode.MMA:
+                continue
+            with pytest.raises(UnsupportedOpcode, match=opcode.mnemonic):
+                unit.compute(opcode, tile, tile, tile)
+
+    def test_mma_matches_simd2_unit(self):
+        rng = np.random.default_rng(9)
+        a = rng.integers(-4, 5, (UNIT_DIM, UNIT_DIM)).astype(float)
+        b = rng.integers(-4, 5, (UNIT_DIM, UNIT_DIM)).astype(float)
+        c = rng.integers(-4, 5, (UNIT_DIM, UNIT_DIM)).astype(np.float32)
+        np.testing.assert_array_equal(
+            BaselineMmaUnit().compute(MmoOpcode.MMA, a, b, c),
+            Simd2Unit().compute(MmoOpcode.MMA, a, b, c),
+        )

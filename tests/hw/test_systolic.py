@@ -1,0 +1,95 @@
+"""Tests for the cycle-level systolic-array model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import mmo
+from repro.hw import HardwareError
+from repro.hw.systolic import SystolicArray
+from repro.isa import MmoOpcode
+from tests.conftest import make_ring_inputs
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("opcode", list(MmoOpcode), ids=lambda op: op.mnemonic)
+    def test_matches_oracle(self, opcode):
+        rng = np.random.default_rng(int(opcode) + 40)
+        ring = opcode.semiring
+        a, b, c = make_ring_inputs(ring, 4, 8, 4, rng)
+        array = SystolicArray(4, 4)
+        result = array.run(opcode, np.asarray(a), np.asarray(b), np.asarray(c, dtype=ring.output_dtype))
+        np.testing.assert_array_equal(result.output, mmo(ring, a, b, c))
+
+    def test_without_accumulator(self):
+        rng = np.random.default_rng(1)
+        a, b, _ = make_ring_inputs(MmoOpcode.MINPLUS.semiring, 4, 6, 4, rng, with_c=False)
+        result = SystolicArray(4, 4).run(MmoOpcode.MINPLUS, np.asarray(a), np.asarray(b))
+        np.testing.assert_array_equal(result.output, mmo("min-plus", a, b))
+
+    def test_rectangular_grid(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(-4, 5, (2, 5)).astype(float)
+        b = rng.integers(-4, 5, (5, 6)).astype(float)
+        result = SystolicArray(2, 6).run(MmoOpcode.MMA, a, b)
+        np.testing.assert_array_equal(result.output, mmo("plus-mul", a, b))
+
+    def test_empty_k(self):
+        result = SystolicArray(2, 2).run(
+            MmoOpcode.MINPLUS, np.zeros((2, 0)), np.zeros((0, 2)), np.ones((2, 2))
+        )
+        np.testing.assert_array_equal(result.output, np.ones((2, 2), dtype=np.float32))
+        assert result.cycles == 0
+
+
+class TestTiming:
+    @pytest.mark.parametrize("rows,cols,k", [(4, 4, 4), (4, 4, 16), (2, 6, 3), (8, 8, 8)])
+    def test_cycle_count_formula(self, rows, cols, k):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 3, (rows, k)).astype(float)
+        b = rng.integers(0, 3, (k, cols)).astype(float)
+        result = SystolicArray(rows, cols).run(MmoOpcode.MMA, a, b)
+        assert result.cycles == k + rows + cols - 2
+
+    def test_pe_operations_exact(self):
+        # Every PE performs exactly k ⊗⊕ steps.
+        result = SystolicArray(4, 4).run(
+            MmoOpcode.MMA, np.ones((4, 6)), np.ones((6, 4))
+        )
+        assert result.pe_operations == 4 * 4 * 6
+
+    def test_utilization_improves_with_deeper_k(self):
+        shallow = SystolicArray(4, 4).run(MmoOpcode.MMA, np.ones((4, 4)), np.ones((4, 4)))
+        deep = SystolicArray(4, 4).run(MmoOpcode.MMA, np.ones((4, 64)), np.ones((64, 4)))
+        assert deep.utilization > shallow.utilization
+        assert deep.utilization > 0.85
+
+    def test_pipelined_throughput_approaches_one_step_per_cycle(self):
+        array = SystolicArray(4, 4)
+        cycles = array.pipelined_cycles(k=4, tiles=1000)
+        assert cycles / (4 * 1000) < 1.01  # fill/drain amortised away
+
+    def test_pipelined_validation(self):
+        with pytest.raises(HardwareError):
+            SystolicArray(4, 4).pipelined_cycles(k=0, tiles=1)
+
+
+class TestValidation:
+    def test_grid_mismatch(self):
+        with pytest.raises(HardwareError, match="do not match"):
+            SystolicArray(4, 4).run(MmoOpcode.MMA, np.ones((3, 4)), np.ones((4, 4)))
+
+    def test_inner_dim_mismatch(self):
+        with pytest.raises(HardwareError, match="bad operand shapes"):
+            SystolicArray(4, 4).run(MmoOpcode.MMA, np.ones((4, 3)), np.ones((4, 4)))
+
+    def test_bad_grid(self):
+        with pytest.raises(HardwareError, match="positive"):
+            SystolicArray(0, 4)
+
+    def test_bad_accumulator_shape(self):
+        with pytest.raises(HardwareError, match="accumulator"):
+            SystolicArray(2, 2).run(
+                MmoOpcode.MMA, np.ones((2, 2)), np.ones((2, 2)), np.ones((3, 3))
+            )

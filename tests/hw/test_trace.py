@@ -1,0 +1,83 @@
+"""Tests for instruction-level execution tracing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TILE
+from repro.hw import ExecutionTrace, SharedMemory, WarpExecutor
+from repro.isa import InstructionKind, Program, assemble
+
+PROGRAM_TEXT = """
+fill.f16 m0, 1.0
+fill.f16 m1, 2.0
+fill.f32 m2, 0.0
+mmo.mma m3, m0, m1, m2
+store.f32 m3, [0], ld=16
+halt
+"""
+
+
+def _run(trace: ExecutionTrace) -> None:
+    shm = SharedMemory()
+    executor = WarpExecutor(shm, observer=trace)
+    executor.run(Program(assemble(PROGRAM_TEXT)))
+
+
+class TestExecutionTrace:
+    def test_records_every_instruction(self):
+        trace = ExecutionTrace()
+        _run(trace)
+        assert len(trace) == 6
+        assert [r.pc for r in trace.records] == list(range(6))
+        assert trace.counts[InstructionKind.FILL] == 3
+        assert trace.counts[InstructionKind.MMO] == 1
+        assert trace.counts[InstructionKind.HALT] == 1
+        assert not trace.truncated
+
+    def test_sequence_numbers_span_programs(self):
+        trace = ExecutionTrace()
+        _run(trace)
+        _run(trace)
+        assert len(trace) == 12
+        assert trace.records[-1].sequence == 11
+
+    def test_limit_truncates_storage_not_counts(self):
+        trace = ExecutionTrace(limit=3)
+        _run(trace)
+        assert len(trace.records) == 3
+        assert len(trace) == 6
+        assert trace.truncated
+        assert "3 more" in trace.format()
+
+    def test_format_contains_assembly(self):
+        trace = ExecutionTrace()
+        _run(trace)
+        text = trace.format()
+        assert "mmo.mma m3, m0, m1, m2" in text
+        assert "retired 6 instructions" in text
+
+    def test_clear(self):
+        trace = ExecutionTrace()
+        _run(trace)
+        trace.clear()
+        assert len(trace) == 0
+        assert not trace.counts
+
+    def test_bad_limit(self):
+        with pytest.raises(ValueError, match="positive"):
+            ExecutionTrace(limit=0)
+
+    def test_tracing_does_not_change_results(self):
+        shm_plain = SharedMemory()
+        shm_traced = SharedMemory()
+        program = Program(assemble(PROGRAM_TEXT))
+        WarpExecutor(shm_plain).run(program)
+        WarpExecutor(shm_traced, observer=ExecutionTrace()).run(program)
+        from repro.isa import ElementType
+
+        np.testing.assert_array_equal(
+            shm_plain.read_matrix(0, (TILE, TILE), ElementType.F32),
+            shm_traced.read_matrix(0, (TILE, TILE), ElementType.F32),
+        )

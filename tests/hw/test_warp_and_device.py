@@ -1,0 +1,226 @@
+"""Integration tests: programs executed on warps, SMs and the device."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TILE, mmo
+from repro.hw import (
+    BaselineMmaUnit,
+    HardwareError,
+    MemoryFault,
+    SharedMemory,
+    Simd2Device,
+    StreamingMultiprocessor,
+    UnsupportedOpcode,
+    WarpExecutor,
+    WarpWorkItem,
+)
+from repro.isa import (
+    ElementType,
+    FillMatrix,
+    LoadMatrix,
+    Mmo,
+    MmoOpcode,
+    Program,
+    StoreMatrix,
+    assemble,
+)
+from tests.conftest import make_ring_inputs
+
+
+def _tile_mmo_program(opcode: MmoOpcode, with_c_load: bool = True) -> Program:
+    """load A,B(,C) / mmo / store D — addresses laid out tile after tile."""
+    boolean = opcode.semiring.is_boolean()
+    in_etype = ElementType.B8 if boolean else ElementType.F16
+    out_etype = ElementType.B8 if boolean else ElementType.F32
+    t2 = TILE * TILE
+    instructions = [
+        LoadMatrix(dst=0, addr=0, ld=TILE, etype=in_etype),
+        LoadMatrix(dst=1, addr=t2, ld=TILE, etype=in_etype),
+    ]
+    if with_c_load:
+        instructions.append(LoadMatrix(dst=2, addr=2 * t2, ld=TILE, etype=out_etype))
+    else:
+        fill = 0.0 if boolean else float(opcode.semiring.oplus_identity)
+        instructions.append(FillMatrix(dst=2, value=fill, etype=out_etype))
+    instructions.append(Mmo(opcode, 3, 0, 1, 2))
+    instructions.append(StoreMatrix(src=3, addr=3 * t2, ld=TILE, etype=out_etype))
+    return Program(instructions, auto_halt=True)
+
+
+def _stage_tile_inputs(shm: SharedMemory, opcode: MmoOpcode, a, b, c) -> None:
+    boolean = opcode.semiring.is_boolean()
+    in_etype = ElementType.B8 if boolean else ElementType.F16
+    out_etype = ElementType.B8 if boolean else ElementType.F32
+    t2 = TILE * TILE
+    shm.write_matrix(0, np.asarray(a), in_etype)
+    shm.write_matrix(t2, np.asarray(b), in_etype)
+    shm.write_matrix(2 * t2, np.asarray(c, dtype=opcode.semiring.output_dtype), out_etype)
+
+
+class TestWarpExecutor:
+    @pytest.mark.parametrize("opcode", list(MmoOpcode))
+    def test_tile_program_matches_oracle(self, opcode):
+        rng = np.random.default_rng(11 + int(opcode))
+        ring = opcode.semiring
+        a, b, c = make_ring_inputs(ring, TILE, TILE, TILE, rng)
+        shm = SharedMemory()
+        _stage_tile_inputs(shm, opcode, a, b, c)
+        executor = WarpExecutor(shm)
+        stats = executor.run(_tile_mmo_program(opcode))
+
+        out_etype = ElementType.B8 if ring.is_boolean() else ElementType.F32
+        got = shm.read_matrix(3 * TILE * TILE, (TILE, TILE), out_etype)
+        np.testing.assert_array_equal(
+            got.astype(ring.output_dtype), mmo(ring, a, b, c)
+        )
+        assert stats.mmos == 1
+        assert stats.unit_ops == (TILE // 4) ** 3
+        assert stats.loads == 3
+        assert stats.stores == 1
+
+    def test_fill_identity_equals_no_accumulator(self):
+        rng = np.random.default_rng(2)
+        ring = MmoOpcode.MINPLUS.semiring
+        a, b, _ = make_ring_inputs(ring, TILE, TILE, TILE, rng, with_c=False)
+        shm = SharedMemory()
+        _stage_tile_inputs(shm, MmoOpcode.MINPLUS, a, b, ring.full((TILE, TILE)))
+        executor = WarpExecutor(shm)
+        executor.run(_tile_mmo_program(MmoOpcode.MINPLUS, with_c_load=False))
+        got = shm.read_matrix(3 * TILE * TILE, (TILE, TILE), ElementType.F32)
+        np.testing.assert_array_equal(got, mmo(ring, a, b))
+
+    def test_operand_etype_mismatch_rejected(self):
+        # Feeding an fp32 fragment into the fp16 ⊗ port is a hardware fault.
+        shm = SharedMemory()
+        shm.write_matrix(0, np.zeros((TILE, TILE)), ElementType.F32)
+        program = Program(
+            [
+                LoadMatrix(dst=0, addr=0, ld=TILE, etype=ElementType.F32),
+                LoadMatrix(dst=1, addr=0, ld=TILE, etype=ElementType.F32),
+                FillMatrix(dst=2, value=0.0),
+                Mmo(MmoOpcode.MMA, 3, 0, 1, 2),
+            ],
+            auto_halt=True,
+        )
+        with pytest.raises(HardwareError, match="expected f16"):
+            WarpExecutor(shm).run(program)
+
+    def test_accumulator_etype_mismatch_rejected(self):
+        shm = SharedMemory()
+        program = Program(
+            [
+                FillMatrix(dst=0, value=0.0, etype=ElementType.F16),
+                FillMatrix(dst=1, value=0.0, etype=ElementType.F16),
+                FillMatrix(dst=2, value=0.0, etype=ElementType.F16),
+                Mmo(MmoOpcode.MMA, 3, 0, 1, 2),
+            ],
+            auto_halt=True,
+        )
+        with pytest.raises(HardwareError, match="accumulator"):
+            WarpExecutor(shm).run(program)
+
+    def test_misaligned_load_faults(self):
+        shm = SharedMemory(size_bytes=TILE * TILE * 2)  # one f16 tile exactly
+        program = Program(
+            [LoadMatrix(dst=0, addr=TILE, ld=TILE, etype=ElementType.F16)],
+            auto_halt=True,
+        )
+        with pytest.raises(MemoryFault, match="overruns"):
+            WarpExecutor(shm).run(program)
+
+    def test_baseline_unit_rejects_simd2_program(self):
+        rng = np.random.default_rng(4)
+        ring = MmoOpcode.MINPLUS.semiring
+        a, b, c = make_ring_inputs(ring, TILE, TILE, TILE, rng)
+        shm = SharedMemory()
+        _stage_tile_inputs(shm, MmoOpcode.MINPLUS, a, b, c)
+        executor = WarpExecutor(shm, unit=BaselineMmaUnit())
+        with pytest.raises(UnsupportedOpcode):
+            executor.run(_tile_mmo_program(MmoOpcode.MINPLUS))
+
+    def test_assembled_text_program_runs(self):
+        text = """
+        fill.f16 m0, 2.0
+        fill.f16 m1, 3.0
+        fill.f32 m2, 1.0
+        mmo.mma m3, m0, m1, m2
+        store.f32 m3, [0], ld=16
+        halt
+        """
+        shm = SharedMemory()
+        WarpExecutor(shm).run(Program(assemble(text)))
+        got = shm.read_matrix(0, (TILE, TILE), ElementType.F32)
+        # Each output = 1 + Σ_k 2*3 = 1 + 16*6 = 97.
+        np.testing.assert_array_equal(got, np.full((TILE, TILE), 97.0, dtype=np.float32))
+
+
+class TestSmAndDevice:
+    def _work_item(self, seed: int) -> tuple[WarpWorkItem, np.ndarray, np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        ring = MmoOpcode.MINPLUS.semiring
+        a, b, c = make_ring_inputs(ring, TILE, TILE, TILE, rng)
+        shm = SharedMemory()
+        _stage_tile_inputs(shm, MmoOpcode.MINPLUS, a, b, c)
+        return WarpWorkItem(_tile_mmo_program(MmoOpcode.MINPLUS), shm), a, b, c
+
+    def test_sm_round_robin_over_units(self):
+        sm = StreamingMultiprocessor()
+        for seed in range(8):
+            item, *_ = self._work_item(seed)
+            sm.execute_warp(item.program, item.shared_memory)
+        per_unit = [unit.total_ops for unit in sm.units]
+        assert len(set(per_unit)) == 1  # 8 warps over 4 units: 2 each
+        assert sm.unit_ops == 8 * (TILE // 4) ** 3
+
+    def test_device_launch_aggregates_and_validates(self):
+        device = Simd2Device(sm_count=3)
+        items = []
+        expected = []
+        for seed in range(5):
+            item, a, b, c = self._work_item(seed)
+            items.append(item)
+            expected.append(mmo("min-plus", a, b, c))
+        stats = device.launch(items)
+        assert stats.mmos == 5
+        assert device.kernel_launches == 1
+        assert device.unit_ops == 5 * (TILE // 4) ** 3
+        for item, want in zip(items, expected):
+            got = item.shared_memory.read_matrix(
+                3 * TILE * TILE, (TILE, TILE), ElementType.F32
+            )
+            np.testing.assert_array_equal(got, want)
+
+    def test_device_memory_management(self):
+        device = Simd2Device(sm_count=1)
+        device.malloc("adj", (8, 8), np.float32)
+        host = np.random.default_rng(0).normal(size=(8, 8)).astype(np.float32)
+        device.memcpy_h2d("adj", host)
+        np.testing.assert_array_equal(device.memcpy_d2h("adj"), host)
+        device.free("adj")
+        with pytest.raises(MemoryFault, match="no device buffer"):
+            device.memcpy_d2h("adj")
+
+    def test_double_malloc_rejected(self):
+        device = Simd2Device(sm_count=1)
+        device.malloc("x", (2,), np.float32)
+        with pytest.raises(MemoryFault, match="already allocated"):
+            device.malloc("x", (2,), np.float32)
+
+    def test_h2d_shape_mismatch_rejected(self):
+        device = Simd2Device(sm_count=1)
+        device.malloc("x", (2, 2), np.float32)
+        with pytest.raises(MemoryFault, match="shape mismatch"):
+            device.memcpy_h2d("x", np.zeros((3, 3)))
+
+    def test_reset_clears_stats_not_memory(self):
+        device = Simd2Device(sm_count=1)
+        device.malloc("x", (2,), np.float32)
+        item, *_ = self._work_item(0)
+        device.launch([item])
+        device.reset()
+        assert device.stats.mmos == 0
+        assert device.kernel_launches == 0
+        assert "x" in device.global_memory

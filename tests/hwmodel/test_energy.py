@@ -1,0 +1,50 @@
+"""Tests for the derived energy analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hwmodel.energy import BoardPowerModel, app_energy
+from repro.timing import APP_SIZES, APPS, app_times
+
+
+class TestBoardPower:
+    def test_modes_are_comparable_magnitudes(self):
+        power = BoardPowerModel()
+        # Both modes land in plausible board-power territory (100–400 W)
+        assert 100 < power.cuda_mode_w < 400
+        assert 100 < power.simd2_mode_w < 400
+
+    def test_simd2_mode_includes_unit_power(self):
+        power = BoardPowerModel()
+        assert power.simd2_mode_w > power.base_w
+        no_extra = BoardPowerModel(simd2_extra_w=0.0)
+        assert power.simd2_mode_w > no_extra.simd2_mode_w
+
+
+class TestAppEnergy:
+    def test_energy_gain_tracks_speedup(self):
+        times = app_times("APSP", 8192)
+        energy = app_energy(times)
+        power = BoardPowerModel()
+        expected = times.speedup_units * power.cuda_mode_w / power.simd2_mode_w
+        assert energy.energy_gain == pytest.approx(expected)
+
+    def test_most_apps_save_energy(self):
+        savings = [
+            app_energy(app_times(app, APP_SIZES[app][1])).energy_gain for app in APPS
+        ]
+        assert sum(gain > 1.0 for gain in savings) >= 7
+
+    def test_mst_large_costs_energy(self):
+        # MST at Large is slower on SIMD² — it must also cost more energy.
+        energy = app_energy(app_times("MST", 4096))
+        assert energy.energy_gain < 1.5
+
+    def test_joules_are_consistent(self):
+        times = app_times("GTC", 4096)
+        energy = app_energy(times)
+        assert energy.baseline_j == pytest.approx(
+            times.baseline_s * BoardPowerModel().cuda_mode_w
+        )
+        assert energy.simd2_cuda_j < energy.baseline_j  # GTC wins even on CUDA

@@ -1,0 +1,112 @@
+"""Assembler parse/format tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    ElementType,
+    FillMatrix,
+    Halt,
+    IsaError,
+    LoadMatrix,
+    Mmo,
+    MmoOpcode,
+    StoreMatrix,
+    assemble,
+    assemble_line,
+    disassemble,
+)
+
+SAMPLE = """
+; APSP inner tile
+load.f16  m0, [0], ld=16      ; A tile
+load.f16  m1, [0x100], ld=16  # B tile
+fill.f32  m2, inf
+mmo.minplus m3, m0, m1, m2
+store.f32 m3, [512], ld=16
+halt
+"""
+
+
+class TestAssemble:
+    def test_sample_program(self):
+        instrs = assemble(SAMPLE)
+        assert instrs == [
+            LoadMatrix(dst=0, addr=0, ld=16),
+            LoadMatrix(dst=1, addr=256, ld=16),
+            FillMatrix(dst=2, value=float("inf")),
+            Mmo(MmoOpcode.MINPLUS, 3, 0, 1, 2),
+            StoreMatrix(src=3, addr=512, ld=16),
+            Halt(),
+        ]
+
+    def test_blank_and_comment_lines_skipped(self):
+        assert assemble("; nothing\n\n   # still nothing\n") == []
+
+    def test_hex_addresses(self):
+        instr = assemble_line("load.f16 m5, [0xff], ld=16")
+        assert isinstance(instr, LoadMatrix) and instr.addr == 255
+
+    def test_negative_fill(self):
+        instr = assemble_line("fill.f32 m1, -inf")
+        assert isinstance(instr, FillMatrix) and instr.value == float("-inf")
+
+    def test_case_insensitive_halt(self):
+        assert assemble_line("HALT") == Halt()
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "bogus m0, m1",
+            "load.f64 m0, [0], ld=16",
+            "mmo.divadd m0, m1, m2, m3",
+            "load.f16 m99, [0], ld=16",
+            "fill.f32 m0, not-a-number",
+            "load.f16 m0, [0]",
+        ],
+    )
+    def test_bad_lines_rejected(self, line):
+        with pytest.raises(IsaError):
+            assemble_line(line)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(IsaError, match="line 2"):
+            assemble("halt\nbogus\n")
+
+
+class TestRoundTrip:
+    def test_disassemble_reassembles(self):
+        instrs = assemble(SAMPLE)
+        assert assemble(disassemble(instrs)) == instrs
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.builds(
+                    LoadMatrix,
+                    dst=st.integers(0, 63),
+                    addr=st.integers(0, 2**32 - 1),
+                    ld=st.integers(1, 2**16 - 1),
+                    etype=st.sampled_from(list(ElementType)),
+                ),
+                st.builds(
+                    FillMatrix,
+                    dst=st.integers(0, 63),
+                    value=st.floats(allow_nan=False, width=32),
+                ),
+                st.builds(
+                    Mmo,
+                    opcode=st.sampled_from(list(MmoOpcode)),
+                    d=st.integers(0, 63),
+                    a=st.integers(0, 63),
+                    b=st.integers(0, 63),
+                    c=st.integers(0, 63),
+                ),
+            ),
+            max_size=16,
+        )
+    )
+    def test_text_round_trip_property(self, instrs):
+        assert assemble(disassemble(instrs)) == instrs

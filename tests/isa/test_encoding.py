@@ -1,0 +1,118 @@
+"""Encode/decode round-trip tests, including property-based coverage."""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    ElementType,
+    FillMatrix,
+    Halt,
+    IsaError,
+    LoadMatrix,
+    Mmo,
+    MmoOpcode,
+    StoreMatrix,
+    WORD_BYTES,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+
+registers = st.integers(0, 63)
+addresses = st.integers(0, 2**32 - 1)
+leading_dims = st.integers(1, 2**16 - 1)
+etypes = st.sampled_from(list(ElementType))
+opcodes = st.sampled_from(list(MmoOpcode))
+f32_values = st.floats(
+    allow_nan=False, width=32, allow_infinity=True
+)
+
+loads = st.builds(LoadMatrix, dst=registers, addr=addresses, ld=leading_dims, etype=etypes)
+stores = st.builds(StoreMatrix, src=registers, addr=addresses, ld=leading_dims, etype=etypes)
+fills = st.builds(FillMatrix, dst=registers, value=f32_values, etype=etypes)
+mmos = st.builds(Mmo, opcode=opcodes, d=registers, a=registers, b=registers, c=registers)
+halts = st.just(Halt())
+instructions = st.one_of(loads, stores, fills, mmos, halts)
+
+
+class TestRoundTrip:
+    @given(instructions)
+    def test_encode_decode_identity(self, instr):
+        word = encode_instruction(instr)
+        assert 0 <= word < 2**64
+        assert decode_instruction(word) == instr
+
+    @given(st.lists(instructions, max_size=32))
+    def test_program_blob_round_trip(self, instrs):
+        blob = encode_program(instrs)
+        assert len(blob) == WORD_BYTES * len(instrs)
+        assert decode_program(blob) == instrs
+
+    def test_fill_nan_payload_survives(self):
+        instr = FillMatrix(dst=1, value=float("nan"))
+        decoded = decode_instruction(encode_instruction(instr))
+        assert isinstance(decoded, FillMatrix)
+        assert math.isnan(decoded.value)
+
+    def test_distinct_instructions_encode_distinctly(self):
+        words = {
+            encode_instruction(i)
+            for i in (
+                LoadMatrix(dst=0, addr=0, ld=16),
+                StoreMatrix(src=0, addr=0, ld=16),
+                FillMatrix(dst=0, value=0.0),
+                Mmo(MmoOpcode.MMA, 0, 0, 0, 0),
+                Halt(),
+                Mmo(MmoOpcode.MINPLUS, 0, 0, 0, 0),
+                LoadMatrix(dst=1, addr=0, ld=16),
+                LoadMatrix(dst=0, addr=1, ld=16),
+                LoadMatrix(dst=0, addr=0, ld=17),
+                LoadMatrix(dst=0, addr=0, ld=16, etype=ElementType.F32),
+            )
+        }
+        assert len(words) == 10
+
+
+class TestMalformedWords:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(IsaError, match="invalid instruction kind"):
+            decode_instruction(7 << 61)
+
+    def test_invalid_opcode_rejected(self):
+        word = (3 << 61) | (15 << 57)  # MMO kind, opcode 15
+        with pytest.raises(IsaError, match="invalid mmo opcode"):
+            decode_instruction(word)
+
+    def test_invalid_etype_rejected(self):
+        word = (0 << 61) | (3 << 53) | (16 << 37)  # LOAD, etype=3, ld=16
+        with pytest.raises(IsaError, match="invalid element type"):
+            decode_instruction(word)
+
+    def test_oversized_word_rejected(self):
+        with pytest.raises(IsaError, match="64-bit"):
+            decode_instruction(2**64)
+        with pytest.raises(IsaError, match="64-bit"):
+            decode_instruction(-1)
+
+    def test_ragged_blob_rejected(self):
+        with pytest.raises(IsaError, match="multiple of 8"):
+            decode_program(b"\x00" * 9)
+
+    def test_unknown_instruction_type_rejected(self):
+        class Rogue:
+            kind = MmoOpcode.MMA  # wrong type on purpose
+
+        with pytest.raises((IsaError, TypeError)):
+            encode_instruction(Rogue())  # type: ignore[arg-type]
+
+    def test_decoded_load_with_ld_zero_rejected(self):
+        # A word with LOAD kind and ld=0 must fail instruction validation.
+        word = 0  # kind=LOAD, everything zero
+        with pytest.raises(IsaError, match="leading dimension"):
+            decode_instruction(word)

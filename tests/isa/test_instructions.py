@@ -1,0 +1,103 @@
+"""Unit tests for instruction objects and field validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa import (
+    ElementType,
+    FillMatrix,
+    Halt,
+    InstructionKind,
+    IsaError,
+    LoadMatrix,
+    Mmo,
+    MmoOpcode,
+    NUM_MATRIX_REGISTERS,
+    StoreMatrix,
+)
+
+
+class TestOpcodes:
+    def test_nine_mmo_opcodes(self):
+        assert len(MmoOpcode) == 9
+        assert MmoOpcode.MMA == 0
+        assert MmoOpcode.ADDNORM == 8
+
+    def test_opcode_semiring_mapping(self):
+        assert MmoOpcode.MMA.semiring.name == "plus-mul"
+        assert MmoOpcode.MINPLUS.semiring.name == "min-plus"
+        assert MmoOpcode.ORAND.semiring.name == "or-and"
+        assert MmoOpcode.ADDNORM.semiring.name == "plus-norm"
+
+    def test_every_opcode_has_distinct_semiring(self):
+        names = {op.semiring.name for op in MmoOpcode}
+        assert len(names) == 9
+
+    def test_from_semiring_round_trip(self):
+        for op in MmoOpcode:
+            assert MmoOpcode.from_semiring(op.semiring) is op
+
+    def test_from_mnemonic(self):
+        assert MmoOpcode.from_mnemonic("minplus") is MmoOpcode.MINPLUS
+        assert MmoOpcode.from_mnemonic(" MAXMIN ") is MmoOpcode.MAXMIN
+        with pytest.raises(IsaError, match="unknown mmo opcode"):
+            MmoOpcode.from_mnemonic("divsub")
+
+    def test_element_type_sizes(self):
+        assert ElementType.F16.nbytes == 2
+        assert ElementType.F32.nbytes == 4
+        assert ElementType.B8.nbytes == 1
+
+    def test_element_type_suffix_round_trip(self):
+        for etype in ElementType:
+            assert ElementType.from_suffix(etype.suffix) is etype
+        with pytest.raises(IsaError):
+            ElementType.from_suffix("f64")
+
+
+class TestFieldValidation:
+    def test_register_range(self):
+        LoadMatrix(dst=NUM_MATRIX_REGISTERS - 1, addr=0, ld=16)
+        with pytest.raises(IsaError, match="out of range"):
+            LoadMatrix(dst=NUM_MATRIX_REGISTERS, addr=0, ld=16)
+        with pytest.raises(IsaError, match="out of range"):
+            Mmo(opcode=MmoOpcode.MMA, d=0, a=1, b=2, c=-1)
+
+    def test_address_range(self):
+        LoadMatrix(dst=0, addr=2**32 - 1, ld=16)
+        with pytest.raises(IsaError, match="32-bit"):
+            LoadMatrix(dst=0, addr=2**32, ld=16)
+
+    def test_leading_dimension_range(self):
+        with pytest.raises(IsaError, match="leading dimension"):
+            StoreMatrix(src=0, addr=0, ld=0)
+        with pytest.raises(IsaError, match="leading dimension"):
+            StoreMatrix(src=0, addr=0, ld=2**16)
+
+    def test_fill_rounds_to_fp32(self):
+        instr = FillMatrix(dst=0, value=1 / 3)
+        assert instr.value == np.float32(1 / 3)
+
+    def test_fill_accepts_infinities(self):
+        assert FillMatrix(dst=0, value=float("inf")).value == float("inf")
+        assert FillMatrix(dst=0, value=float("-inf")).value == float("-inf")
+
+    def test_mmo_accepts_int_opcode(self):
+        assert Mmo(opcode=1, d=0, a=1, b=2, c=3).opcode is MmoOpcode.MINPLUS
+
+
+class TestRendering:
+    def test_assembly_strings(self):
+        assert str(LoadMatrix(dst=3, addr=256, ld=32)) == "load.f16 m3, [256], ld=32"
+        assert str(StoreMatrix(src=4, addr=0, ld=16)) == "store.f32 m4, [0], ld=16"
+        assert str(Mmo(MmoOpcode.MINPLUS, 3, 0, 1, 2)) == "mmo.minplus m3, m0, m1, m2"
+        assert str(Halt()) == "halt"
+
+    def test_kinds(self):
+        assert LoadMatrix(dst=0, addr=0, ld=16).kind is InstructionKind.LOAD
+        assert StoreMatrix(src=0, addr=0, ld=16).kind is InstructionKind.STORE
+        assert FillMatrix(dst=0, value=0.0).kind is InstructionKind.FILL
+        assert Mmo(MmoOpcode.MMA, 0, 0, 0, 0).kind is InstructionKind.MMO
+        assert Halt().kind is InstructionKind.HALT

@@ -1,0 +1,102 @@
+"""Program container validation and statistics tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import (
+    FillMatrix,
+    Halt,
+    IsaError,
+    LoadMatrix,
+    Mmo,
+    MmoOpcode,
+    Program,
+    StoreMatrix,
+)
+
+
+def _valid_body():
+    return [
+        LoadMatrix(dst=0, addr=0, ld=16),
+        LoadMatrix(dst=1, addr=256, ld=16),
+        FillMatrix(dst=2, value=0.0),
+        Mmo(MmoOpcode.MMA, 3, 0, 1, 2),
+        StoreMatrix(src=3, addr=512, ld=16),
+    ]
+
+
+class TestValidation:
+    def test_valid_program(self):
+        program = Program(_valid_body() + [Halt()])
+        assert len(program) == 6
+
+    def test_auto_halt(self):
+        program = Program(_valid_body(), auto_halt=True)
+        assert isinstance(program[-1], Halt)
+
+    def test_empty_rejected(self):
+        with pytest.raises(IsaError, match="empty"):
+            Program([])
+
+    def test_missing_halt_rejected(self):
+        with pytest.raises(IsaError, match="must end with halt"):
+            Program(_valid_body())
+
+    def test_mid_program_halt_rejected(self):
+        body = _valid_body()
+        with pytest.raises(IsaError, match="final instruction"):
+            Program(body[:2] + [Halt()] + body[2:] + [Halt()])
+
+    def test_store_before_write_rejected(self):
+        with pytest.raises(IsaError, match="store reads m7"):
+            Program([StoreMatrix(src=7, addr=0, ld=16), Halt()])
+
+    def test_mmo_operand_before_write_rejected(self):
+        with pytest.raises(IsaError, match="operand b=m1"):
+            Program(
+                [
+                    LoadMatrix(dst=0, addr=0, ld=16),
+                    FillMatrix(dst=2, value=0.0),
+                    Mmo(MmoOpcode.MMA, 3, 0, 1, 2),
+                    Halt(),
+                ]
+            )
+
+    def test_mmo_result_feeds_later_mmo(self):
+        # d of a previous mmo counts as written.
+        Program(
+            [
+                LoadMatrix(dst=0, addr=0, ld=16),
+                LoadMatrix(dst=1, addr=0, ld=16),
+                FillMatrix(dst=2, value=0.0),
+                Mmo(MmoOpcode.MMA, 3, 0, 1, 2),
+                Mmo(MmoOpcode.MMA, 4, 0, 1, 3),
+                Halt(),
+            ]
+        )
+
+
+class TestStatsAndIntrospection:
+    def test_stats(self):
+        program = Program(
+            _valid_body() + [Mmo(MmoOpcode.MINPLUS, 4, 0, 1, 3), Halt()]
+        )
+        stats = program.stats()
+        assert stats.loads == 2
+        assert stats.stores == 1
+        assert stats.fills == 1
+        assert stats.mmos == 2
+        assert stats.mmos_by_opcode == {MmoOpcode.MMA: 1, MmoOpcode.MINPLUS: 1}
+        assert stats.total == 6
+
+    def test_registers_used(self):
+        program = Program(_valid_body(), auto_halt=True)
+        assert program.registers_used() == {0, 1, 2, 3}
+
+    def test_sequence_protocol(self):
+        program = Program(_valid_body(), auto_halt=True)
+        assert isinstance(program[0], LoadMatrix)
+        assert list(program)[-1] == Halt()
+        assert program == Program(_valid_body(), auto_halt=True)
+        assert hash(program) == hash(Program(_valid_body(), auto_halt=True))

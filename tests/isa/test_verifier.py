@@ -1,0 +1,152 @@
+"""Tests for the static program verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import (
+    ElementType,
+    FillMatrix,
+    IsaError,
+    LoadMatrix,
+    Mmo,
+    MmoOpcode,
+    Program,
+    StoreMatrix,
+    verify_program,
+)
+from repro.runtime.kernels import build_tile_mmo_program
+
+
+def _valid_program() -> Program:
+    return Program(
+        [
+            LoadMatrix(dst=0, addr=0, ld=16),
+            LoadMatrix(dst=1, addr=256, ld=16),
+            FillMatrix(dst=2, value=0.0),
+            Mmo(MmoOpcode.MMA, 3, 0, 1, 2),
+            StoreMatrix(src=3, addr=512, ld=16),
+        ],
+        auto_halt=True,
+    )
+
+
+class TestCleanPrograms:
+    def test_valid_program_verifies(self):
+        report = verify_program(_valid_program())
+        assert report.ok
+        assert report.registers_used == {0, 1, 2, 3}
+        assert not report.dead_stores
+
+    def test_generated_kernels_verify_clean(self):
+        for opcode in MmoOpcode:
+            program, _, _ = build_tile_mmo_program(
+                opcode, tiles_k=3, boolean=opcode.semiring.is_boolean()
+            )
+            report = verify_program(program)
+            assert report.ok, (opcode, report.errors)
+            assert not report.warnings, (opcode, report.warnings)
+
+    def test_shared_memory_footprint(self):
+        report = verify_program(_valid_program())
+        # Deepest access: f32 store at 512 .. 512 + 15*16 + 16 elements.
+        assert report.shared_memory_bytes == (512 + 15 * 16 + 16) * 4
+
+
+class TestTypeErrors:
+    def test_fp32_operand_into_fp16_port(self):
+        program = Program(
+            [
+                FillMatrix(dst=0, value=1.0, etype=ElementType.F32),
+                FillMatrix(dst=1, value=1.0, etype=ElementType.F16),
+                FillMatrix(dst=2, value=0.0, etype=ElementType.F32),
+                Mmo(MmoOpcode.MMA, 3, 0, 1, 2),
+            ],
+            auto_halt=True,
+        )
+        report = verify_program(program)
+        assert not report.ok
+        assert "a=m0 holds f32" in report.errors[0]
+
+    def test_fp16_accumulator_rejected(self):
+        program = Program(
+            [
+                FillMatrix(dst=0, value=1.0, etype=ElementType.F16),
+                FillMatrix(dst=1, value=1.0, etype=ElementType.F16),
+                FillMatrix(dst=2, value=0.0, etype=ElementType.F16),
+                Mmo(MmoOpcode.MMA, 3, 0, 1, 2),
+            ],
+            auto_halt=True,
+        )
+        report = verify_program(program)
+        assert any("accumulator c=m2" in e for e in report.errors)
+
+    def test_boolean_ring_wants_b8(self):
+        program = Program(
+            [
+                FillMatrix(dst=0, value=1.0, etype=ElementType.F16),
+                FillMatrix(dst=1, value=1.0, etype=ElementType.F16),
+                FillMatrix(dst=2, value=0.0, etype=ElementType.F32),
+                Mmo(MmoOpcode.ORAND, 3, 0, 1, 2),
+            ],
+            auto_halt=True,
+        )
+        report = verify_program(program)
+        assert any("port needs b8" in e for e in report.errors)
+
+    def test_store_format_mismatch(self):
+        program = Program(
+            [
+                FillMatrix(dst=0, value=1.0, etype=ElementType.F16),
+                StoreMatrix(src=0, addr=0, ld=16, etype=ElementType.F32),
+            ],
+            auto_halt=True,
+        )
+        report = verify_program(program)
+        assert any("store.f32 of m0 which holds f16" in e for e in report.errors)
+
+    def test_check_mode_raises(self):
+        program = Program(
+            [
+                FillMatrix(dst=0, value=1.0, etype=ElementType.F32),
+                FillMatrix(dst=1, value=1.0, etype=ElementType.F16),
+                FillMatrix(dst=2, value=0.0, etype=ElementType.F32),
+                Mmo(MmoOpcode.MMA, 3, 0, 1, 2),
+            ],
+            auto_halt=True,
+        )
+        with pytest.raises(IsaError, match="port needs f16"):
+            verify_program(program, check=True)
+
+
+class TestLiveness:
+    def test_dead_store_warning(self):
+        program = Program(
+            [
+                FillMatrix(dst=0, value=1.0, etype=ElementType.F16),
+                FillMatrix(dst=0, value=2.0, etype=ElementType.F16),  # kills #0
+                LoadMatrix(dst=1, addr=0, ld=16),
+                FillMatrix(dst=2, value=0.0),
+                Mmo(MmoOpcode.MMA, 3, 0, 1, 2),
+                StoreMatrix(src=3, addr=0, ld=16),
+            ],
+            auto_halt=True,
+        )
+        report = verify_program(program)
+        assert report.ok
+        assert any("dead store" in w for w in report.warnings)
+
+    def test_unread_final_value_flagged(self):
+        program = Program(
+            [
+                LoadMatrix(dst=0, addr=0, ld=16),
+                LoadMatrix(dst=1, addr=0, ld=16),
+                FillMatrix(dst=2, value=0.0),
+                Mmo(MmoOpcode.MMA, 3, 0, 1, 2),
+                # m3 never stored: the whole computation is dead.
+            ],
+            auto_halt=True,
+        )
+        report = verify_program(program)
+        assert 3 in {program[i].d for i in report.dead_stores if hasattr(program[i], "d")}
+        assert any("never" in w for w in report.warnings)

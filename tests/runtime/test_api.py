@@ -1,0 +1,95 @@
+"""Tests for the Table-3-style tile program builder."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.isa import ElementType, FillMatrix, LoadMatrix, Mmo, MmoOpcode, StoreMatrix
+from repro.runtime import RuntimeError_, TileProgramBuilder
+
+
+def _minplus_builder() -> TileProgramBuilder:
+    builder = TileProgramBuilder()
+    a = builder.matrix("a")
+    b = builder.matrix("b")
+    acc = builder.matrix("accumulator")
+    builder.loadmatrix(a, addr=0, ld=16)
+    builder.loadmatrix(b, addr=256, ld=16)
+    builder.fillmatrix(acc, math.inf)
+    builder.mmo(acc, a, b, acc, "minplus")
+    builder.storematrix(addr=512, source=acc, ld=16)
+    return builder
+
+
+class TestBuilder:
+    def test_figure6_style_program(self):
+        program = _minplus_builder().build()
+        kinds = [type(instr) for instr in program]
+        assert kinds[:5] == [LoadMatrix, LoadMatrix, FillMatrix, Mmo, StoreMatrix]
+        mmo_instr = program[3]
+        assert mmo_instr.opcode is MmoOpcode.MINPLUS
+        assert program[2].value == math.inf
+
+    def test_role_etypes(self):
+        builder = TileProgramBuilder()
+        assert builder.matrix("a").etype is ElementType.F16
+        assert builder.matrix("accumulator").etype is ElementType.F32
+
+    def test_boolean_roles(self):
+        builder = TileProgramBuilder(boolean=True)
+        assert builder.matrix("a").etype is ElementType.B8
+        assert builder.matrix("accumulator").etype is ElementType.B8
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(RuntimeError_, match="unknown matrix role"):
+            TileProgramBuilder().matrix("z")
+
+    def test_register_allocation_is_sequential(self):
+        builder = TileProgramBuilder()
+        handles = [builder.matrix("a") for _ in range(3)]
+        assert [h.register for h in handles] == [0, 1, 2]
+
+    def test_register_exhaustion(self):
+        builder = TileProgramBuilder()
+        for _ in range(64):
+            builder.matrix("a")
+        with pytest.raises(RuntimeError_, match="exhausted"):
+            builder.matrix("a")
+
+    def test_mmo_role_checking(self):
+        builder = TileProgramBuilder()
+        a = builder.matrix("a")
+        b = builder.matrix("b")
+        acc = builder.matrix("accumulator")
+        with pytest.raises(RuntimeError_, match="must be an accumulator"):
+            builder.mmo(a, a, b, acc, "mma")
+        with pytest.raises(RuntimeError_, match="must be an operand"):
+            builder.mmo(acc, acc, b, acc, "mma")
+
+    def test_build_is_single_shot(self):
+        builder = _minplus_builder()
+        builder.build()
+        with pytest.raises(RuntimeError_, match="already built"):
+            builder.build()
+        with pytest.raises(RuntimeError_, match="already built"):
+            builder.fillmatrix(builder.matrix("a"), 0.0)
+
+    def test_invalid_program_surfaces_isa_error(self):
+        builder = TileProgramBuilder()
+        a = builder.matrix("a")
+        builder.storematrix(addr=0, source=a, ld=16)  # store before write
+        with pytest.raises(RuntimeError_, match="invalid tile program"):
+            builder.build()
+
+    def test_mmo_accepts_opcode_enum(self):
+        builder = TileProgramBuilder()
+        a = builder.matrix("a")
+        b = builder.matrix("b")
+        acc = builder.matrix("accumulator")
+        builder.fillmatrix(acc, 0.0)
+        builder.loadmatrix(a, 0, 16)
+        builder.loadmatrix(b, 0, 16)
+        builder.mmo(acc, a, b, acc, MmoOpcode.ADDNORM)
+        assert builder.build()[3].opcode is MmoOpcode.ADDNORM

@@ -1,0 +1,89 @@
+"""Tests for batched mmo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import mmo
+from repro.hw import Simd2Device
+from repro.runtime import RuntimeError_
+from repro.runtime.batched import batched_mmo
+from repro.isa import MmoOpcode
+
+
+def _stack(batch, m, k, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(-5, 6, (batch, m, k)).astype(float)
+
+
+class TestBatchedSemantics:
+    def test_matches_per_item_mmo(self):
+        a = _stack(3, 8, 6, seed=1)
+        b = _stack(3, 6, 7, seed=2)
+        c = _stack(3, 8, 7, seed=3)
+        out, stats = batched_mmo("min-plus", a, b, c)
+        assert out.shape == (3, 8, 7)
+        for i in range(3):
+            np.testing.assert_array_equal(out[i], mmo("min-plus", a[i], b[i], c[i]))
+        assert stats.batch == 3
+        assert len(stats.per_item) == 3
+
+    def test_broadcast_single_b(self):
+        a = _stack(4, 5, 6, seed=4)
+        b = _stack(1, 6, 5, seed=5)[0]  # plain 2-D matrix
+        out, stats = batched_mmo("plus-mul", a, b)
+        assert stats.batch == 4
+        for i in range(4):
+            np.testing.assert_array_equal(out[i], mmo("plus-mul", a[i], b))
+
+    def test_broadcast_singleton_stack(self):
+        a = _stack(1, 4, 4, seed=6)
+        b = _stack(5, 4, 4, seed=7)
+        out, stats = batched_mmo("max-plus", a, b)
+        assert out.shape == (5, 4, 4)
+        assert stats.batch == 5
+        np.testing.assert_array_equal(out[2], mmo("max-plus", a[0], b[2]))
+
+    def test_all_2d_is_batch_of_one(self):
+        a = _stack(1, 4, 4, seed=8)[0]
+        out, stats = batched_mmo("mma", a, a)
+        assert out.shape == (1, 4, 4)
+        assert stats.batch == 1
+
+    def test_accepts_opcode(self):
+        a = _stack(2, 4, 4, seed=9)
+        out, _ = batched_mmo(MmoOpcode.MAXMIN, a, a)
+        np.testing.assert_array_equal(out[0], mmo("max-min", a[0], a[0]))
+
+
+class TestStatsAggregation:
+    def test_aggregates_counts(self):
+        a = _stack(3, 20, 20, seed=10)
+        _, stats = batched_mmo("min-plus", a, a)
+        per = stats.per_item[0]
+        assert stats.mmo_instructions == 3 * per.mmo_instructions
+        assert stats.warp_programs == 3 * per.warp_programs
+        assert stats.unit_ops == 3 * per.unit_ops
+
+    def test_emulate_backend_shares_device(self):
+        device = Simd2Device(sm_count=2)
+        a = _stack(2, 16, 16, seed=11)
+        out, stats = batched_mmo("min-plus", a, a, backend="emulate", device=device)
+        assert device.kernel_launches == 2
+        for i in range(2):
+            np.testing.assert_array_equal(out[i], mmo("min-plus", a[i], a[i]))
+
+
+class TestValidation:
+    def test_conflicting_batches(self):
+        with pytest.raises(RuntimeError_, match="conflicts with batch"):
+            batched_mmo("mma", _stack(2, 4, 4), _stack(3, 4, 4))
+
+    def test_bad_rank(self):
+        with pytest.raises(RuntimeError_, match="stack of matrices"):
+            batched_mmo("mma", np.zeros((2, 2, 2, 2)), np.zeros((2, 2)))
+
+    def test_c_batch_mismatch(self):
+        with pytest.raises(RuntimeError_):
+            batched_mmo("mma", _stack(2, 4, 4), _stack(2, 4, 4), _stack(3, 4, 4))

@@ -1,0 +1,151 @@
+"""Tests for closure iteration (Bellman-Ford / Leyzorek / convergence)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SemiringError
+from repro.runtime import closure, max_iterations_for
+
+
+def _path_graph_minplus(n: int) -> np.ndarray:
+    """A directed path 0→1→…→n-1 with unit weights, min-plus encoded."""
+    adj = np.full((n, n), np.inf)
+    np.fill_diagonal(adj, 0.0)
+    for i in range(n - 1):
+        adj[i, i + 1] = 1.0
+    return adj
+
+
+def _expected_path_distances(n: int) -> np.ndarray:
+    expected = np.full((n, n), np.inf, dtype=np.float32)
+    for i in range(n):
+        for j in range(i, n):
+            expected[i, j] = float(j - i)
+    return expected
+
+
+class TestIterationBounds:
+    def test_bounds(self):
+        assert max_iterations_for("bellman-ford", 10) == 10
+        assert max_iterations_for("leyzorek", 10) == 4
+        assert max_iterations_for("leyzorek", 1) == 1
+        assert max_iterations_for("bellman-ford", 0) == 1
+
+    def test_unknown_method(self):
+        with pytest.raises(SemiringError, match="unknown closure method"):
+            max_iterations_for("dijkstra", 4)
+
+
+class TestLeyzorek:
+    def test_path_graph_distances(self):
+        n = 12
+        result = closure("min-plus", _path_graph_minplus(n), method="leyzorek")
+        np.testing.assert_array_equal(result.matrix, _expected_path_distances(n))
+        assert result.converged
+
+    def test_iteration_count_is_logarithmic(self):
+        # Path of length 11 (diameter 11): squaring needs ⌈log2(11)⌉ = 4
+        # productive iterations plus one to observe the fixpoint.
+        result = closure("min-plus", _path_graph_minplus(12), method="leyzorek")
+        assert result.iterations <= max_iterations_for("leyzorek", 12) + 1
+
+    def test_small_diameter_converges_fast(self):
+        # A star graph has diameter 2 regardless of size.
+        n = 20
+        adj = np.full((n, n), np.inf)
+        np.fill_diagonal(adj, 0.0)
+        adj[0, 1:] = 1.0
+        adj[1:, 0] = 1.0
+        result = closure("min-plus", adj, method="leyzorek")
+        assert result.converged
+        assert result.iterations <= 3  # log2(diameter)=1, +1 fixpoint, slack 1
+
+
+class TestBellmanFord:
+    def test_matches_leyzorek(self):
+        n = 9
+        adj = _path_graph_minplus(n)
+        bf = closure("min-plus", adj, method="bellman-ford")
+        ley = closure("min-plus", adj, method="leyzorek")
+        np.testing.assert_array_equal(bf.matrix, ley.matrix)
+
+    def test_needs_linear_iterations_on_path(self):
+        n = 9
+        bf = closure("min-plus", _path_graph_minplus(n), method="bellman-ford")
+        # Diameter n-1 = 8: BF relaxes one hop per iteration.
+        assert bf.iterations >= n - 2
+        assert bf.converged
+
+    def test_random_graph_agreement(self):
+        rng = np.random.default_rng(17)
+        n = 24
+        adj = np.where(rng.random((n, n)) < 0.2, rng.integers(1, 9, (n, n)), np.inf).astype(float)
+        np.fill_diagonal(adj, 0.0)
+        bf = closure("min-plus", adj, method="bellman-ford")
+        ley = closure("min-plus", adj, method="leyzorek")
+        np.testing.assert_array_equal(bf.matrix, ley.matrix)
+
+
+class TestConvergencePolicy:
+    def test_without_check_runs_worst_case(self):
+        n = 16
+        adj = _path_graph_minplus(n)
+        result = closure("min-plus", adj, method="leyzorek", convergence_check=False)
+        assert result.iterations == max_iterations_for("leyzorek", n)
+        assert result.convergence_checks == 0
+        assert not result.converged
+        np.testing.assert_array_equal(result.matrix, _expected_path_distances(n))
+
+    def test_with_check_counts_checks(self):
+        result = closure("min-plus", _path_graph_minplus(8), method="leyzorek")
+        assert result.convergence_checks == result.iterations
+
+    def test_max_iterations_cap(self):
+        result = closure(
+            "min-plus", _path_graph_minplus(16), method="bellman-ford", max_iterations=2
+        )
+        assert result.iterations == 2
+        assert not result.converged
+        assert result.matrix[0, 5] == np.inf  # 5 hops not yet relaxed after 2
+
+    def test_kernel_stats_accumulate(self):
+        result = closure("min-plus", _path_graph_minplus(20), method="leyzorek")
+        assert len(result.kernel_stats) == result.iterations
+        per_iter = result.kernel_stats[0].mmo_instructions
+        assert result.total_mmo_instructions == per_iter * result.iterations
+
+
+class TestOtherRings:
+    def test_or_and_transitive_closure(self):
+        n = 6
+        adj = np.zeros((n, n), dtype=bool)
+        np.fill_diagonal(adj, True)
+        for i in range(n - 1):
+            adj[i, i + 1] = True
+        result = closure("or-and", adj, method="leyzorek")
+        np.testing.assert_array_equal(result.matrix, np.triu(np.ones((n, n), bool)))
+
+    def test_max_min_capacity_closure(self):
+        # 0 -5- 1 -3- 2: capacity(0,2) = min(5,3) = 3 under max-min.
+        adj = np.full((3, 3), -np.inf)
+        np.fill_diagonal(adj, np.inf)  # a node reaches itself with ∞ capacity
+        adj[0, 1] = adj[1, 0] = 5.0
+        adj[1, 2] = adj[2, 1] = 3.0
+        result = closure("max-min", adj, method="leyzorek")
+        assert result.matrix[0, 2] == 3.0
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(SemiringError, match="square"):
+            closure("min-plus", np.zeros((2, 3)))
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(SemiringError, match="unknown closure method"):
+            closure("min-plus", np.zeros((2, 2)), method="warshall")
+
+    def test_bad_max_iterations(self):
+        with pytest.raises(SemiringError, match="must be positive"):
+            closure("min-plus", np.zeros((2, 2)), max_iterations=0)

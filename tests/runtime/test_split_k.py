@@ -1,0 +1,62 @@
+"""Tests for split-k kernel scheduling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import mmo
+from repro.runtime import RuntimeError_, mmo_tiled_split_k
+from tests.conftest import make_ring_inputs
+
+
+class TestSplitK:
+    @pytest.mark.parametrize("splits", [1, 2, 3, 5])
+    def test_matches_unsplit_for_every_ring(self, ring, rng, splits):
+        a, b, c = make_ring_inputs(ring, 12, 40, 9, rng)
+        got, stats_list = mmo_tiled_split_k(ring, a, b, c, splits=splits)
+        np.testing.assert_array_equal(got, mmo(ring, a, b, c))
+        assert len(stats_list) == splits
+
+    def test_without_accumulator(self, rng):
+        a, b, _ = make_ring_inputs(
+            __import__("repro.core", fromlist=["SEMIRINGS"]).SEMIRINGS["min-plus"],
+            8, 33, 8, rng, with_c=False,
+        )
+        got, _ = mmo_tiled_split_k("min-plus", a, b, splits=4)
+        np.testing.assert_array_equal(got, mmo("min-plus", a, b))
+
+    def test_splits_capped_by_k(self, rng):
+        a, b, _ = make_ring_inputs(
+            __import__("repro.core", fromlist=["SEMIRINGS"]).SEMIRINGS["min-plus"],
+            4, 3, 4, rng, with_c=False,
+        )
+        got, stats_list = mmo_tiled_split_k("min-plus", a, b, splits=10)
+        assert len(stats_list) == 3
+        np.testing.assert_array_equal(got, mmo("min-plus", a, b))
+
+    def test_work_is_partitioned(self, rng):
+        a, b, _ = make_ring_inputs(
+            __import__("repro.core", fromlist=["SEMIRINGS"]).SEMIRINGS["min-plus"],
+            16, 64, 16, rng, with_c=False,
+        )
+        _, stats_list = mmo_tiled_split_k("min-plus", a, b, splits=4)
+        assert [s.k for s in stats_list] == [16, 16, 16, 16]
+
+    def test_emulate_backend(self, rng):
+        a, b, c = make_ring_inputs(
+            __import__("repro.core", fromlist=["SEMIRINGS"]).SEMIRINGS["max-min"],
+            16, 32, 16, rng,
+        )
+        split, _ = mmo_tiled_split_k("max-min", a, b, c, splits=2, backend="emulate")
+        np.testing.assert_array_equal(split, mmo("max-min", a, b, c))
+
+    def test_validation(self):
+        with pytest.raises(RuntimeError_, match="splits"):
+            mmo_tiled_split_k("mma", np.zeros((2, 2)), np.zeros((2, 2)), splits=0)
+        with pytest.raises(RuntimeError_, match="bad mmo operand shapes"):
+            mmo_tiled_split_k("mma", np.zeros((2, 3)), np.zeros((2, 3)))
+        with pytest.raises(RuntimeError_, match="accumulator shape"):
+            mmo_tiled_split_k(
+                "mma", np.zeros((2, 3)), np.zeros((3, 2)), np.zeros((3, 3))
+            )

@@ -1,0 +1,90 @@
+"""Tests for vector semiring operations and single-source algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SemiringError, mmo
+from repro.datasets import GraphSpec, boolean_graph, distance_graph
+from repro.runtime import closure
+from repro.runtime.vector import reachable_from, sssp, vxm
+
+
+class TestVxm:
+    def test_matches_mmo_row(self, rng):
+        a = rng.integers(1, 9, (6, 7)).astype(float)
+        x = rng.integers(1, 9, 6).astype(float)
+        got = vxm("min-plus", x, a)
+        expected = mmo("min-plus", x[None, :], a)[0]
+        np.testing.assert_array_equal(got, expected)
+
+    def test_accumulator(self, rng):
+        a = rng.integers(1, 9, (4, 4)).astype(float)
+        x = rng.integers(1, 9, 4).astype(float)
+        y = rng.integers(1, 9, 4).astype(float)
+        got = vxm("min-plus", x, a, y)
+        expected = mmo("min-plus", x[None, :], a, y[None, :])[0]
+        np.testing.assert_array_equal(got, expected)
+
+    def test_boolean(self, rng):
+        a = rng.random((5, 5)) < 0.4
+        x = rng.random(5) < 0.5
+        got = vxm("or-and", x, a)
+        expected = mmo("or-and", x[None, :], a)[0]
+        np.testing.assert_array_equal(got, expected)
+
+    def test_identity_legs_do_not_poison(self):
+        # inf ⊗ anything must lose the min (treated as "no path").
+        x = np.array([np.inf, 2.0])
+        a = np.array([[1.0, np.inf], [np.inf, 3.0]])
+        got = vxm("min-plus", x, a)
+        np.testing.assert_array_equal(got, np.array([np.inf, 5.0], dtype=np.float32))
+
+    def test_shape_validation(self):
+        with pytest.raises(SemiringError, match="vxm shapes"):
+            vxm("min-plus", np.zeros(3), np.zeros((4, 4)))
+        with pytest.raises(SemiringError, match="accumulator shape"):
+            vxm("min-plus", np.zeros(4), np.zeros((4, 4)), np.zeros(3))
+
+
+class TestSssp:
+    def test_matches_all_pairs_row(self):
+        adj = distance_graph(GraphSpec(30, 0.15, seed=12))
+        all_pairs = closure("min-plus", adj).matrix
+        for source in (0, 7, 29):
+            single = sssp(adj, source)
+            np.testing.assert_array_equal(single.values, all_pairs[source])
+            assert single.converged
+
+    def test_iterations_track_eccentricity(self):
+        # A path graph: distances from vertex 0 need n-1 relaxations.
+        n = 10
+        adj = np.full((n, n), np.inf)
+        np.fill_diagonal(adj, 0.0)
+        for i in range(n - 1):
+            adj[i, i + 1] = 1.0
+        result = sssp(adj, 0)
+        assert result.converged
+        assert result.iterations >= n - 1
+        np.testing.assert_array_equal(result.values, np.arange(n, dtype=np.float32))
+
+    def test_source_validation(self):
+        adj = distance_graph(GraphSpec(8, 0.3, seed=0))
+        with pytest.raises(SemiringError, match="source"):
+            sssp(adj, 8)
+        with pytest.raises(SemiringError, match="max_iterations"):
+            sssp(adj, 0, max_iterations=0)
+
+
+class TestReachability:
+    def test_matches_transitive_closure_row(self):
+        adj = boolean_graph(GraphSpec(25, 0.12, seed=13), reflexive=True)
+        all_pairs = closure("or-and", adj).matrix
+        for source in (0, 12, 24):
+            single = reachable_from(adj, source)
+            np.testing.assert_array_equal(single.values, all_pairs[source])
+
+    def test_requires_boolean(self):
+        with pytest.raises(SemiringError, match="boolean"):
+            reachable_from(np.zeros((3, 3)), 0)

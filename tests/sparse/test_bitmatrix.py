@@ -1,0 +1,83 @@
+"""Tests for the packed boolean matrix (cuBool analogue)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import mmo
+from repro.datasets import GraphSpec, boolean_graph
+from repro.apps import gtc_baseline
+from repro.sparse import SparseError
+from repro.sparse.bitmatrix import BitMatrix
+
+
+def _random_bool(rows, cols, density=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random((rows, cols)) < density
+
+
+class TestPacking:
+    @pytest.mark.parametrize("shape", [(5, 7), (3, 64), (4, 65), (1, 1), (2, 128)])
+    def test_round_trip(self, shape):
+        dense = _random_bool(*shape, seed=shape[0] * 100 + shape[1])
+        packed = BitMatrix.from_dense(dense)
+        np.testing.assert_array_equal(packed.to_dense(), dense)
+
+    def test_nnz(self):
+        dense = _random_bool(9, 70, seed=3)
+        assert BitMatrix.from_dense(dense).nnz == int(dense.sum())
+
+    def test_memory_is_one_bit_per_element(self):
+        packed = BitMatrix.from_dense(np.zeros((64, 128), dtype=bool))
+        assert packed.memory_bytes() == 64 * (128 // 64) * 8  # = n²/8 bytes
+
+    def test_non_boolean_rejected(self):
+        with pytest.raises(SparseError, match="boolean"):
+            BitMatrix.from_dense(np.zeros((2, 2)))
+
+    def test_padding_bit_invariant_enforced(self):
+        with pytest.raises(SparseError, match="padding bits"):
+            BitMatrix(shape=(1, 3), words=np.array([[0xFF]], dtype=np.uint64))
+
+
+class TestMultiply:
+    @given(st.integers(1, 12), st.integers(1, 70), st.integers(1, 12), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_orand_semiring(self, m, k, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.random((m, k)) < 0.3
+        b = rng.random((k, n)) < 0.3
+        got = BitMatrix.from_dense(a).multiply(BitMatrix.from_dense(b))
+        np.testing.assert_array_equal(got.to_dense(), mmo("or-and", a, b))
+
+    def test_shape_mismatch(self):
+        a = BitMatrix.from_dense(np.zeros((2, 3), dtype=bool))
+        with pytest.raises(SparseError, match="inner dimensions"):
+            a.multiply(a)
+
+    def test_elementwise_or(self):
+        a = _random_bool(5, 9, seed=1)
+        b = _random_bool(5, 9, seed=2)
+        got = BitMatrix.from_dense(a).elementwise_or(BitMatrix.from_dense(b))
+        np.testing.assert_array_equal(got.to_dense(), a | b)
+
+
+class TestClosure:
+    def test_matches_bfs_baseline(self):
+        adj = boolean_graph(GraphSpec(40, 0.08, seed=21), reflexive=False)
+        expected = gtc_baseline(adj).reachable
+        closed, iterations = BitMatrix.from_dense(adj).transitive_closure()
+        np.testing.assert_array_equal(closed.to_dense(), expected)
+        assert iterations >= 1
+
+    def test_non_square_rejected(self):
+        with pytest.raises(SparseError, match="square"):
+            BitMatrix.from_dense(np.zeros((2, 3), dtype=bool)).transitive_closure()
+
+    def test_already_closed_converges_immediately(self):
+        full = BitMatrix.from_dense(np.ones((6, 6), dtype=bool))
+        closed, iterations = full.transitive_closure()
+        assert closed == full
+        assert iterations == 1

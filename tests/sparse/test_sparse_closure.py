@@ -1,0 +1,115 @@
+"""Tests for the sparse (GAMMA-style) semiring closure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SemiringError
+from repro.datasets import GraphSpec, boolean_graph, distance_graph
+from repro.runtime import closure
+from repro.sparse import CsrMatrix, elementwise_oplus, sparse_closure
+
+
+def _sparse_minplus_graph(n=30, p=0.12, seed=2):
+    adj = distance_graph(GraphSpec(n, p, seed=seed))
+    return adj, CsrMatrix.from_dense(adj, implicit=np.inf)
+
+
+class TestElementwiseOplus:
+    def test_union_with_min(self):
+        a = CsrMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 5.0]]), implicit=0.0)
+        b = CsrMatrix.from_dense(np.array([[3.0, 2.0], [0.0, 4.0]]), implicit=0.0)
+        # over min-plus the implicit value is +inf, so stored zeros are data
+        a = CsrMatrix.from_dense(np.array([[1.0, np.inf], [np.inf, 5.0]]), implicit=np.inf)
+        b = CsrMatrix.from_dense(np.array([[3.0, 2.0], [np.inf, 4.0]]), implicit=np.inf)
+        merged = elementwise_oplus("min-plus", a, b)
+        np.testing.assert_array_equal(
+            merged.to_dense(implicit=np.inf),
+            np.array([[1.0, 2.0], [np.inf, 4.0]], dtype=np.float32),
+        )
+
+    def test_shape_mismatch(self):
+        a = CsrMatrix.from_dense(np.zeros((2, 2)))
+        b = CsrMatrix.from_dense(np.zeros((3, 3)))
+        with pytest.raises(SemiringError, match="shape mismatch"):
+            elementwise_oplus("min-plus", a, b)
+
+    def test_identity_results_dropped(self):
+        # max-plus: -inf is implicit; min-plus oplus of +inf entries drops.
+        a = CsrMatrix.from_dense(np.array([[np.inf]]), implicit=0.0)
+        b = CsrMatrix.from_dense(np.array([[np.inf]]), implicit=0.0)
+        merged = elementwise_oplus("min-plus", a, b)
+        assert merged.nnz == 0
+
+
+class TestSparseClosureEquivalence:
+    def test_apsp_matches_dense_closure(self):
+        adj, csr = _sparse_minplus_graph()
+        dense_result = closure("min-plus", adj, method="leyzorek")
+        sparse_result = sparse_closure("min-plus", csr, method="leyzorek")
+        np.testing.assert_array_equal(
+            sparse_result.matrix.to_dense(implicit=np.inf).astype(np.float32),
+            dense_result.matrix,
+        )
+        assert sparse_result.converged
+
+    def test_bellman_ford_agrees(self):
+        _, csr = _sparse_minplus_graph(n=20, seed=5)
+        ley = sparse_closure("min-plus", csr, method="leyzorek")
+        bf = sparse_closure("min-plus", csr, method="bellman-ford")
+        np.testing.assert_array_equal(
+            ley.matrix.to_dense(implicit=np.inf), bf.matrix.to_dense(implicit=np.inf)
+        )
+
+    def test_boolean_transitive_closure(self):
+        adj = boolean_graph(GraphSpec(18, 0.12, seed=7))
+        csr = CsrMatrix.from_dense(adj, implicit=False)
+        dense_result = closure("or-and", adj)
+        sparse_result = sparse_closure("or-and", csr)
+        np.testing.assert_array_equal(
+            sparse_result.matrix.to_dense(implicit=False), dense_result.matrix
+        )
+
+    def test_product_accounting(self):
+        _, csr = _sparse_minplus_graph(n=16, seed=9)
+        result = sparse_closure("min-plus", csr)
+        assert result.total_products == sum(s.products for s in result.spgemm_stats)
+        assert len(result.spgemm_stats) == result.iterations
+        assert result.final_nnz == result.matrix.nnz
+
+    def test_sparsity_advantage(self):
+        # On a sparse graph the closure performs far fewer scalar products
+        # than the dense n³-per-iteration algorithm — the point of the
+        # GAMMA-style extension.
+        n = 40
+        adj = distance_graph(GraphSpec(n, 0.05, seed=3))
+        csr = CsrMatrix.from_dense(adj, implicit=np.inf)
+        result = sparse_closure("min-plus", csr)
+        dense_products = result.iterations * n**3
+        assert result.total_products < dense_products / 2
+
+
+class TestSparseClosureValidation:
+    def test_non_square_rejected(self):
+        csr = CsrMatrix.from_dense(np.zeros((2, 3)))
+        with pytest.raises(SemiringError, match="square"):
+            sparse_closure("min-plus", csr)
+
+    def test_unknown_method_rejected(self):
+        csr = CsrMatrix.from_dense(np.zeros((2, 2)))
+        with pytest.raises(SemiringError, match="unknown closure method"):
+            sparse_closure("min-plus", csr, method="dijkstra")
+
+    def test_iteration_cap(self):
+        _, csr = _sparse_minplus_graph(n=20, seed=1)
+        result = sparse_closure(
+            "min-plus", csr, method="bellman-ford", max_iterations=1
+        )
+        assert result.iterations == 1
+        assert not result.converged
+
+    def test_bad_iteration_cap(self):
+        csr = CsrMatrix.from_dense(np.zeros((2, 2)))
+        with pytest.raises(SemiringError, match="positive"):
+            sparse_closure("min-plus", csr, max_iterations=0)

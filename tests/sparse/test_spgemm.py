@@ -1,0 +1,93 @@
+"""Tests for the semiring spGEMM against the dense oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import get_semiring, mmo
+from repro.sparse import CsrMatrix, SparseError, spgemm
+
+
+def _sparse_ring_inputs(ring_name, m, k, n, density, seed):
+    """Dense matrices whose implicit entries are the ring's ⊕ identity."""
+    ring = get_semiring(ring_name)
+    rng = np.random.default_rng(seed)
+    if ring.is_boolean():
+        a = rng.random((m, k)) < density
+        b = rng.random((k, n)) < density
+        return a, b, False
+    identity = float(ring.oplus_identity)
+    a = np.where(rng.random((m, k)) < density, rng.integers(1, 9, (m, k)), identity).astype(float)
+    b = np.where(rng.random((k, n)) < density, rng.integers(1, 9, (k, n)), identity).astype(float)
+    return a, b, identity
+
+
+class TestAgainstDenseOracle:
+    @pytest.mark.parametrize("ring_name", ["plus-mul", "min-plus", "max-plus", "or-and", "max-min"])
+    def test_matches_dense_mmo(self, ring_name):
+        a_dense, b_dense, implicit = _sparse_ring_inputs(ring_name, 14, 11, 13, 0.3, 7)
+        a = CsrMatrix.from_dense(a_dense, implicit=implicit)
+        b = CsrMatrix.from_dense(b_dense, implicit=implicit)
+        got, stats = spgemm(ring_name, a, b)
+        expected = mmo(ring_name, a_dense, b_dense)
+        np.testing.assert_array_equal(
+            got.to_dense(implicit=implicit).astype(expected.dtype), expected
+        )
+        assert stats.products >= got.nnz or got.nnz == 0
+
+    def test_min_plus_shortest_one_hop(self):
+        # spGEMM of an adjacency with itself = best 2-hop distances.
+        inf = np.inf
+        adj = np.array([[inf, 1.0, inf], [inf, inf, 2.0], [inf, inf, inf]])
+        a = CsrMatrix.from_dense(adj, implicit=inf)
+        got, _ = spgemm("min-plus", a, a)
+        dense = got.to_dense(implicit=inf)
+        assert dense[0, 2] == 3.0
+        assert got.nnz == 1
+
+    def test_product_count_formula(self):
+        # products = Σ_i Σ_{k ∈ row_i(A)} nnz(row_k(B))
+        a_dense, b_dense, implicit = _sparse_ring_inputs("plus-mul", 10, 10, 10, 0.4, 3)
+        a = CsrMatrix.from_dense(a_dense, implicit=implicit)
+        b = CsrMatrix.from_dense(b_dense, implicit=implicit)
+        _, stats = spgemm("plus-mul", a, b)
+        expected = sum(
+            len(b.row(int(col))[0]) for i in range(10) for col in a.row(i)[0]
+        )
+        assert stats.products == expected
+
+    def test_cancellation_drops_identity_outputs(self):
+        # +3 and -3 products cancel to the ⊕ identity 0 and are dropped.
+        a = CsrMatrix.from_dense(np.array([[1.0, 1.0]]))
+        b = CsrMatrix.from_dense(np.array([[3.0], [-3.0]]))
+        got, stats = spgemm("plus-mul", a, b)
+        assert got.nnz == 0
+        assert stats.products == 2
+
+    def test_keep_identity_flag(self):
+        a = CsrMatrix.from_dense(np.array([[1.0, 1.0]]))
+        b = CsrMatrix.from_dense(np.array([[3.0], [-3.0]]))
+        got, _ = spgemm("plus-mul", a, b, keep_identity=True)
+        assert got.nnz == 1
+        assert got.to_dense()[0, 0] == 0.0
+
+    def test_empty_operands(self):
+        a = CsrMatrix.from_dense(np.zeros((3, 4)))
+        b = CsrMatrix.from_dense(np.zeros((4, 2)))
+        got, stats = spgemm("plus-mul", a, b)
+        assert got.nnz == 0
+        assert stats.products == 0
+        assert stats.rows_touched == 0
+
+    def test_shape_mismatch(self):
+        a = CsrMatrix.from_dense(np.zeros((3, 4)))
+        with pytest.raises(SparseError, match="inner dimensions"):
+            spgemm("plus-mul", a, a)
+
+    def test_compression_ratio(self):
+        a_dense, b_dense, implicit = _sparse_ring_inputs("plus-mul", 12, 12, 12, 0.5, 9)
+        a = CsrMatrix.from_dense(a_dense, implicit=implicit)
+        b = CsrMatrix.from_dense(b_dense, implicit=implicit)
+        _, stats = spgemm("plus-mul", a, b)
+        assert stats.compression_ratio >= 1.0

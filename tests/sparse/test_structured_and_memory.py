@@ -1,0 +1,105 @@
+"""Tests for 2:4 structured sparsity and the memory-footprint model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import mmo
+from repro.sparse import (
+    MemoryModel,
+    RTX3080_MEMORY_BYTES,
+    SparseError,
+    Structured24Matrix,
+    check_2_4,
+    prune_2_4,
+)
+
+
+class TestPruning:
+    def test_pruned_matrix_satisfies_pattern(self):
+        rng = np.random.default_rng(0)
+        dense = rng.normal(size=(8, 16)).astype(np.float32)
+        pruned = prune_2_4(dense)
+        assert check_2_4(pruned)
+
+    def test_keeps_top_two_magnitudes(self):
+        row = np.array([[1.0, -5.0, 3.0, 0.5]])
+        pruned = prune_2_4(row)
+        np.testing.assert_array_equal(pruned, [[0.0, -5.0, 3.0, 0.0]])
+
+    def test_already_sparse_rows_unchanged(self):
+        row = np.array([[0.0, 2.0, 0.0, 1.0]])
+        np.testing.assert_array_equal(prune_2_4(row), row)
+
+    def test_tie_keeps_earlier_element(self):
+        row = np.array([[2.0, 2.0, 2.0, 2.0]])
+        np.testing.assert_array_equal(prune_2_4(row), [[2.0, 2.0, 0.0, 0.0]])
+
+    def test_bad_inner_dimension(self):
+        with pytest.raises(SparseError, match="multiple of 4"):
+            prune_2_4(np.zeros((2, 6)))
+
+    def test_check_rejects_dense_group(self):
+        assert not check_2_4(np.ones((1, 4)))
+
+    def test_custom_zero_value(self):
+        row = np.array([[np.inf, 2.0, 3.0, np.inf]])
+        assert check_2_4(row, zero=np.inf)
+
+
+class TestCompression:
+    def test_round_trip(self):
+        rng = np.random.default_rng(3)
+        dense = prune_2_4(rng.normal(size=(6, 12)).astype(np.float32))
+        compressed = Structured24Matrix.compress(dense)
+        np.testing.assert_array_equal(compressed.decompress(), dense)
+
+    def test_compress_rejects_unpruned(self):
+        with pytest.raises(SparseError, match="2:4 pattern"):
+            Structured24Matrix.compress(np.ones((2, 4)))
+
+    def test_memory_halves_values(self):
+        dense = prune_2_4(np.random.default_rng(1).normal(size=(16, 32)).astype(np.float32))
+        compressed = Structured24Matrix.compress(dense)
+        dense_bytes = 16 * 32 * 2  # fp16
+        # 2 of 4 values kept (fp16) + 2-bit metadata each.
+        assert compressed.memory_bytes() == dense_bytes // 2 + (16 * 16 * 2 + 7) // 8
+
+    def test_pruned_operand_computes_like_dense(self):
+        # Functional equivalence: a structured operand in an mmo behaves
+        # exactly like its decompressed dense form.
+        rng = np.random.default_rng(5)
+        a = prune_2_4(rng.integers(-4, 5, (8, 16)).astype(np.float32))
+        b = rng.integers(-4, 5, (16, 8)).astype(np.float32)
+        via_compressed = mmo("plus-mul", Structured24Matrix.compress(a).decompress(), b)
+        np.testing.assert_array_equal(via_compressed, mmo("plus-mul", a, b))
+
+
+class TestMemoryModel:
+    def test_dense_32768_fits_10gb(self):
+        # Paper: "a GPU with 10GB ... can accommodate a matrix
+        # multiplication of at least 32768x32768".
+        model = MemoryModel()
+        assert model.dense_fits(32768)
+
+    def test_spgemm_oom_at_16384_below_90pct_sparsity(self):
+        # Paper: cuSparse OOMs for 16384² matrices with sparsity < 90%.
+        model = MemoryModel()
+        assert not model.spgemm_fits(16384, density=0.2)
+        assert model.spgemm_fits(16384, density=0.001)
+
+    def test_csr_beats_dense_only_when_sparse_enough(self):
+        model = MemoryModel()
+        # fp16 dense = 2 bytes/elem; CSR = 8 bytes/nnz → crossover at 75%.
+        assert model.csr_smaller_than_dense(4096, density=0.1)
+        assert not model.csr_smaller_than_dense(4096, density=0.5)
+
+    def test_footprints_monotone_in_density(self):
+        model = MemoryModel()
+        sizes = [0.001, 0.01, 0.1, 0.5]
+        footprints = [model.spgemm_bytes(4096, d) for d in sizes]
+        assert footprints == sorted(footprints)
+
+    def test_device_default(self):
+        assert MemoryModel().device_bytes == RTX3080_MEMORY_BYTES

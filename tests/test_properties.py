@@ -1,0 +1,238 @@
+"""Property-based tests (hypothesis) on core algebraic invariants.
+
+These cover laws that parametrised unit tests cannot sweep exhaustively:
+semiring axioms over random operands, tiling equivalence over arbitrary
+shapes, closure fixpoints, sparse/dense agreement, and structured-sparsity
+invariants.  Inputs are small integers so fp arithmetic is exact and every
+property can assert bitwise equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SEMIRINGS, mmo
+from repro.runtime import closure, mmo_tiled
+from repro.sparse import CsrMatrix, check_2_4, prune_2_4, spgemm
+from repro.apps.mst import UnionFind
+
+ring_names = st.sampled_from(sorted(SEMIRINGS))
+dims = st.integers(1, 24)
+seeds = st.integers(0, 2**32 - 1)
+
+
+def _random_operands(ring, m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    if ring.is_boolean():
+        return rng.random((m, k)) < 0.5, rng.random((k, n)) < 0.5
+    a = rng.integers(-6, 7, (m, k)).astype(np.float64)
+    b = rng.integers(-6, 7, (k, n)).astype(np.float64)
+    return a, b
+
+
+def _random_values(ring, shape, seed):
+    rng = np.random.default_rng(seed)
+    if ring.is_boolean():
+        return rng.random(shape) < 0.5
+    return rng.integers(-6, 7, shape).astype(ring.output_dtype)
+
+
+class TestSemiringAxioms:
+    @given(ring_names, seeds)
+    @settings(max_examples=60)
+    def test_oplus_associative_and_commutative(self, name, seed):
+        ring = SEMIRINGS[name]
+        x = _random_values(ring, 16, seed)
+        y = _random_values(ring, 16, seed + 1)
+        z = _random_values(ring, 16, seed + 2)
+        left = ring.oplus(ring.oplus(x, y), z)
+        right = ring.oplus(x, ring.oplus(y, z))
+        np.testing.assert_array_equal(np.asarray(left), np.asarray(right))
+        np.testing.assert_array_equal(
+            np.asarray(ring.oplus(x, y)), np.asarray(ring.oplus(y, x))
+        )
+
+    @given(ring_names, seeds)
+    @settings(max_examples=60)
+    def test_otimes_commutative(self, name, seed):
+        ring = SEMIRINGS[name]
+        x = _random_values(ring, 16, seed)
+        y = _random_values(ring, 16, seed + 1)
+        np.testing.assert_array_equal(
+            np.asarray(ring.otimes(x, y)), np.asarray(ring.otimes(y, x))
+        )
+
+    @given(ring_names, seeds)
+    @settings(max_examples=60)
+    def test_otimes_associative_where_claimed(self, name, seed):
+        ring = SEMIRINGS[name]
+        if not ring.associative_otimes:
+            return  # plus-norm: (a-b)² is documented as non-associative
+        x = _random_values(ring, 16, seed)
+        y = _random_values(ring, 16, seed + 1)
+        z = _random_values(ring, 16, seed + 2)
+        left = ring.otimes(np.asarray(ring.otimes(x, y), ring.output_dtype), z)
+        right = ring.otimes(x, np.asarray(ring.otimes(y, z), ring.output_dtype))
+        np.testing.assert_array_equal(
+            np.asarray(left, dtype=ring.output_dtype),
+            np.asarray(right, dtype=ring.output_dtype),
+        )
+
+    @given(ring_names, seeds)
+    @settings(max_examples=60)
+    def test_identity_neutral(self, name, seed):
+        ring = SEMIRINGS[name]
+        x = _random_values(ring, 16, seed)
+        ident = ring.full((16,))
+        np.testing.assert_array_equal(
+            np.asarray(ring.oplus(x.astype(ring.output_dtype), ident)),
+            x.astype(ring.output_dtype),
+        )
+
+    @given(ring_names, seeds)
+    @settings(max_examples=60)
+    def test_k_padding_pair_is_absorbed(self, name, seed):
+        # Appending one padded inner step must never change an mmo result.
+        ring = SEMIRINGS[name]
+        a, b = _random_operands(ring, 5, 4, 6, seed)
+        a_pad = np.concatenate(
+            [a, np.full((5, 1), ring.k_pad_a, dtype=np.asarray(a).dtype if not ring.is_boolean() else bool)],
+            axis=1,
+        )
+        b_pad = np.concatenate(
+            [b, np.full((1, 6), ring.k_pad_b, dtype=np.asarray(b).dtype if not ring.is_boolean() else bool)],
+            axis=0,
+        )
+        np.testing.assert_array_equal(mmo(ring, a_pad, b_pad), mmo(ring, a, b))
+
+
+class TestTilingEquivalence:
+    @given(ring_names, dims, dims, dims, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_tiled_equals_oracle_for_any_shape(self, name, m, k, n, seed):
+        ring = SEMIRINGS[name]
+        a, b = _random_operands(ring, m, k, n, seed)
+        tiled, _ = mmo_tiled(ring, a, b)
+        np.testing.assert_array_equal(tiled, mmo(ring, a, b))
+
+    @given(ring_names, st.integers(2, 20), st.integers(2, 20), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_k_splitting_composes(self, name, k1, k2, seed):
+        # mmo over [A1|A2] × [B1;B2] == mmo(A2,B2, C=mmo(A1,B1)).
+        ring = SEMIRINGS[name]
+        a, b = _random_operands(ring, 7, k1 + k2, 9, seed)
+        whole = mmo(ring, a, b)
+        partial = mmo(ring, a[:, :k1], b[:k1, :])
+        composed = mmo(ring, a[:, k1:], b[k1:, :], partial)
+        if name in ("plus-mul", "plus-norm"):
+            np.testing.assert_allclose(composed, whole, rtol=1e-6, atol=1e-6)
+        else:
+            np.testing.assert_array_equal(composed, whole)
+
+
+class TestClosureProperties:
+    @given(st.integers(3, 18), st.floats(0.05, 0.5), seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_fixpoint_is_idempotent(self, n, density, seed):
+        rng = np.random.default_rng(seed)
+        adj = np.where(
+            rng.random((n, n)) < density, rng.integers(1, 9, (n, n)), np.inf
+        ).astype(float)
+        np.fill_diagonal(adj, 0.0)
+        result = closure("min-plus", adj, method="leyzorek")
+        again, _ = mmo_tiled("min-plus", result.matrix, result.matrix, result.matrix)
+        np.testing.assert_array_equal(again, result.matrix)
+
+    @given(st.integers(3, 14), seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_methods_agree(self, n, seed):
+        rng = np.random.default_rng(seed)
+        adj = np.where(
+            rng.random((n, n)) < 0.3, rng.integers(1, 9, (n, n)), np.inf
+        ).astype(float)
+        np.fill_diagonal(adj, 0.0)
+        ley = closure("min-plus", adj, method="leyzorek")
+        bf = closure("min-plus", adj, method="bellman-ford")
+        np.testing.assert_array_equal(ley.matrix, bf.matrix)
+
+    @given(st.integers(3, 14), seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_distances_satisfy_triangle_inequality(self, n, seed):
+        rng = np.random.default_rng(seed)
+        adj = np.where(
+            rng.random((n, n)) < 0.4, rng.integers(1, 9, (n, n)), np.inf
+        ).astype(float)
+        np.fill_diagonal(adj, 0.0)
+        dist = closure("min-plus", adj).matrix
+        # through[i, j] = min_k dist[i, k] + dist[k, j]
+        through = np.min(dist[:, :, None] + dist[None, :, :], axis=1)
+        # dist[i,j] ≤ dist[i,k] + dist[k,j] for all k (k = j gives equality)
+        assert np.all(dist <= np.asarray(through, dtype=np.float32) + 1e-4)
+
+
+class TestSparseProperties:
+    @given(st.integers(1, 16), st.integers(1, 16), st.floats(0.0, 1.0), seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_csr_round_trip(self, rows, cols, density, seed):
+        rng = np.random.default_rng(seed)
+        dense = np.where(
+            rng.random((rows, cols)) < density, rng.integers(1, 99, (rows, cols)), 0
+        ).astype(np.float32)
+        csr = CsrMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.to_dense(), dense)
+        np.testing.assert_array_equal(csr.transpose().to_dense(), dense.T)
+
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(1, 12), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_spgemm_agrees_with_dense(self, m, k, n, seed):
+        rng = np.random.default_rng(seed)
+        a = np.where(rng.random((m, k)) < 0.4, rng.integers(1, 9, (m, k)), 0).astype(float)
+        b = np.where(rng.random((k, n)) < 0.4, rng.integers(1, 9, (k, n)), 0).astype(float)
+        sparse_result, _ = spgemm("plus-mul", CsrMatrix.from_dense(a), CsrMatrix.from_dense(b))
+        np.testing.assert_array_equal(
+            sparse_result.to_dense().astype(np.float32), mmo("plus-mul", a, b)
+        )
+
+
+class TestStructuredSparsityProperties:
+    @given(st.integers(1, 12), st.integers(1, 8), seeds)
+    @settings(max_examples=50)
+    def test_prune_is_idempotent_and_valid(self, rows, groups, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(size=(rows, groups * 4)).astype(np.float32)
+        pruned = prune_2_4(matrix)
+        assert check_2_4(pruned)
+        np.testing.assert_array_equal(prune_2_4(pruned), pruned)
+
+    @given(st.integers(1, 12), st.integers(1, 8), seeds)
+    @settings(max_examples=50)
+    def test_prune_keeps_largest_magnitudes(self, rows, groups, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(size=(rows, groups * 4)).astype(np.float32)
+        pruned = prune_2_4(matrix)
+        kept = np.abs(matrix.reshape(rows, groups, 4))
+        for r in range(rows):
+            for g in range(groups):
+                survivors = np.abs(pruned.reshape(rows, groups, 4)[r, g])
+                dropped_max = kept[r, g][survivors == 0].max(initial=0.0)
+                kept_min = survivors[survivors > 0].min(initial=np.inf)
+                assert dropped_max <= kept_min + 1e-6
+
+
+class TestUnionFindProperties:
+    @given(st.integers(2, 30), st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60), seeds)
+    @settings(max_examples=50)
+    def test_matches_reachability_oracle(self, n, pairs, seed):
+        pairs = [(a % n, b % n) for a, b in pairs]
+        uf = UnionFind(n)
+        adj = np.eye(n, dtype=bool)
+        for a, b in pairs:
+            uf.union(a, b)
+            adj[a, b] = adj[b, a] = True
+        reach = adj.copy()
+        for _ in range(n):
+            reach = reach | ((reach.astype(np.uint8) @ reach.astype(np.uint8)) > 0)
+        for i in range(n):
+            for j in range(n):
+                assert (uf.find(i) == uf.find(j)) == bool(reach[i, j])

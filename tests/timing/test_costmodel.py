@@ -1,0 +1,123 @@
+"""Tests for the microbenchmark cost model (Figures 9 and 10 shapes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa import MmoOpcode
+from repro.timing import (
+    CUDA_OP_COSTS,
+    RTX3080,
+    GpuSpec,
+    cuda_mmo_time,
+    elementwise_pass_time,
+    mmo_kernel_times,
+    simd2_mmo_time,
+    simd2_utilization,
+)
+
+
+def _gmean(values) -> float:
+    return float(np.exp(np.mean(np.log(list(values)))))
+
+
+class TestSpec:
+    def test_rtx3080_rates(self):
+        assert RTX3080.cuda_instr_rate == pytest.approx(68 * 128 * 1.71e9)
+        assert RTX3080.simd2_pair_rate == pytest.approx(68 * 4 * 64 * 1.71e9)
+        assert RTX3080.simd2_pair_rate / RTX3080.cuda_instr_rate == pytest.approx(2.0)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            GpuSpec("bad", 0, 1.0, 128, 4, 64, 760.0)
+
+
+class TestOpCosts:
+    def test_every_opcode_costed(self):
+        assert set(CUDA_OP_COSTS) == set(MmoOpcode)
+
+    def test_fma_fused_ops_cost_one_instruction(self):
+        assert CUDA_OP_COSTS[MmoOpcode.MMA].instructions_per_pair == 1
+        assert CUDA_OP_COSTS[MmoOpcode.ADDNORM].instructions_per_pair == 1
+
+    def test_hazard_ops_are_least_efficient(self):
+        hazard = {MmoOpcode.MINMAX, MmoOpcode.MAXMIN, MmoOpcode.ORAND}
+        worst = min(CUDA_OP_COSTS, key=lambda op: CUDA_OP_COSTS[op].efficiency)
+        assert worst in hazard
+        for op in hazard:
+            assert CUDA_OP_COSTS[op].efficiency < CUDA_OP_COSTS[MmoOpcode.MINPLUS].efficiency
+
+
+class TestFigure9Shape:
+    """The paper's microbenchmark claims, asserted as model invariants."""
+
+    def test_gmean_band(self):
+        # Paper: gmean 8.7×–10.6× depending on input size.
+        for n, low, high in [(1024, 7.5, 9.5), (4096, 9.0, 11.0), (16384, 9.5, 11.0)]:
+            speedups = [mmo_kernel_times(op, n, n, n).speedup for op in MmoOpcode]
+            assert low < _gmean(speedups) < high
+
+    def test_peak_speedup_matches_paper(self):
+        # Paper: up to 15.8× for min-max / max-min / or-and.
+        peaks = [
+            mmo_kernel_times(op, 8192, 8192, 8192).speedup
+            for op in (MmoOpcode.MINMAX, MmoOpcode.MAXMIN, MmoOpcode.ORAND)
+        ]
+        assert all(15.0 < p < 17.0 for p in peaks)
+
+    def test_fma_ops_lowest_speedup(self):
+        # Paper: plus-mul and plus-norm ~3.1× (FMA helps the baseline).
+        for op in (MmoOpcode.MMA, MmoOpcode.ADDNORM):
+            speedup = mmo_kernel_times(op, 4096, 4096, 4096).speedup
+            assert 2.8 < speedup < 3.5
+
+    def test_speedup_saturates_past_4096(self):
+        # Paper: performance gain saturates at about 10× beyond 4096².
+        s4096 = _gmean(mmo_kernel_times(op, 4096, 4096, 4096).speedup for op in MmoOpcode)
+        s16384 = _gmean(
+            mmo_kernel_times(op, 16384, 16384, 16384).speedup for op in MmoOpcode
+        )
+        assert s16384 - s4096 < 0.5
+
+    def test_speedup_monotone_in_size(self):
+        sizes = [512, 1024, 2048, 4096, 8192]
+        speedups = [mmo_kernel_times(MmoOpcode.MINPLUS, n, n, n).speedup for n in sizes]
+        assert speedups == sorted(speedups)
+
+
+class TestUtilization:
+    def test_utilization_bounds(self):
+        assert 0 < simd2_utilization(16, 16, 16) < simd2_utilization(8192, 8192, 8192) < 1
+
+    def test_thin_inner_dimension_hurts(self):
+        assert simd2_utilization(4096, 4096, 64) < simd2_utilization(4096, 4096, 4096)
+
+    def test_sparse_unit_doubles_compute_rate(self):
+        dense = simd2_mmo_time(MmoOpcode.MINPLUS, 4096, 4096, 4096)
+        sparse = simd2_mmo_time(MmoOpcode.MINPLUS, 4096, 4096, 4096, sparse_unit=True)
+        ratio = (dense - RTX3080.kernel_launch_overhead_s) / (
+            sparse - RTX3080.kernel_launch_overhead_s
+        )
+        assert ratio == pytest.approx(2.0, rel=0.01)
+
+
+class TestTimeComposition:
+    def test_launch_overhead_floors_small_kernels(self):
+        time = cuda_mmo_time(MmoOpcode.MMA, 2, 2, 2)
+        assert time >= RTX3080.kernel_launch_overhead_s
+
+    def test_times_scale_cubically(self):
+        t1 = simd2_mmo_time(MmoOpcode.MMA, 4096, 4096, 4096)
+        t2 = simd2_mmo_time(MmoOpcode.MMA, 8192, 8192, 8192)
+        assert 7.0 < t2 / t1 < 8.5
+
+    def test_elementwise_pass_is_bandwidth_bound(self):
+        time = elementwise_pass_time(4096 * 4096, 8.0)
+        expected = RTX3080.kernel_launch_overhead_s + 4096 * 4096 * 8 / RTX3080.dram_bytes_per_s
+        assert time == pytest.approx(expected)
+
+    def test_nonsquare_shapes_supported(self):
+        # Fig 10: non-square microbenchmarks still favour SIMD².
+        tall = mmo_kernel_times(MmoOpcode.MINPLUS, 16384, 1024, 1024)
+        assert tall.speedup > 5.0

@@ -1,0 +1,75 @@
+"""Tests for the cycle-accounting bridge between emulator and timing model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw import Simd2Device
+from repro.runtime import mmo_tiled
+from repro.timing.cycles import (
+    CycleBreakdown,
+    CycleCosts,
+    kernel_cycle_estimate,
+    stats_to_cycles,
+)
+from repro.timing import RTX3080
+
+
+def _run_emulated(ring="min-plus", m=33, k=20, n=18):
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, 5, (m, k)).astype(float)
+    b = rng.integers(0, 5, (k, n)).astype(float)
+    c = rng.integers(0, 5, (m, n)).astype(float)
+    device = Simd2Device(sm_count=2)
+    _, stats = mmo_tiled(ring, a, b, c, backend="emulate", device=device)
+    return stats
+
+
+class TestDynamicStaticAgreement:
+    def test_cycle_estimates_match(self):
+        stats = _run_emulated()
+        dynamic = stats_to_cycles(stats.execution)
+        static = kernel_cycle_estimate(stats)
+        assert dynamic.compute == static.compute
+        assert dynamic.memory == pytest.approx(static.memory)
+        assert dynamic.issue == static.issue
+        assert dynamic.fills == static.fills == 0.0
+
+    def test_boolean_kernel(self):
+        stats = _run_emulated(ring="or-and")
+        dynamic = stats_to_cycles(stats.execution)
+        static = kernel_cycle_estimate(stats, boolean=True)
+        assert dynamic.total == pytest.approx(static.total)
+
+
+class TestBreakdown:
+    def test_compute_dominates_for_deep_k(self):
+        stats = _run_emulated(m=16, k=160, n=16)
+        breakdown = stats_to_cycles(stats.execution)
+        assert breakdown.compute > breakdown.memory
+
+    def test_total_is_sum(self):
+        breakdown = CycleBreakdown(compute=10, memory=5, fills=2, issue=3)
+        assert breakdown.total == 20
+
+    def test_seconds_uses_clock(self):
+        breakdown = CycleBreakdown(compute=RTX3080.clock_ghz * 1e9, memory=0, fills=0, issue=0)
+        assert breakdown.seconds(RTX3080) == pytest.approx(1.0)
+
+    def test_custom_costs_scale(self):
+        stats = _run_emulated()
+        cheap = stats_to_cycles(stats.execution, CycleCosts(cycles_per_unit_op=1.0))
+        pricey = stats_to_cycles(stats.execution, CycleCosts(cycles_per_unit_op=2.0))
+        assert pricey.compute == 2 * cheap.compute
+
+    def test_unit_op_rate_matches_spec_provisioning(self):
+        # One unit pass = 64 pairs/cycle: the CycleCosts default must agree
+        # with the GpuSpec's unit_pairs_per_cycle so both layers price
+        # compute identically.
+        assert RTX3080.unit_pairs_per_cycle == 64
+        stats = _run_emulated()
+        pairs = stats.unit_ops * 64
+        breakdown = stats_to_cycles(stats.execution)
+        assert breakdown.compute == stats.unit_ops  # 1 cycle per pass
+        assert pairs / RTX3080.unit_pairs_per_cycle == breakdown.compute

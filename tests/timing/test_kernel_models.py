@@ -1,0 +1,161 @@
+"""Tests asserting the Figure 11/12/13 shape claims as model invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timing import (
+    APPS,
+    APP_SIZES,
+    ClosurePolicy,
+    app_times,
+    closure_iterations,
+    dag_longest_path,
+    er_diameter,
+)
+
+
+def _gmean(values) -> float:
+    return float(np.exp(np.mean(np.log(list(values)))))
+
+
+class TestIterationModels:
+    def test_er_diameter_grows_slowly(self):
+        assert er_diameter(1024) <= er_diameter(16384) <= er_diameter(1024) + 2
+
+    def test_dag_longest_path_grows_linearly(self):
+        assert dag_longest_path(16384) == pytest.approx(4 * dag_longest_path(4096), rel=0.05)
+
+    def test_policy_iteration_ordering(self):
+        diam, n = 6, 4096
+        ley = closure_iterations(ClosurePolicy.LEYZOREK, diam, n)
+        ley_wc = closure_iterations(ClosurePolicy.LEYZOREK_NOCONV, diam, n)
+        bf = closure_iterations(ClosurePolicy.BELLMAN_FORD, diam, n)
+        bf_wc = closure_iterations(ClosurePolicy.BELLMAN_FORD_NOCONV, diam, n)
+        assert ley <= bf <= bf_wc
+        assert ley <= ley_wc <= bf_wc
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            app_times("SORT", 1024)
+
+
+class TestFigure11Shape:
+    def test_gmean_band(self):
+        # Paper: geometric mean 10.76×–13.96× across sizes; our calibrated
+        # model lands in 8×–12×.
+        for index in range(3):
+            speedups = [
+                app_times(app, APP_SIZES[app][index]).speedup_units for app in APPS
+            ]
+            assert 7.5 < _gmean(speedups) < 14.0
+
+    def test_max_speedup_matches_paper(self):
+        # Paper: up to 38.59×.
+        best = max(
+            app_times(app, size).speedup_units
+            for app in APPS
+            for size in APP_SIZES[app]
+        )
+        assert 30.0 < best < 45.0
+
+    def test_seven_of_eight_stay_strong_at_large(self):
+        # Paper: 7 of 8 applications keep strong speedups as data grows.
+        larges = {app: app_times(app, APP_SIZES[app][2]).speedup_units for app in APPS}
+        strong = [app for app, s in larges.items() if s > 2.0]
+        assert len(strong) >= 7
+        assert larges["MST"] < 2.0  # the eighth: MST degrades
+
+    def test_mst_degrades_with_size(self):
+        s = [app_times("MST", n).speedup_units for n in APP_SIZES["MST"]]
+        assert s[0] > s[1] > s[2]
+        assert s[2] < 1.5
+
+    def test_aplp_degrades_with_size(self):
+        s = [app_times("APLP", n).speedup_units for n in APP_SIZES["APLP"]]
+        assert s[0] > s[2]
+
+    def test_matrix_algorithms_lose_without_units_for_path_apps(self):
+        # Paper: APSP, APLP, MST, MaxRP, MinRP cannot beat their baselines
+        # on CUDA cores alone.
+        for app in ("APSP", "APLP", "MST", "MAXRP", "MINRP"):
+            for size in APP_SIZES[app]:
+                assert app_times(app, size).speedup_cuda < 1.25
+
+    def test_mcp_gtc_knn_win_even_without_units(self):
+        # Paper: MCP, GTC and KNN outperform their baselines even on CUDA
+        # cores (better libraries, better architectural scaling).
+        for app in ("MCP", "GTC", "KNN"):
+            for size in APP_SIZES[app]:
+                assert app_times(app, size).speedup_cuda > 1.0
+
+    def test_knn_unit_gap_band(self):
+        # Paper: the with/without-units gap for KNN is 4.79×–6.43×.
+        gaps = [app_times("KNN", n).unit_gap for n in APP_SIZES["KNN"]]
+        assert all(3.0 < g < 7.0 for g in gaps)
+
+
+class TestFigure12Ablations:
+    def test_leyzorek_without_convergence_still_wins(self):
+        # Paper: 1.11×–10.91× without convergence checks (KNN excluded —
+        # it is not a closure and uses no convergence check).
+        speedups = [
+            app_times(app, size, policy=ClosurePolicy.LEYZOREK_NOCONV).speedup_units
+            for app in APPS
+            if app != "KNN"
+            for size in APP_SIZES[app]
+        ]
+        assert min(speedups) > 0.3
+        assert 1.0 < max(speedups) < 12.0
+
+    def test_bellman_ford_sinks_minrp(self):
+        # Paper: MinRP can never beat the GPU baseline under Bellman-Ford.
+        for size in APP_SIZES["MINRP"]:
+            assert app_times("MINRP", size, policy=ClosurePolicy.BELLMAN_FORD).speedup_units < 1.0
+
+    def test_bellman_ford_hurts_aplp_and_mst_at_large(self):
+        for app in ("APLP", "MST"):
+            large = APP_SIZES[app][2]
+            bf = app_times(app, large, policy=ClosurePolicy.BELLMAN_FORD).speedup_units
+            ley = app_times(app, large, policy=ClosurePolicy.LEYZOREK).speedup_units
+            assert bf < ley
+            assert bf < 1.0
+
+    def test_convergence_check_beats_worst_case(self):
+        for app in ("APSP", "MCP"):
+            size = APP_SIZES[app][1]
+            conv = app_times(app, size, policy=ClosurePolicy.LEYZOREK).speedup_units
+            noconv = app_times(app, size, policy=ClosurePolicy.LEYZOREK_NOCONV).speedup_units
+            assert conv > noconv
+
+
+class TestFigure13Sparse:
+    def test_sparse_unit_gains_band(self):
+        # Paper: sparse SIMD² is 1.60×–2.05× over dense SIMD².
+        gains = []
+        for app in APPS:
+            for size in APP_SIZES[app]:
+                dense = app_times(app, size).simd2_units_s
+                sparse = app_times(app, size, sparse_unit=True).simd2_units_s
+                gains.append(dense / sparse)
+        assert all(1.0 <= g <= 2.05 for g in gains)
+        assert max(gains) > 1.8
+
+    def test_sparse_peak_speedup(self):
+        # Paper: up to 68.33× over the baseline.
+        best = max(
+            app_times(app, size, sparse_unit=True).speedup_units
+            for app in APPS
+            for size in APP_SIZES[app]
+        )
+        assert 55.0 < best < 85.0
+
+    def test_sparse_gmean_band(self):
+        # Paper: 21.13×–24.82× average; our model lands 14×–18×.
+        for index in range(3):
+            speedups = [
+                app_times(app, APP_SIZES[app][index], sparse_unit=True).speedup_units
+                for app in APPS
+            ]
+            assert 12.0 < _gmean(speedups) < 25.0

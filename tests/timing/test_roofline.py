@@ -1,0 +1,84 @@
+"""Tests for the roofline analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import MmoOpcode
+from repro.timing import RTX3080
+from repro.timing.roofline import Bound, crossover_intensity, mmo_roofline
+
+
+class TestIntensityScaling:
+    def test_intensity_grows_with_size(self):
+        # The paper's §2.2 argument: O(n³) compute over O(n²) data.
+        small = mmo_roofline(MmoOpcode.MMA, 256, 256, 256)[1]
+        large = mmo_roofline(MmoOpcode.MMA, 4096, 4096, 4096)[1]
+        assert large.intensity > 10 * small.intensity
+
+    def test_large_square_mmo_is_compute_bound_on_units(self):
+        _, simd2 = mmo_roofline(MmoOpcode.MINPLUS, 4096, 4096, 4096)
+        assert simd2.bound is Bound.COMPUTE
+        assert simd2.roof_fraction == 1.0
+
+    def test_thin_k_panel_is_memory_bound_on_units(self):
+        # Fig 10's worst shape: k=128 over a large m×n output.
+        _, simd2 = mmo_roofline(MmoOpcode.MINPLUS, 8192, 8192, 16)
+        assert simd2.bound is Bound.MEMORY
+        assert simd2.roof_fraction < 1.0
+
+    def test_cuda_backend_reaches_its_lower_roof_sooner(self):
+        cuda, simd2 = mmo_roofline(MmoOpcode.MINPLUS, 1024, 1024, 64)
+        # Same intensity, lower ceiling: CUDA can be compute-bound where
+        # the SIMD² unit is still memory-bound.
+        assert cuda.intensity == simd2.intensity
+        assert cuda.peak_rate < simd2.peak_rate
+
+    def test_boolean_traffic_is_cheaper(self):
+        numeric = mmo_roofline(MmoOpcode.MINPLUS, 512, 512, 512)[1]
+        boolean = mmo_roofline(MmoOpcode.ORAND, 512, 512, 512)[1]
+        assert boolean.intensity > numeric.intensity
+
+
+class TestCrossover:
+    def test_crossover_matches_placement(self):
+        threshold = crossover_intensity(MmoOpcode.MMA, backend="simd2")
+        # A kernel exactly at the knee is compute-bound (>=); below it, not.
+        assert threshold == RTX3080.simd2_pair_rate / RTX3080.dram_bytes_per_s
+
+    def test_cuda_crossover_depends_on_opcode(self):
+        fused = crossover_intensity(MmoOpcode.MMA, backend="cuda")
+        hazard = crossover_intensity(MmoOpcode.MINMAX, backend="cuda")
+        # Hazard-bound ops have a lower compute ceiling → earlier knee.
+        assert hazard < fused
+
+    def test_simd2_crossover_uniform_across_opcodes(self):
+        values = {
+            crossover_intensity(op, backend="simd2") for op in MmoOpcode
+        }
+        assert len(values) == 1  # units run every opcode at the same rate
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            crossover_intensity(MmoOpcode.MMA, backend="tpu")
+
+
+class TestValidation:
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError, match="positive"):
+            mmo_roofline(MmoOpcode.MMA, 0, 4, 4)
+
+    def test_consistency_with_cost_model(self):
+        # Where the roofline says memory-bound, the cost model's time must
+        # equal the bandwidth time (plus launch overhead).
+        from repro.timing import simd2_mmo_time
+
+        m, n, k = 8192, 8192, 16
+        _, point = mmo_roofline(MmoOpcode.MINPLUS, m, n, k)
+        assert point.bound is Bound.MEMORY
+        pairs = float(m) * n * k
+        modelled = simd2_mmo_time(MmoOpcode.MINPLUS, m, n, k)
+        bandwidth_time = pairs / point.attainable_rate
+        assert modelled == pytest.approx(
+            RTX3080.kernel_launch_overhead_s + bandwidth_time, rel=0.01
+        )

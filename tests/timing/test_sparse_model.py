@@ -1,0 +1,45 @@
+"""Tests for the Figure 14 sparse-vs-dense crossover model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.timing import SparseCrossoverModel
+
+
+@pytest.fixture
+def model() -> SparseCrossoverModel:
+    return SparseCrossoverModel()
+
+
+class TestFigure14:
+    def test_1024_never_crosses(self, model):
+        # Paper: cuSparse does not outperform cuBlas for 1024² matrices.
+        assert model.crossover_sparsity(1024) is None
+
+    def test_4096_crosses_near_99pct(self, model):
+        # Paper: for 4096², cuSparse wins when sparsity exceeds 99%.
+        crossover = model.crossover_sparsity(4096)
+        assert crossover is not None
+        assert 0.975 <= crossover <= 0.995
+
+    def test_16384_oom_region(self, model):
+        # Paper: cuSparse OOMs on 16384² inputs that are not sparse enough.
+        assert model.point(16384, 0.5).speedup is None
+        assert model.point(16384, 0.9).speedup is None
+        assert model.point(16384, 0.999).speedup is not None
+
+    def test_extreme_sparsity_wins_big(self, model):
+        assert model.point(16384, 0.999).speedup > 10.0
+
+    def test_speedup_monotone_in_sparsity(self, model):
+        speedups = [model.point(4096, s).speedup for s in (0.9, 0.95, 0.99, 0.999)]
+        assert None not in speedups
+        assert speedups == sorted(speedups)
+
+    def test_dense_time_positive_and_cubic(self, model):
+        assert model.dense_time(8192) / model.dense_time(4096) > 6.0
+
+    def test_bad_sparsity_rejected(self, model):
+        with pytest.raises(ValueError, match="sparsity"):
+            model.sparse_time(1024, 1.5)

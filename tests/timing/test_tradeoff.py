@@ -1,0 +1,53 @@
+"""Tests for the area/performance design-space analysis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.timing.tradeoff import DESIGNS, design_point, design_space
+
+
+class TestDesignPoints:
+    def test_three_designs(self):
+        points = design_space()
+        assert [p.design for p in points] == list(DESIGNS)
+
+    def test_mxu_only_adds_no_area_and_little_speedup(self):
+        point = design_point("mxu-only")
+        assert point.extra_die_mm2 == 0.0
+        assert point.geomean_speedup < 1.5  # matrix algorithms on CUDA cores
+
+    def test_simd2_beats_mxu_only(self):
+        mxu = design_point("mxu-only")
+        simd2 = design_point("simd2")
+        assert simd2.geomean_speedup > 5 * mxu.geomean_speedup
+        # ~0.38 mm² per SM across 68 SMs ≈ 26 mm² of die.
+        assert 20 < simd2.extra_die_mm2 < 32
+
+    def test_farm_matches_simd2_performance_at_4x_area(self):
+        simd2 = design_point("simd2")
+        farm = design_point("accelerator-farm")
+        assert farm.geomean_speedup == pytest.approx(simd2.geomean_speedup)
+        assert farm.extra_area_units / simd2.extra_area_units > 4.0
+
+    def test_simd2_wins_figure_of_merit(self):
+        points = {p.design: p for p in design_space()}
+        assert (
+            points["simd2"].speedup_per_mm2
+            > points["accelerator-farm"].speedup_per_mm2
+        )
+        # mxu-only adds no silicon but also (almost) no speedup; its FoM is
+        # defined as inf only if it actually speeds anything up.
+        mxu = points["mxu-only"]
+        assert mxu.speedup_per_mm2 in (math.inf, 0.0) or mxu.speedup_per_mm2 > 0
+
+    def test_unknown_design(self):
+        with pytest.raises(ValueError, match="unknown design"):
+            design_point("tpu")
+
+    def test_size_index_sweep(self):
+        small = design_point("simd2", size_index=0)
+        large = design_point("simd2", size_index=2)
+        assert small.geomean_speedup != large.geomean_speedup
