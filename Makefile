@@ -1,4 +1,4 @@
-.PHONY: install test bench tables csv examples all clean
+.PHONY: install test bench bench-smoke tables csv examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -8,6 +8,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Quick hot-path perf smoke (asserts bit-identical scalar/vectorized parity).
+# PYTHONPATH makes it work from a bare checkout, before `make install`.
+bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_hotpaths.py
 
 tables:
 	python -m repro.bench

@@ -1,0 +1,167 @@
+"""Hot-path wall-clock tracking: emulator MMO and spGEMM, before vs after.
+
+Standalone script (not a pytest benchmark): times the seed's scalar
+decompositions — kept in-tree as ``Simd2Device(batched_mmo=False)`` and
+``spgemm_reference`` — against the vectorized paths that replaced them on
+the hot loops, asserts the results are bit-identical, and writes a JSON
+artifact so the perf trajectory is tracked from PR to PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py            # smoke
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --full \
+        --out benchmarks/results/hotpaths.json                    # artifact
+
+Smoke mode runs small sizes in a few seconds (wired to ``make bench-smoke``
+and CI); ``--full`` adds the acceptance-criteria points: 512² emulate
+(scalar vs batched, the ≥10× target), 1024² emulate, and a 4096² Figure-14
+sparse point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.hw.device import Simd2Device
+from repro.runtime.kernels import mmo_tiled
+from repro.sparse import CsrMatrix, spgemm, spgemm_reference
+
+
+def _emulate_case(n: int, *, batched: bool, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(1, 9, (n, n)).astype(np.float64)
+    b = rng.integers(1, 9, (n, n)).astype(np.float64)
+    device = Simd2Device(sm_count=4, batched_mmo=batched)
+    t0 = time.perf_counter()
+    result, stats = mmo_tiled("plus-mul", a, b, backend="emulate", device=device)
+    seconds = time.perf_counter() - t0
+    return result, stats, seconds
+
+
+def _spgemm_inputs(n: int, density: float, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    dense = np.where(
+        rng.random((n, n)) < density, rng.integers(1, 9, (n, n)), 0
+    ).astype(np.float64)
+    return CsrMatrix.from_dense(dense)
+
+
+def bench_emulate(records: list[dict], n: int, *, compare_scalar: bool) -> None:
+    result, stats, seconds = _emulate_case(n, batched=True)
+    records.append(
+        {"case": "emulate_mmo", "n": n, "mode": "batched", "seconds": seconds}
+    )
+    print(f"emulate {n:5d}²  batched  {seconds:8.3f}s  "
+          f"(unit_ops={stats.execution.unit_ops})")
+    if compare_scalar:
+        ref, ref_stats, ref_seconds = _emulate_case(n, batched=False)
+        if not np.array_equal(result, ref):
+            raise SystemExit(f"emulate {n}²: batched result != scalar result")
+        if stats.execution.unit_ops != ref_stats.execution.unit_ops:
+            raise SystemExit(f"emulate {n}²: batched unit_ops != scalar unit_ops")
+        records.append(
+            {"case": "emulate_mmo", "n": n, "mode": "scalar", "seconds": ref_seconds}
+        )
+        print(f"emulate {n:5d}²  scalar   {ref_seconds:8.3f}s  "
+              f"(speedup {ref_seconds / seconds:5.1f}x, bit-identical)")
+
+
+def bench_spgemm(
+    records: list[dict], n: int, density: float, *, compare_reference: bool
+) -> None:
+    csr = _spgemm_inputs(n, density)
+    t0 = time.perf_counter()
+    result, stats = spgemm("plus-mul", csr, csr)
+    seconds = time.perf_counter() - t0
+    records.append(
+        {
+            "case": "spgemm", "n": n, "density": density, "mode": "vectorized",
+            "seconds": seconds, "products": stats.products,
+        }
+    )
+    print(f"spgemm  {n:5d}² d={density:.2f} vectorized {seconds:8.3f}s  "
+          f"(products={stats.products})")
+    if compare_reference:
+        t0 = time.perf_counter()
+        ref, ref_stats = spgemm_reference("plus-mul", csr, csr)
+        ref_seconds = time.perf_counter() - t0
+        same = (
+            np.array_equal(result.indptr, ref.indptr)
+            and np.array_equal(result.indices, ref.indices)
+            and np.array_equal(result.data, ref.data)
+            and stats.products == ref_stats.products
+        )
+        if not same:
+            raise SystemExit(f"spgemm {n}²: vectorized result != reference")
+        records.append(
+            {
+                "case": "spgemm", "n": n, "density": density, "mode": "scalar",
+                "seconds": ref_seconds, "products": ref_stats.products,
+            }
+        )
+        print(f"spgemm  {n:5d}² d={density:.2f} scalar     {ref_seconds:8.3f}s  "
+              f"(speedup {ref_seconds / seconds:5.1f}x, bit-identical)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--full", action="store_true",
+        help="add the paper-scale points (512²/1024² emulate, 4096² spGEMM)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the JSON artifact here (default: print to stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    records: list[dict] = []
+    bench_emulate(records, 128, compare_scalar=True)
+    bench_spgemm(records, 512, 0.05, compare_reference=True)
+    if args.full:
+        bench_emulate(records, 256, compare_scalar=True)
+        bench_emulate(records, 512, compare_scalar=True)
+        bench_emulate(records, 1024, compare_scalar=False)
+        bench_spgemm(records, 1024, 0.05, compare_reference=True)
+        # The Figure-14 sparse-crossover point: 4096² at 99 % sparsity.
+        bench_spgemm(records, 4096, 0.01, compare_reference=False)
+
+    by_key = {
+        (r["case"], r["n"], r.get("density"), r["mode"]): r["seconds"]
+        for r in records
+    }
+    speedups = {}
+    for (case, n, density, mode), seconds in by_key.items():
+        if mode != "scalar":
+            continue
+        fast = by_key.get((case, n, density, "vectorized" if case == "spgemm" else "batched"))
+        if fast:
+            label = f"{case}_{n}" + (f"_d{density:.2f}" if density else "")
+            speedups[label] = round(seconds / fast, 2)
+
+    artifact = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "mode": "full" if args.full else "smoke",
+        "records": records,
+        "speedups_vs_scalar": speedups,
+    }
+    payload = json.dumps(artifact, indent=2)
+    if args.out:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(payload + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

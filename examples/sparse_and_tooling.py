@@ -51,7 +51,7 @@ def sparse_apsp() -> None:
     sparse_result = sparse_closure("min-plus", csr)
     dense_result = closure("min-plus", adjacency)
     assert np.array_equal(
-        sparse_result.matrix.to_dense(implicit=np.inf).astype(np.float32),
+        sparse_result.matrix.to_dense_for("min-plus"),
         dense_result.matrix,
     )
     dense_products = sparse_result.iterations * n**3

@@ -88,6 +88,83 @@ class Simd2Unit:
         result = apply_oplus(oplus_mode, c_wide, np.asarray(reduced, dtype=ring.output_dtype))
         return np.asarray(result, dtype=ring.output_dtype)
 
+    def compute_batched(
+        self,
+        opcode: MmoOpcode,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+    ) -> np.ndarray:
+        """A batch of (optionally chained) unit operations in one pass.
+
+        ``c`` holds one 4×4 accumulator tile per batch entry (shape
+        ``(*batch, 4, 4)``); ``a``/``b`` hold either one operand tile per
+        entry (``(*batch, 4, 4)``) or a stack of ``steps`` tiles per entry
+        (``(*batch, steps, 4, 4)``).  Per entry the unit evaluates the
+        chain ``d = (((c ⊕ r₀) ⊕ r₁) … ⊕ r₋₁)`` where ``rₛ`` is the fixed
+        binary-tree reduction of ``aₛ ⊗ bₛ`` — i.e. ``steps`` chained unit
+        operations, with every batch entry's step ``s`` evaluated by one
+        vectorized ⊗/⊕ expression.  Every element passes through the same
+        widen → ⊗ → tree-⊕ → combine pipeline as :meth:`compute`, in the
+        same order, so results are bit-identical to the equivalent
+        :meth:`compute` loop.  The invocation counter advances by
+        ``batch × steps``.
+        """
+        if opcode not in self.supported_opcodes:
+            raise UnsupportedOpcode(
+                f"{type(self).__name__} does not implement {opcode.mnemonic}; "
+                f"supported: {sorted(op.mnemonic for op in self.supported_opcodes)}"
+            )
+        a = np.asarray(a)
+        b = np.asarray(b)
+        c = np.asarray(c)
+        if a.shape != b.shape:
+            raise HardwareError(
+                f"batched operand shapes differ: a{a.shape} b{b.shape}"
+            )
+        if a.shape == c.shape:  # no explicit steps axis: one step per entry
+            a = a[..., None, :, :]
+            b = b[..., None, :, :]
+        if (
+            c.ndim < 2
+            or c.shape[-2:] != (UNIT_DIM, UNIT_DIM)
+            or a.shape[-2:] != (UNIT_DIM, UNIT_DIM)
+            or a.shape[:-3] != c.shape[:-2]
+        ):
+            raise HardwareError(
+                f"batched operands a{a.shape} / c{c.shape} do not form "
+                f"(*batch, steps, {UNIT_DIM}, {UNIT_DIM}) / "
+                f"(*batch, {UNIT_DIM}, {UNIT_DIM}) tile stacks"
+            )
+        steps = a.shape[-3]
+        ring = opcode.semiring
+        oplus_mode, otimes_mode = ALU_CONFIG[opcode]
+
+        a_wide = np.asarray(a, dtype=ring.input_dtype).astype(ring.output_dtype)
+        b_wide = np.asarray(b, dtype=ring.input_dtype).astype(ring.output_dtype)
+        acc = np.asarray(c, dtype=ring.output_dtype)
+
+        # products[..., s, i, k, j] = a[..., s, i, k] ⊗ b[..., s, k, j]
+        products = apply_otimes(
+            otimes_mode, a_wide[..., :, :, None], b_wide[..., None, :, :]
+        )
+        products = np.asarray(products, dtype=ring.output_dtype)
+
+        # The same fixed binary reduction tree over k = 4 as compute(),
+        # evaluated for every (batch entry, step) at once.
+        level0 = apply_oplus(oplus_mode, products[..., 0, :], products[..., 1, :])
+        level1 = apply_oplus(oplus_mode, products[..., 2, :], products[..., 3, :])
+        reduced = np.asarray(
+            apply_oplus(oplus_mode, level0, level1), dtype=ring.output_dtype
+        )
+
+        # Chain the accumulator through the steps (the scalar loop's order).
+        for s in range(steps):
+            acc = apply_oplus(oplus_mode, acc, reduced[..., s, :, :])
+
+        self.op_counts[opcode] += a.size // (UNIT_DIM * UNIT_DIM)
+        return np.asarray(acc, dtype=ring.output_dtype)
+
     @property
     def total_ops(self) -> int:
         return sum(self.op_counts.values())

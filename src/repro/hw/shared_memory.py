@@ -68,11 +68,14 @@ class SharedMemory:
         """Read a tile×tile fragment starting at element address ``addr``."""
         self._span_check(addr, ld, etype, tile)
         space = self._typed(etype)
-        rows = [space[addr + r * ld : addr + r * ld + tile] for r in range(tile)]
-        fragment = np.stack(rows)
+        if ld == tile:
+            fragment = space[addr : addr + tile * tile].reshape(tile, tile).copy()
+        else:
+            offsets = addr + ld * np.arange(tile)[:, None] + np.arange(tile)[None, :]
+            fragment = space[offsets]
         if etype is ElementType.B8:
             return fragment.astype(bool)
-        return fragment.copy()
+        return fragment
 
     def store_fragment(
         self,
@@ -90,9 +93,12 @@ class SharedMemory:
             )
         self._span_check(addr, ld, etype, tile)
         space = self._typed(etype)
-        converted = fragment.astype(_DTYPES[etype])
-        for r in range(tile):
-            space[addr + r * ld : addr + r * ld + tile] = converted[r]
+        converted = fragment.astype(_DTYPES[etype], copy=False)
+        if ld == tile:
+            space[addr : addr + tile * tile] = converted.reshape(-1)
+        else:
+            offsets = addr + ld * np.arange(tile)[:, None] + np.arange(tile)[None, :]
+            space[offsets] = converted
 
     # ------------------------------------------------------------------
     # whole-matrix staging helpers (used by the runtime to play the role of
@@ -110,7 +116,7 @@ class SharedMemory:
                 f"shared memory"
             )
         space = self._typed(etype)
-        space[addr : addr + count] = matrix.astype(_DTYPES[etype]).ravel()
+        space[addr : addr + count] = matrix.astype(_DTYPES[etype], copy=False).ravel()
         return addr + count
 
     def read_matrix(
@@ -132,3 +138,12 @@ class SharedMemory:
 
     def clear(self) -> None:
         self._buffer[:] = 0
+
+    @staticmethod
+    def dtype_for(etype: ElementType) -> np.dtype:
+        """NumPy dtype backing an element type in shared memory.
+
+        Lets callers pre-convert operand panels once and reuse them across
+        many :meth:`write_matrix` calls without per-call conversions.
+        """
+        return _DTYPES[etype]

@@ -30,6 +30,7 @@ class StreamingMultiprocessor:
         *,
         units_per_sm: int = UNITS_PER_SM,
         baseline_only: bool = False,
+        batched_mmo: bool = True,
     ):
         if units_per_sm <= 0:
             raise HardwareError(f"units_per_sm must be positive, got {units_per_sm}")
@@ -37,13 +38,14 @@ class StreamingMultiprocessor:
         unit_type = BaselineMmaUnit if baseline_only else Simd2Unit
         self.units: list[Simd2Unit] = [unit_type() for _ in range(units_per_sm)]
         self.stats = ExecutionStats()
+        self.batched_mmo = batched_mmo
         self._next_unit = 0
 
     def execute_warp(self, program: Program, shared_memory: SharedMemory) -> ExecutionStats:
         """Run one warp program on the next unit (round-robin)."""
         unit = self.units[self._next_unit]
         self._next_unit = (self._next_unit + 1) % len(self.units)
-        executor = WarpExecutor(shared_memory, unit)
+        executor = WarpExecutor(shared_memory, unit, batched_mmo=self.batched_mmo)
         warp_stats = executor.run(program)
         self.stats.merge(warp_stats)
         return warp_stats

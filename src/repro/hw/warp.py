@@ -65,6 +65,7 @@ class WarpExecutor:
         *,
         tile: int = TILE,
         observer=None,
+        batched_mmo: bool = True,
     ):
         if tile % UNIT_DIM:
             raise HardwareError(
@@ -77,6 +78,12 @@ class WarpExecutor:
         #: Optional callable ``observer(pc, instruction)`` invoked before
         #: each instruction executes (see :mod:`repro.hw.trace`).
         self.observer = observer
+        #: When True (default) an mmo issues its full 64-unit-op
+        #: decomposition as one batched unit pass; False replays the
+        #: original one-unit-op-at-a-time loop (bit-identical, kept as the
+        #: parity oracle and seed baseline for
+        #: ``benchmarks/bench_hotpaths.py``).
+        self.batched_mmo = batched_mmo
 
     # ------------------------------------------------------------------
     def run(self, program: Program) -> ExecutionStats:
@@ -141,6 +148,46 @@ class WarpExecutor:
         b = self.registers.read(instr.b)
         d = self.registers.read(instr.c).astype(ring.output_dtype)
 
+        if self.batched_mmo:
+            d = self._mmo_batched(instr.opcode, a, b, d, stats)
+        else:
+            d = self._mmo_scalar(instr.opcode, a, b, d, stats)
+
+        self.registers.write(instr.d, d, output_etype)
+        stats.mmos += 1
+        stats.mmos_by_opcode[instr.opcode] = stats.mmos_by_opcode.get(instr.opcode, 0) + 1
+
+    def _mmo_batched(
+        self, opcode: MmoOpcode, a: np.ndarray, b: np.ndarray, d: np.ndarray,
+        stats: ExecutionStats,
+    ) -> np.ndarray:
+        """Evaluate the warp mmo as one batched unit pass.
+
+        The 16×16 fragments are viewed as (4, 4, 4, 4) sub-blocks and the
+        whole decomposition — all ``sub × sub`` output subtiles, each with
+        its stack of ``sub`` inner steps — goes to the unit as a single
+        :meth:`~repro.hw.mxu.Simd2Unit.compute_batched` call, which chains
+        the accumulator through the steps exactly like the scalar loop.
+        Results and the 64 unit-op count per warp mmo are both unchanged.
+        """
+        sub = self.tile // UNIT_DIM
+        # blk[x, y] = fragment[x*4:(x+1)*4, y*4:(y+1)*4]
+        a_blk = a.reshape(sub, UNIT_DIM, sub, UNIT_DIM).transpose(0, 2, 1, 3)
+        b_jk = b.reshape(sub, UNIT_DIM, sub, UNIT_DIM).transpose(2, 0, 1, 3)
+        acc = d.reshape(sub, UNIT_DIM, sub, UNIT_DIM).transpose(0, 2, 1, 3)
+        # steps[i, j, kk] pair a_blk[i, kk] with b[kk, j] (== b_jk[j, kk]).
+        step_shape = (sub, sub, sub, UNIT_DIM, UNIT_DIM)
+        a_steps = np.broadcast_to(a_blk[:, None], step_shape)
+        b_steps = np.broadcast_to(b_jk[None], step_shape)
+        acc = self.unit.compute_batched(opcode, a_steps, b_steps, acc)
+        stats.unit_ops += sub * sub * sub
+        return acc.transpose(0, 2, 1, 3).reshape(self.tile, self.tile)
+
+    def _mmo_scalar(
+        self, opcode: MmoOpcode, a: np.ndarray, b: np.ndarray, d: np.ndarray,
+        stats: ExecutionStats,
+    ) -> np.ndarray:
+        """One unit operation at a time (the reference decomposition)."""
         sub = self.tile // UNIT_DIM
         for i in range(sub):
             rows = slice(i * UNIT_DIM, (i + 1) * UNIT_DIM)
@@ -150,11 +197,8 @@ class WarpExecutor:
                 for kk in range(sub):
                     inner = slice(kk * UNIT_DIM, (kk + 1) * UNIT_DIM)
                     acc = self.unit.compute(
-                        instr.opcode, a[rows, inner], b[inner, cols], acc
+                        opcode, a[rows, inner], b[inner, cols], acc
                     )
                     stats.unit_ops += 1
                 d[rows, cols] = acc
-
-        self.registers.write(instr.d, d, output_etype)
-        stats.mmos += 1
-        stats.mmos_by_opcode[instr.opcode] = stats.mmos_by_opcode.get(instr.opcode, 0) + 1
+        return d

@@ -33,6 +33,10 @@ class InstructionKind(enum.IntEnum):
     HALT = 4
 
 
+#: Lazy opcode → Semiring cache backing :attr:`MmoOpcode.semiring`.
+_SEMIRING_CACHE: dict["MmoOpcode", Semiring] = {}
+
+
 class MmoOpcode(enum.IntEnum):
     """The nine SIMD² arithmetic opcodes, in the paper's Table 2 order."""
 
@@ -53,8 +57,12 @@ class MmoOpcode(enum.IntEnum):
 
     @property
     def semiring(self) -> Semiring:
-        """The semiring this opcode implements."""
-        return get_semiring(self.mnemonic)
+        """The semiring this opcode implements (cached — this sits on the
+        per-mmo hot path of the emulator)."""
+        ring = _SEMIRING_CACHE.get(self)
+        if ring is None:
+            ring = _SEMIRING_CACHE[self] = get_semiring(self.mnemonic)
+        return ring
 
     @classmethod
     def from_mnemonic(cls, text: str) -> "MmoOpcode":

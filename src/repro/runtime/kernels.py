@@ -47,6 +47,13 @@ class KernelStats:
     These are the counts the paper's validation flow collects to check the
     performance-emulation backend issues exactly the expected number of
     SIMD² operations; the timing model consumes them as well.
+
+    Convention: ``tiles_k`` is the number of inner tile steps each
+    output-tile program performs — ``ceil(k / 16)`` for ``k > 0`` and ``1``
+    for ``k == 0`` (a single identity-padded step the reduction absorbs).
+    Degenerate calls with an empty output (``m == 0`` or ``n == 0``) report
+    the same ``tiles_k`` even though no program runs, so
+    ``mmo_instructions == tiles_m * tiles_n * tiles_k`` is zero there.
     """
 
     m: int
@@ -166,7 +173,7 @@ def mmo_tiled(
             raise RuntimeError_(f"accumulator shape {c.shape} != {(m, n)}")
     if m == 0 or n == 0:
         empty = semiring.full((m, n)) if c is None else np.asarray(c, semiring.output_dtype)
-        return empty, KernelStats(m, n, k, 0, 0, ceil_div(k, TILE) if k else 0)
+        return empty, KernelStats(m, n, k, 0, 0, ceil_div(k, TILE) if k else 1)
 
     a_pad = pad_to_tiles(a.astype(semiring.output_dtype), semiring.k_pad_a)
     b_pad = pad_to_tiles(b.astype(semiring.output_dtype), semiring.k_pad_b)
@@ -203,17 +210,38 @@ def mmo_tiled(
     shared_bytes = (
         in_etype.nbytes * 2 * tiles_k * _TILE_ELEMS + out_etype.nbytes * 2 * _TILE_ELEMS
     ) + 64
+
+    # Stage each A row-panel and each B col-panel ONCE, pre-converted to the
+    # shared-memory element format and laid out tile-major exactly as the
+    # warp program expects (tile kk of the A panel at element kk*256, tile
+    # kk of the B panel at (tiles_k + kk)*256).  The panels are then shared
+    # across the whole tile grid instead of being re-converted per output
+    # tile.  Row-major flattening of the (tiles_k*TILE, TILE) panel shape is
+    # precisely that tile-major layout.
+    in_dtype = SharedMemory.dtype_for(in_etype)
+    out_dtype = SharedMemory.dtype_for(out_etype)
+    a_panels = [
+        a_pad[ti * TILE : (ti + 1) * TILE]
+        .reshape(TILE, tiles_k, TILE)
+        .transpose(1, 0, 2)
+        .reshape(tiles_k * TILE, TILE)
+        .astype(in_dtype)
+        for ti in range(tiles_m)
+    ]
+    b_panels = [
+        b_pad[:, tj * TILE : (tj + 1) * TILE].astype(in_dtype)
+        for tj in range(tiles_n)
+    ]
+    c_conv = c_pad.astype(out_dtype, copy=False)
+
     work_items: list[tuple[int, int, SharedMemory]] = []
     items: list[WarpWorkItem] = []
     for ti in range(tiles_m):
         for tj in range(tiles_n):
             shm = SharedMemory(shared_bytes)
-            for kk in range(tiles_k):
-                a_tile = a_pad[ti * TILE : (ti + 1) * TILE, kk * TILE : (kk + 1) * TILE]
-                b_tile = b_pad[kk * TILE : (kk + 1) * TILE, tj * TILE : (tj + 1) * TILE]
-                shm.write_matrix(kk * _TILE_ELEMS, a_tile, in_etype)
-                shm.write_matrix((tiles_k + kk) * _TILE_ELEMS, b_tile, in_etype)
-            c_tile = c_pad[ti * TILE : (ti + 1) * TILE, tj * TILE : (tj + 1) * TILE]
+            shm.write_matrix(0, a_panels[ti], in_etype)
+            shm.write_matrix(tiles_k * _TILE_ELEMS, b_panels[tj], in_etype)
+            c_tile = c_conv[ti * TILE : (ti + 1) * TILE, tj * TILE : (tj + 1) * TILE]
             shm.write_matrix(c_addr, c_tile, out_etype)
             work_items.append((ti, tj, shm))
             items.append(WarpWorkItem(program, shm))

@@ -1,7 +1,7 @@
 """Sparse substrate: CSR, semiring spGEMM, 2:4 structured sparsity."""
 
 from repro.sparse.csr import CsrMatrix, SparseError
-from repro.sparse.spgemm import SpgemmStats, spgemm
+from repro.sparse.spgemm import SpgemmStats, spgemm, spgemm_reference
 from repro.sparse.structured import (
     GROUP,
     KEEP_PER_GROUP,
@@ -18,6 +18,7 @@ __all__ = [
     "SparseError",
     "SpgemmStats",
     "spgemm",
+    "spgemm_reference",
     "GROUP",
     "KEEP_PER_GROUP",
     "Structured24Matrix",

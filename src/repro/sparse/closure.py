@@ -10,7 +10,7 @@ Bellman-Ford / Leyzorek / convergence-check policies as the dense runtime.
 
 The implicit value of all CSR operands is the ring's ⊕ identity, so the
 sparse closure is exactly equivalent to the dense closure on
-``csr.to_dense(implicit=ring.oplus_identity)`` — asserted by the tests.
+``csr.to_dense_for(ring)`` — asserted by the tests.
 """
 
 from __future__ import annotations
@@ -23,7 +23,7 @@ from repro.core.registry import get_semiring
 from repro.core.semiring import Semiring, SemiringError
 from repro.runtime.closure import max_iterations_for
 from repro.sparse.csr import CsrMatrix
-from repro.sparse.spgemm import SpgemmStats, spgemm
+from repro.sparse.spgemm import SpgemmStats, _merge_by_column, spgemm
 
 __all__ = ["SparseClosureResult", "sparse_closure", "elementwise_oplus"]
 
@@ -58,24 +58,19 @@ def elementwise_oplus(ring: Semiring | str, a: CsrMatrix, b: CsrMatrix) -> CsrMa
     indptr = np.zeros(rows + 1, dtype=np.int64)
     indices_parts: list[np.ndarray] = []
     data_parts: list[np.ndarray] = []
+    a_data = np.asarray(a.data, dtype=ring.output_dtype)
+    b_data = np.asarray(b.data, dtype=ring.output_dtype)
     for i in range(rows):
-        a_cols, a_vals = a.row(i)
-        b_cols, b_vals = b.row(i)
-        merged: dict[int, np.ndarray] = {
-            int(c): np.asarray(v, dtype=ring.output_dtype)
-            for c, v in zip(a_cols, a_vals)
-        }
-        for c, v in zip(b_cols, b_vals):
-            key = int(c)
-            value = np.asarray(v, dtype=ring.output_dtype)
-            if key in merged:
-                merged[key] = np.asarray(
-                    ring.oplus(merged[key], value), dtype=ring.output_dtype
-                )
-            else:
-                merged[key] = value
-        cols = np.array(sorted(merged), dtype=np.int64)
-        vals = np.array([merged[int(c)] for c in cols], dtype=ring.output_dtype)
+        a_lo, a_hi = a.indptr[i], a.indptr[i + 1]
+        b_lo, b_hi = b.indptr[i], b.indptr[i + 1]
+        if a_lo == a_hi and b_lo == b_hi:
+            indptr[i + 1] = indptr[i]
+            continue
+        # A's entries first, then B's — the ⊕-fold order of the original
+        # dict-based merge — then a stable column merge (see spgemm).
+        cat_cols = np.concatenate((a.indices[a_lo:a_hi], b.indices[b_lo:b_hi]))
+        cat_vals = np.concatenate((a_data[a_lo:a_hi], b_data[b_lo:b_hi]))
+        cols, vals = _merge_by_column(ring, cat_cols, cat_vals)
         keep = vals != identity
         cols, vals = cols[keep], vals[keep]
         indices_parts.append(cols)

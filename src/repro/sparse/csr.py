@@ -58,10 +58,16 @@ class CsrMatrix:
             self.indices.min() < 0 or self.indices.max() >= cols
         ):
             raise SparseError("column index out of range")
-        for row in range(rows):
-            cols_in_row = self.indices[self.indptr[row] : self.indptr[row + 1]]
-            if np.any(np.diff(cols_in_row) <= 0):
-                raise SparseError(f"row {row}: column indices not strictly increasing")
+        if len(self.indices) > 1:
+            row_of = np.repeat(np.arange(rows, dtype=np.int64), np.diff(self.indptr))
+            bad = np.flatnonzero(
+                (np.diff(self.indices) <= 0) & (row_of[1:] == row_of[:-1])
+            )
+            if len(bad):
+                raise SparseError(
+                    f"row {int(row_of[bad[0] + 1])}: "
+                    "column indices not strictly increasing"
+                )
 
     # ------------------------------------------------------------------
     @property
@@ -113,13 +119,39 @@ class CsrMatrix:
             data=dense[rows_idx, cols_idx].copy(),
         )
 
-    def to_dense(self, *, implicit: float | bool = 0.0) -> np.ndarray:
-        """Expand back to dense, filling implicit entries."""
-        out = np.full(self.shape, implicit, dtype=self.data.dtype if self.nnz else np.result_type(type(implicit)))
-        for i in range(self.shape[0]):
-            cols, vals = self.row(i)
-            out[i, cols] = vals
+    def to_dense(
+        self, *, implicit: float | bool = 0.0, dtype: np.dtype | None = None
+    ) -> np.ndarray:
+        """Expand back to dense, filling implicit entries.
+
+        The result uses the stored ``data`` dtype (empty matrices included,
+        so empty and non-empty CSRs densify identically) unless ``dtype``
+        overrides it.  For semiring matrices prefer :meth:`to_dense_for`,
+        which picks the ring's ⊕ identity and output dtype.
+        """
+        out_dtype = np.dtype(dtype) if dtype is not None else self.data.dtype
+        out = np.full(self.shape, implicit, dtype=out_dtype)
+        if self.nnz:
+            rows = np.repeat(
+                np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+            )
+            out[rows, self.indices] = self.data
         return out
+
+    def to_dense_for(self, ring) -> np.ndarray:
+        """Densify under a semiring: implicit entries become the ⊕ identity.
+
+        ``ring`` is a :class:`~repro.core.semiring.Semiring` or its name.
+        This is the correct way to densify semiring matrices — the implicit
+        value is ``+inf`` for min-rings, ``-inf`` for max-rings, ``False``
+        for or-and — and the result is returned in the ring's output dtype.
+        """
+        from repro.core.registry import get_semiring
+
+        ring = get_semiring(ring)
+        return self.to_dense(
+            implicit=ring.oplus_identity, dtype=ring.output_dtype
+        )
 
     # ------------------------------------------------------------------
     def memory_bytes(self, *, index_bytes: int = 4, value_bytes: int = 4) -> int:
@@ -131,20 +163,19 @@ class CsrMatrix:
         )
 
     def transpose(self) -> "CsrMatrix":
-        """CSR of the transpose (a CSC view materialised as CSR)."""
+        """CSR of the transpose (a CSC view materialised as CSR).
+
+        A stable sort by column keeps each column's entries in row order,
+        which is exactly the cursor-walk order of the scalar construction.
+        """
         rows, cols = self.shape
-        counts = np.zeros(cols + 1, dtype=np.int64)
-        for col in self.indices:
-            counts[col + 1] += 1
-        indptr = np.cumsum(counts)
-        indices = np.empty(self.nnz, dtype=np.int64)
-        data = np.empty(self.nnz, dtype=self.data.dtype)
-        cursor = indptr[:-1].copy()
-        for i in range(rows):
-            cols_in_row, vals = self.row(i)
-            for col, val in zip(cols_in_row, vals):
-                pos = cursor[col]
-                indices[pos] = i
-                data[pos] = val
-                cursor[col] += 1
-        return CsrMatrix(shape=(cols, rows), indptr=indptr, indices=indices, data=data)
+        indptr = np.zeros(cols + 1, dtype=np.int64)
+        np.cumsum(np.bincount(self.indices, minlength=cols), out=indptr[1:])
+        row_of = np.repeat(np.arange(rows, dtype=np.int64), np.diff(self.indptr))
+        order = np.argsort(self.indices, kind="stable")
+        return CsrMatrix(
+            shape=(cols, rows),
+            indptr=indptr,
+            indices=row_of[order],
+            data=self.data[order],
+        )

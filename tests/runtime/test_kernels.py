@@ -48,6 +48,23 @@ class TestVectorizedBackend:
         assert got.shape == (0, 3)
         assert stats.warp_programs == 0
 
+    def test_tiles_k_convention_consistent_across_degenerate_paths(self):
+        # k == 0 runs one identity-padded inner step (tiles_k == 1) …
+        _, k0 = mmo_tiled("plus-mul", np.zeros((2, 0)), np.zeros((0, 3)))
+        assert k0.tiles_k == 1
+        # … and the empty-output early return reports the same convention:
+        # ceil(k/16) for k > 0, 1 for k == 0 — not 0.
+        _, empty_k0 = mmo_tiled("plus-mul", np.zeros((0, 4)), np.zeros((4, 0)))
+        _, empty_k0b = mmo_tiled("plus-mul", np.zeros((0, 0)), np.zeros((0, 3)))
+        _, empty_k20 = mmo_tiled("plus-mul", np.zeros((0, 20)), np.zeros((20, 3)))
+        assert empty_k0.tiles_k == 1
+        assert empty_k0b.tiles_k == 1
+        assert empty_k20.tiles_k == 2
+        # No programs run on the empty-output paths regardless of tiles_k.
+        for stats in (empty_k0, empty_k0b, empty_k20):
+            assert stats.warp_programs == 0
+            assert stats.mmo_instructions == 0
+
     def test_shape_validation(self):
         with pytest.raises(RuntimeError_, match="bad mmo operand shapes"):
             mmo_tiled("plus-mul", np.zeros((2, 3)), np.zeros((4, 2)))

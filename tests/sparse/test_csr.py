@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core import SEMIRINGS
 from repro.sparse import CsrMatrix, SparseError
 
 
@@ -46,6 +47,49 @@ class TestRoundTrip:
         got = CsrMatrix.from_dense(dense).transpose()
         np.testing.assert_array_equal(got.to_dense(), dense.T)
         assert got.shape == (12, 9)
+
+    def test_empty_matrix_honours_data_dtype(self):
+        # Regression: the empty case used to densify via
+        # np.result_type(type(implicit)) → float64, diverging from the
+        # non-empty case, which uses the stored data dtype.
+        empty = CsrMatrix.from_dense(np.zeros((3, 5), dtype=np.float16))
+        full = CsrMatrix.from_dense(np.eye(3, 5, dtype=np.float16))
+        assert empty.to_dense().dtype == np.float16
+        assert empty.to_dense().dtype == full.to_dense().dtype
+
+    def test_dtype_override(self):
+        csr = CsrMatrix.from_dense(np.eye(2, dtype=np.float64))
+        assert csr.to_dense(dtype=np.float32).dtype == np.float32
+
+
+class TestRingAwareDensify:
+    def test_min_plus_fills_inf(self):
+        # Regression: to_dense() defaults implicit=0.0, which silently
+        # turns "no edge" into "zero-cost edge" under min-plus.
+        adj = np.array([[np.inf, 3.0], [np.inf, np.inf]])
+        csr = CsrMatrix.from_dense(adj, implicit=np.inf)
+        dense = csr.to_dense_for("min-plus")
+        assert dense.dtype == np.float32
+        np.testing.assert_array_equal(dense, adj.astype(np.float32))
+
+    def test_or_and_fills_false(self):
+        pattern = np.random.default_rng(2).random((5, 5)) < 0.4
+        csr = CsrMatrix.from_dense(pattern, implicit=False)
+        dense = csr.to_dense_for("or-and")
+        assert dense.dtype == np.bool_
+        np.testing.assert_array_equal(dense, pattern)
+
+    def test_identity_fill_for_every_ring(self):
+        for name, ring in SEMIRINGS.items():
+            empty = CsrMatrix.from_dense(
+                np.full((2, 3), ring.oplus_identity),
+                implicit=ring.oplus_identity,
+            )
+            dense = empty.to_dense_for(name)
+            assert dense.dtype == ring.output_dtype, name
+            np.testing.assert_array_equal(
+                dense, np.full((2, 3), ring.oplus_identity, ring.output_dtype)
+            )
 
 
 class TestAccessors:

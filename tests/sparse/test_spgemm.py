@@ -91,3 +91,19 @@ class TestAgainstDenseOracle:
         b = CsrMatrix.from_dense(b_dense, implicit=implicit)
         _, stats = spgemm("plus-mul", a, b)
         assert stats.compression_ratio >= 1.0
+
+    def test_compression_ratio_total_cancellation(self):
+        # Regression: products > 0 but every output merged to the ⊕
+        # identity and was dropped used to report 0.0, contradicting the
+        # "≥ 1 whenever work was done" contract; it is now +inf.
+        a = CsrMatrix.from_dense(np.array([[1.0, 1.0]]))
+        b = CsrMatrix.from_dense(np.array([[3.0], [-3.0]]))
+        _, stats = spgemm("plus-mul", a, b)
+        assert stats.products == 2 and stats.output_nnz == 0
+        assert stats.compression_ratio == float("inf")
+
+    def test_compression_ratio_no_work(self):
+        a = CsrMatrix.from_dense(np.zeros((2, 2)))
+        _, stats = spgemm("plus-mul", a, a)
+        assert stats.products == 0
+        assert stats.compression_ratio == 0.0
