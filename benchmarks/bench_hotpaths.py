@@ -35,9 +35,11 @@ from repro.sparse import CsrMatrix, spgemm, spgemm_reference
 
 
 def _emulate_case(n: int, *, batched: bool, seed: int = 0):
+    # Continuous floats, not integers: integer-valued operands sum exactly
+    # and would let accumulation-order divergences pass the parity assert.
     rng = np.random.default_rng(seed)
-    a = rng.integers(1, 9, (n, n)).astype(np.float64)
-    b = rng.integers(1, 9, (n, n)).astype(np.float64)
+    a = rng.random((n, n)) * 8 + 0.5
+    b = rng.random((n, n)) * 8 + 0.5
     device = Simd2Device(sm_count=4, batched_mmo=batched)
     t0 = time.perf_counter()
     result, stats = mmo_tiled("plus-mul", a, b, backend="emulate", device=device)
@@ -48,8 +50,8 @@ def _emulate_case(n: int, *, batched: bool, seed: int = 0):
 def _spgemm_inputs(n: int, density: float, seed: int = 11):
     rng = np.random.default_rng(seed)
     dense = np.where(
-        rng.random((n, n)) < density, rng.integers(1, 9, (n, n)), 0
-    ).astype(np.float64)
+        rng.random((n, n)) < density, rng.random((n, n)) * 8 + 0.5, 0.0
+    )
     return CsrMatrix.from_dense(dense)
 
 

@@ -9,12 +9,14 @@ crossover model.
 
 The hot path is a vectorized merge: per A row, the selected B-row slices
 are gathered with ``np.concatenate``, the ⊗ products computed in one
-vectorized call, and duplicate columns folded with a stable ``argsort``
-plus ``ufunc.reduceat`` under ⊕.  Contributions to one output column are
-combined in the same left-to-right gather order the scalar accumulator
-uses, so values — and ``SpgemmStats.products`` — are bit-identical to
-:func:`spgemm_reference`, the original dict-based formulation kept as the
-parity oracle.
+vectorized call, and duplicate columns folded under ⊕ after a stable
+``argsort``.  For the idempotent rings (min/max/or ⊕) the fold uses
+``ufunc.reduceat``; for the inexact plus-based rings ``reduceat`` would
+reduce long segments pairwise, so a rank-wise left fold is used instead,
+applying ⊕ to each column's contributions strictly left to right — the
+exact order a scalar dict accumulator uses.  Either way, values — and
+``SpgemmStats.products`` — are bit-identical to :func:`spgemm_reference`,
+the original dict-based formulation kept as the parity oracle.
 """
 
 from __future__ import annotations
@@ -52,15 +54,29 @@ class SpgemmStats:
         return float("inf") if self.products else 0.0
 
 
+#: ⊕ ufuncs whose reduction is exactly associative (idempotent selections),
+#: so any reduction grouping — including ``reduceat``'s pairwise splitting of
+#: long segments — yields the same result as a sequential left fold.
+#: ``np.add`` is deliberately absent: float addition is not associative, and
+#: ``reduceat`` reduces segments longer than 8 pairwise, which would break
+#: bit-parity with the scalar reference.
+_EXACT_REDUCEAT_OPLUS = frozenset({np.minimum, np.maximum, np.logical_or})
+
+
 def _merge_by_column(
     ring: Semiring, cols: np.ndarray, vals: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
     """⊕-fold duplicate columns; returns (sorted unique cols, merged vals).
 
     The stable sort keeps each column's contributions in their original
-    (gather) order and ``reduceat`` folds them left to right — the exact
-    order a scalar dict accumulator applies ⊕ — so merged floats are
-    bit-identical to the scalar path.
+    (gather) order.  Idempotent ⊕ ufuncs (min/max/or) are folded with
+    ``reduceat``, whose pairwise grouping cannot change their result.
+    Other ⊕ ufuncs (``np.add`` for the plus-* rings) use a rank-wise left
+    fold — iteration ``r`` combines every segment's ``r``-th contribution
+    into its running accumulator, vectorized across segments — which
+    applies ⊕ strictly left to right within each segment, the exact order
+    a scalar dict accumulator uses, so merged floats are bit-identical to
+    the scalar path.
     """
     order = np.argsort(cols, kind="stable")
     cols_sorted = cols[order]
@@ -69,8 +85,16 @@ def _merge_by_column(
         np.concatenate(([True], cols_sorted[1:] != cols_sorted[:-1]))
     )
     unique_cols = cols_sorted[boundaries]
-    if isinstance(ring.oplus, np.ufunc):
+    if isinstance(ring.oplus, np.ufunc) and ring.oplus in _EXACT_REDUCEAT_OPLUS:
         merged = ring.oplus.reduceat(vals_sorted, boundaries)
+    elif isinstance(ring.oplus, np.ufunc):
+        lengths = np.append(boundaries[1:], len(vals_sorted)) - boundaries
+        merged = vals_sorted[boundaries]
+        for r in range(1, int(lengths.max())):
+            live = lengths > r
+            merged[live] = ring.oplus(
+                merged[live], vals_sorted[boundaries[live] + r]
+            )
     else:
         segments = np.append(boundaries, len(vals_sorted))
         merged = np.empty(len(unique_cols), dtype=vals_sorted.dtype)
