@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke tables csv examples all clean
+.PHONY: install test bench bench-smoke check-backends tables csv examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,6 +13,12 @@ bench:
 # PYTHONPATH makes it work from a bare checkout, before `make install`.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_hotpaths.py
+
+# Backend-registry health: every registered backend agrees with the
+# vectorized reference, and context dispatch stays within 5% of a direct
+# backend call (writes benchmarks/results/dispatch.json).
+check-backends:
+	PYTHONPATH=src python benchmarks/bench_dispatch.py --out benchmarks/results/dispatch.json
 
 tables:
 	python -m repro.bench

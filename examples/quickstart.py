@@ -3,7 +3,8 @@
 Shows the three layers of the library:
 
 1. whole-matrix semiring operations (``repro.core.mmo``),
-2. the tiled runtime with implicit 16×16 tiling and both backends,
+2. the tiled runtime with implicit 16×16 tiling, backends selected
+   through an ambient ``ExecutionContext`` with per-launch tracing,
 3. the instruction-level path: build a tile program through the Table-3
    API, assemble/encode it, and execute it on the hardware emulator.
 
@@ -19,7 +20,7 @@ import numpy as np
 from repro.core import TILE, mmo, semiring_names
 from repro.hw import SharedMemory, WarpExecutor
 from repro.isa import ElementType, disassemble, encode_program
-from repro.runtime import TileProgramBuilder, mmo_tiled
+from repro.runtime import TileProgramBuilder, Trace, mmo_tiled, use_context
 
 
 def whole_matrix_operations() -> None:
@@ -43,18 +44,26 @@ def whole_matrix_operations() -> None:
 
 
 def tiled_runtime() -> None:
-    print("=== 2. The tiled runtime (any shape, two backends) ===")
+    print("=== 2. The tiled runtime (any shape, any registered backend) ===")
     rng = np.random.default_rng(0)
     a = rng.integers(0, 5, (50, 30)).astype(float)
     b = rng.integers(0, 5, (30, 40)).astype(float)
 
+    # Backends are picked through an ambient ExecutionContext: install one
+    # with use_context() and every launch underneath routes through it —
+    # no per-call keywords.  A Trace on the context records each launch.
     vectorized, stats = mmo_tiled("max-plus", a, b)
-    emulated, emu_stats = mmo_tiled("max-plus", a, b, backend="emulate")
+    trace = Trace()
+    with use_context(backend="emulate", trace=trace):
+        emulated, emu_stats = mmo_tiled("max-plus", a, b)
     assert np.array_equal(vectorized, emulated)
     print(f"50x40x30 max-plus  -> {stats.warp_programs} warp programs, "
           f"{stats.mmo_instructions} mmo instructions")
     print(f"emulator executed  -> {emu_stats.execution.unit_ops} 4x4x4 unit ops, "
-          "results identical to the vectorised backend\n")
+          "results identical to the vectorised backend")
+    record = trace.records[0]
+    print(f"traced             -> api={record.api} backend={record.backend} "
+          f"tiles={record.tiles} cycles~{record.cycle_estimate}\n")
 
 
 def instruction_level() -> None:

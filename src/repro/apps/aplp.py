@@ -74,7 +74,7 @@ def aplp_simd2(
     *,
     method: str = "leyzorek",
     convergence_check: bool = True,
-    backend: str = "vectorized",
+    backend: str | None = None,
     max_iterations: int | None = None,
 ) -> AplpResult:
     """SIMD² APLP: max-plus closure on the matrix unit."""

@@ -50,7 +50,7 @@ def apsp_simd2(
     *,
     method: str = "leyzorek",
     convergence_check: bool = True,
-    backend: str = "vectorized",
+    backend: str | None = None,
     max_iterations: int | None = None,
 ) -> ApspResult:
     """SIMD² APSP: min-plus closure on the matrix unit."""

@@ -63,7 +63,7 @@ def gtc_simd2(
     *,
     method: str = "leyzorek",
     convergence_check: bool = True,
-    backend: str = "vectorized",
+    backend: str | None = None,
     max_iterations: int | None = None,
 ) -> GtcResult:
     """SIMD² GTC: or-and closure of the reflexive adjacency matrix."""

@@ -114,7 +114,7 @@ def kmeans_simd2(
     *,
     seed: int = 0,
     max_iterations: int = 50,
-    backend: str = "vectorized",
+    backend: str | None = None,
 ) -> KmeansResult:
     """Lloyd's algorithm with the assignment step as one add-norm mmo."""
     points = _validate(points, k, max_iterations)

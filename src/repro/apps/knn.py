@@ -76,7 +76,7 @@ def knn_simd2(
     references: np.ndarray,
     k: int,
     *,
-    backend: str = "vectorized",
+    backend: str | None = None,
 ) -> KnnResult:
     """SIMD² KNN: plus-norm mmo distance matrix + top-k selection.
 

@@ -34,7 +34,7 @@ class InverseResult:
     residual: float  # ‖I − A·X‖_max at exit
 
 
-def _mm(a: np.ndarray, b: np.ndarray, *, backend: str) -> np.ndarray:
+def _mm(a: np.ndarray, b: np.ndarray, *, backend: str | None) -> np.ndarray:
     result, _ = mmo_tiled("plus-mul", a, b, backend=backend)
     return result
 
@@ -44,7 +44,7 @@ def newton_schulz_inverse(
     *,
     tolerance: float = 1e-3,
     max_iterations: int = 50,
-    backend: str = "vectorized",
+    backend: str | None = None,
 ) -> InverseResult:
     """Invert a well-conditioned square matrix with mma chains.
 

@@ -102,7 +102,7 @@ def minimax_matrix(
     *,
     method: str = "leyzorek",
     convergence_check: bool = True,
-    backend: str = "vectorized",
+    backend: str | None = None,
     max_iterations: int | None = None,
 ) -> ClosureResult:
     """Min-max closure: ``B[u, v]`` = bottleneck (minimax) distance.
@@ -128,7 +128,7 @@ def mst_simd2(
     *,
     method: str = "leyzorek",
     convergence_check: bool = True,
-    backend: str = "vectorized",
+    backend: str | None = None,
     max_iterations: int | None = None,
 ) -> MstResult:
     """SIMD² MST: select edges whose weight equals the minimax distance.

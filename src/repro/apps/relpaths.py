@@ -76,7 +76,7 @@ def _simd2(
     *,
     method: str,
     convergence_check: bool,
-    backend: str,
+    backend: str | None,
     max_iterations: int | None,
 ) -> PathClosureResult:
     adjacency = _validated(adjacency, ring_name)
@@ -103,7 +103,7 @@ def max_capacity_simd2(
     *,
     method: str = "leyzorek",
     convergence_check: bool = True,
-    backend: str = "vectorized",
+    backend: str | None = None,
     max_iterations: int | None = None,
 ) -> PathClosureResult:
     """SIMD² MaxCP via the max-min instruction."""
@@ -127,7 +127,7 @@ def max_reliability_simd2(
     *,
     method: str = "leyzorek",
     convergence_check: bool = True,
-    backend: str = "vectorized",
+    backend: str | None = None,
     max_iterations: int | None = None,
 ) -> PathClosureResult:
     """SIMD² MaxRP via the max-mul instruction."""
@@ -151,7 +151,7 @@ def min_reliability_simd2(
     *,
     method: str = "leyzorek",
     convergence_check: bool = True,
-    backend: str = "vectorized",
+    backend: str | None = None,
     max_iterations: int | None = None,
 ) -> PathClosureResult:
     """SIMD² MinRP via the min-mul instruction."""

@@ -101,7 +101,7 @@ def scc_simd2(
     adjacency: np.ndarray,
     *,
     method: str = "leyzorek",
-    backend: str = "vectorized",
+    backend: str | None = None,
 ) -> SccResult:
     """SCC from one or-and closure: ``strong = R ∧ Rᵀ``."""
     adjacency = _validate(adjacency).copy()

@@ -1,0 +1,29 @@
+"""Execution backends for the whole-matrix mmo — one seam, many substrates.
+
+``apps → runtime → backends → hw/isa``: the runtime dispatch layer
+(:func:`repro.runtime.kernels.mmo_tiled`) resolves a backend name through
+the registry here and hands it validated operands.  Built-ins:
+
+- ``"vectorized"`` — NumPy semiring arithmetic (the CUDA-core analogue),
+- ``"emulate"``    — per-tile warp programs on the Simd2Device emulator,
+- ``"sparse"``     — Gustavson spGEMM over CSR operands.
+
+Register your own with :func:`register_backend`; every entry point and
+the registry-driven parity suite pick it up automatically.
+"""
+
+from repro.backends.base import (
+    Backend,
+    BackendError,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+]

@@ -1,0 +1,115 @@
+"""Backend protocol + registry: the single dispatch seam for mmo launches.
+
+The paper's point (Sections 5.1, 6.6) is that one ``D = C ⊕ (A ⊗ B)``
+abstraction serves many execution substrates — CUDA cores, SIMD² units,
+sparse spGEMM datapaths.  This module is that abstraction's seam: a
+:class:`Backend` implements ``run_mmo`` for validated whole-matrix
+operands, registers itself under a name, and every runtime entry point
+(``mmo_tiled``, ``closure``, ``batched_mmo``, apps, bench) reaches it
+through :func:`get_backend` — so adding a backend touches exactly one new
+module and zero call sites.
+
+Built-in backends (``vectorized``, ``emulate``, ``sparse``) are imported
+lazily on first registry access to keep ``import repro`` cheap and the
+dependency direction one-way (backends import runtime, never the
+reverse at module level).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.runtime.api import RuntimeError_
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.isa.opcodes import MmoOpcode
+    from repro.runtime.context import ExecutionContext
+    from repro.runtime.kernels import KernelStats
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+]
+
+
+class BackendError(RuntimeError_):
+    """Unknown or conflicting backend registration/lookup."""
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """One way of executing a whole-matrix mmo.
+
+    Implementations receive operands that the dispatch layer has already
+    validated (2-D, inner dimensions matching, ``C`` of shape ``(m, n)``
+    when present, ``m > 0`` and ``n > 0``) and must return the ``(m, n)``
+    result in the ring's output dtype together with the launch's
+    :class:`~repro.runtime.kernels.KernelStats`.
+    """
+
+    name: str
+
+    def run_mmo(
+        self,
+        opcode: "MmoOpcode",
+        a: "np.ndarray",
+        b: "np.ndarray",
+        c: "np.ndarray | None",
+        *,
+        context: "ExecutionContext",
+    ) -> "tuple[np.ndarray, KernelStats]": ...
+
+
+_REGISTRY: dict[str, Backend] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in backend modules (each registers itself)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from repro.backends import emulate, sparse, vectorized  # noqa: F401
+
+
+def register_backend(backend: Backend, *, replace: bool = False) -> Backend:
+    """Register ``backend`` under ``backend.name``; returns it for chaining."""
+    name = getattr(backend, "name", None)
+    if not isinstance(name, str) or not name:
+        raise BackendError(
+            f"backend {backend!r} must expose a non-empty string 'name'"
+        )
+    if name in _REGISTRY and not replace:
+        raise BackendError(
+            f"backend {name!r} already registered (pass replace=True to override)"
+        )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend by registry name.
+
+    Raises :class:`BackendError` (an ``RuntimeError_``) naming every
+    registered backend — the one validation message all entry points share.
+    """
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        registered = ", ".join(sorted(_REGISTRY))
+        raise BackendError(
+            f"unknown backend {name!r}; registered backends: {registered}"
+        ) from None
+
+
+def list_backends() -> tuple[str, ...]:
+    """Sorted names of every registered backend."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,137 @@
+"""The instruction-level backend: warp programs on the emulated device.
+
+Builds one Table-3 warp program per output tile, stages operand panels
+into shared memory, executes on :class:`~repro.hw.device.Simd2Device`, and
+cross-checks the dynamic instruction counters against the static tiling
+prediction — the paper's statistics validation between its two emulation
+backends (Section 5.1).
+
+The device comes from the execution context; when the context carries
+none, a private 4-SM device is created per launch (honouring the
+context's ``parallel`` flag).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.backends.base import register_backend
+from repro.backends.tiling import plan_mmo
+from repro.core.tiles import TILE, crop
+from repro.hw.device import Simd2Device, WarpWorkItem
+from repro.hw.shared_memory import SharedMemory
+from repro.isa.opcodes import ElementType, MmoOpcode
+from repro.runtime.api import RuntimeError_
+from repro.runtime.context import ExecutionContext
+from repro.runtime.kernels import KernelStats, build_tile_mmo_program
+
+__all__ = ["EmulateBackend"]
+
+_TILE_ELEMS = TILE * TILE
+
+
+def _check_emulation_parity(stats: KernelStats) -> None:
+    """Assert the emulator issued exactly the statically predicted counts.
+
+    This is the paper's statistics cross-check between the validation and
+    performance-emulation backends.
+    """
+    execution = stats.execution
+    assert execution is not None
+    if (
+        execution.mmos != stats.mmo_instructions
+        or execution.loads != stats.load_instructions
+        or execution.stores != stats.store_instructions
+        or execution.unit_ops != stats.unit_ops
+    ):
+        raise RuntimeError_(
+            "emulation statistics diverge from the static tiling prediction: "
+            f"{execution} vs {stats}"
+        )
+
+
+class EmulateBackend:
+    """Whole-matrix mmo through per-tile warp programs on emulated SMs."""
+
+    name = "emulate"
+
+    def run_mmo(
+        self,
+        opcode: MmoOpcode,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | None,
+        *,
+        context: ExecutionContext,
+    ) -> tuple[np.ndarray, KernelStats]:
+        semiring = opcode.semiring
+        plan = plan_mmo(semiring, a, b, c)
+        a_pad, b_pad, c_pad = plan.a_pad, plan.b_pad, plan.c_pad
+        tiles_m, tiles_n, tiles_k = plan.tiles_m, plan.tiles_n, plan.tiles_k
+        stats = plan.stats
+
+        device = context.device
+        if device is None:
+            device = Simd2Device(sm_count=4, parallel=context.parallel)
+        program, c_addr, d_addr = build_tile_mmo_program(
+            opcode, tiles_k, boolean=semiring.is_boolean()
+        )
+        in_etype = ElementType.B8 if semiring.is_boolean() else ElementType.F16
+        out_etype = ElementType.B8 if semiring.is_boolean() else ElementType.F32
+
+        shared_bytes = (
+            in_etype.nbytes * 2 * tiles_k * _TILE_ELEMS
+            + out_etype.nbytes * 2 * _TILE_ELEMS
+        ) + 64
+
+        # Stage each A row-panel and each B col-panel ONCE, pre-converted to
+        # the shared-memory element format and laid out tile-major exactly as
+        # the warp program expects (tile kk of the A panel at element kk*256,
+        # tile kk of the B panel at (tiles_k + kk)*256).  The panels are then
+        # shared across the whole tile grid instead of being re-converted per
+        # output tile.  Row-major flattening of the (tiles_k*TILE, TILE)
+        # panel shape is precisely that tile-major layout.
+        in_dtype = SharedMemory.dtype_for(in_etype)
+        out_dtype = SharedMemory.dtype_for(out_etype)
+        a_panels = [
+            a_pad[ti * TILE : (ti + 1) * TILE]
+            .reshape(TILE, tiles_k, TILE)
+            .transpose(1, 0, 2)
+            .reshape(tiles_k * TILE, TILE)
+            .astype(in_dtype)
+            for ti in range(tiles_m)
+        ]
+        b_panels = [
+            b_pad[:, tj * TILE : (tj + 1) * TILE].astype(in_dtype)
+            for tj in range(tiles_n)
+        ]
+        c_conv = c_pad.astype(out_dtype, copy=False)
+
+        work_items: list[tuple[int, int, SharedMemory]] = []
+        items: list[WarpWorkItem] = []
+        for ti in range(tiles_m):
+            for tj in range(tiles_n):
+                shm = SharedMemory(shared_bytes)
+                shm.write_matrix(0, a_panels[ti], in_etype)
+                shm.write_matrix(tiles_k * _TILE_ELEMS, b_panels[tj], in_etype)
+                c_tile = c_conv[
+                    ti * TILE : (ti + 1) * TILE, tj * TILE : (tj + 1) * TILE
+                ]
+                shm.write_matrix(c_addr, c_tile, out_etype)
+                work_items.append((ti, tj, shm))
+                items.append(WarpWorkItem(program, shm))
+
+        execution = device.launch(items)
+        d_pad = np.empty_like(c_pad)
+        for ti, tj, shm in work_items:
+            d_tile = shm.read_matrix(d_addr, (TILE, TILE), out_etype)
+            d_pad[ti * TILE : (ti + 1) * TILE, tj * TILE : (tj + 1) * TILE] = d_tile
+
+        stats = dataclasses.replace(stats, execution=execution)
+        _check_emulation_parity(stats)
+        return crop(d_pad, stats.m, stats.n).copy(), stats
+
+
+register_backend(EmulateBackend())

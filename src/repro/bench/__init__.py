@@ -10,9 +10,10 @@ from repro.bench.harness import (
     fig14_sparse_crossover_rows,
     run_experiment,
     table5_area_rows,
+    trace_rows,
     validation_rows,
 )
-from repro.bench.reporting import format_value, render_table
+from repro.bench.reporting import format_value, render_table, render_trace
 
 __all__ = [
     "EXPERIMENTS",
@@ -24,7 +25,9 @@ __all__ = [
     "fig14_sparse_crossover_rows",
     "run_experiment",
     "table5_area_rows",
+    "trace_rows",
     "validation_rows",
     "format_value",
     "render_table",
+    "render_trace",
 ]

@@ -53,6 +53,7 @@ from repro.datasets import (
     undirected_distance_graph,
 )
 from repro.hw import Simd2Device
+from repro.runtime import Trace, TraceSummary, use_context
 from repro.timing import APP_SIZES, app_times
 
 __all__ = ["AppEvaluation", "EVALUATION_SUITE", "evaluate_application", "evaluate_all"]
@@ -155,10 +156,24 @@ class AppEvaluation:
     emulation_consistent: bool  # emulator output == vectorised output
     max_relative_error: float  # accuracy of the fp16 datapath vs baseline
     modelled_speedups: tuple[float, float, float]  # Small/Medium/Large
+    #: Launch traces of the two SIMD² runs; their mmo counts must agree
+    #: (same algorithm, same tile grids — the statistics cross-check).
+    vectorized_trace: TraceSummary | None = None
+    emulate_trace: TraceSummary | None = None
+
+    @property
+    def trace_consistent(self) -> bool:
+        """Static instruction counts agree across the two backends."""
+        if self.vectorized_trace is None or self.emulate_trace is None:
+            return True
+        return (
+            self.vectorized_trace.mmo_instructions
+            == self.emulate_trace.mmo_instructions
+        )
 
     def as_row(self) -> dict[str, object]:
         small, medium, large = self.modelled_speedups
-        return {
+        row: dict[str, object] = {
             "app": self.app,
             "validated": self.validated,
             "emulation_consistent": self.emulation_consistent,
@@ -167,6 +182,11 @@ class AppEvaluation:
             "speedup_M": medium,
             "speedup_L": large,
         }
+        if self.vectorized_trace is not None:
+            row["launches"] = self.vectorized_trace.launches
+            row["traced_mmos"] = self.vectorized_trace.mmo_instructions
+            row["trace_consistent"] = self.trace_consistent
+        return row
 
 
 def _relative_error(got: np.ndarray, want: np.ndarray) -> float:
@@ -189,8 +209,14 @@ def evaluate_application(app: str) -> AppEvaluation:
     data = case.make_input()
 
     baseline = np.asarray(case.run_baseline(data))
-    vectorised = np.asarray(case.run_simd2(data, "vectorized", None))
-    emulated = np.asarray(case.run_simd2(data, "emulate", Simd2Device(sm_count=4)))
+    # Each SIMD² run executes under a tracing context so every launch is
+    # observable; the app code itself needs no bench-specific plumbing.
+    vec_trace = Trace()
+    with use_context(trace=vec_trace):
+        vectorised = np.asarray(case.run_simd2(data, "vectorized", None))
+    emu_trace = Trace()
+    with use_context(trace=emu_trace):
+        emulated = np.asarray(case.run_simd2(data, "emulate", Simd2Device(sm_count=4)))
 
     error = _relative_error(vectorised, baseline)
     tolerance = 0.0 if case.exact else 1e-2
@@ -208,6 +234,8 @@ def evaluate_application(app: str) -> AppEvaluation:
         emulation_consistent=emulation_consistent,
         max_relative_error=error,
         modelled_speedups=speedups,  # type: ignore[arg-type]
+        vectorized_trace=vec_trace.summary(),
+        emulate_trace=emu_trace.summary(),
     )
 
 

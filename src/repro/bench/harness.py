@@ -47,6 +47,7 @@ __all__ = [
     "fig12_ablation_rows",
     "fig13_sparse_unit_rows",
     "fig14_sparse_crossover_rows",
+    "trace_rows",
     "validation_rows",
 ]
 
@@ -311,6 +312,44 @@ def validation_rows() -> list[dict[str, object]]:
     return [evaluation.as_row() for evaluation in evaluate_all()]
 
 
+#: Workload of the trace experiment: one closure per (ring, size) cell,
+#: small enough for the emulate backend at test speed.
+_TRACE_RING = "min-plus"
+_TRACE_VERTICES = 40
+
+
+def trace_rows() -> list[dict[str, object]]:
+    """Per-backend launch traces of one closure workload.
+
+    Runs the same min-plus closure under every *registered* backend with a
+    tracing context installed and reports each trace's aggregate counters
+    — so the row set grows automatically when a backend registers, and the
+    ``mmo_instructions`` column demonstrates the static-count
+    reconciliation across substrates (identical tile grids ⇒ identical
+    counts, whatever executed them).
+    """
+    from repro.backends import list_backends
+    from repro.datasets import GraphSpec, distance_graph
+    from repro.runtime import Trace, closure, use_context
+
+    adjacency = distance_graph(
+        GraphSpec(num_vertices=_TRACE_VERTICES, edge_probability=0.2, seed=7)
+    )
+    rows: list[dict[str, object]] = []
+    for backend in list_backends():
+        trace = Trace()
+        with use_context(backend=backend, trace=trace):
+            result = closure(_TRACE_RING, adjacency)
+        summary = trace.summary()
+        row: dict[str, object] = {"backend": backend, **summary.as_row()}
+        row["iterations"] = result.iterations
+        row["counts_reconcile"] = (
+            summary.mmo_instructions == result.total_mmo_instructions
+        )
+        rows.append(row)
+    return rows
+
+
 EXPERIMENTS: dict[str, tuple[str, callable]] = {
     "table5": ("Table 5: area, power and die overhead (model vs paper)", table5_area_rows),
     "validate": ("Figure 8: validation flow across the application suite", validation_rows),
@@ -320,6 +359,7 @@ EXPERIMENTS: dict[str, tuple[str, callable]] = {
     "fig12": ("Figure 12: algorithmic ablations", fig12_ablation_rows),
     "fig13": ("Figure 13: sparse SIMD2 unit", fig13_sparse_unit_rows),
     "fig14": ("Figure 14: sparse vs dense crossover", fig14_sparse_crossover_rows),
+    "trace": ("Launch trace: one closure per registered backend", trace_rows),
 }
 
 

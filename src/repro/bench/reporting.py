@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
-__all__ = ["render_table", "format_value"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.trace import LaunchRecord
+
+__all__ = ["render_table", "render_trace", "format_value"]
 
 
 def format_value(value) -> str:
@@ -51,3 +55,48 @@ def render_table(
         parts.append(title)
     parts.extend([header, rule, body])
     return "\n".join(parts)
+
+
+def render_trace(
+    records: "Iterable[LaunchRecord]", *, title: str | None = None
+) -> str:
+    """Render launch records (a :class:`~repro.runtime.trace.Trace`) as a table.
+
+    One row per launch with the counters the paper's validation flow
+    reconciles, followed by the aggregate summary row.
+    """
+    from repro.runtime.trace import TraceSummary
+
+    records = list(records)
+    rows: list[dict[str, object]] = [
+        {
+            "api": rec.api,
+            "backend": rec.backend,
+            "ring": rec.ring,
+            "shape": "x".join(str(s) for s in rec.shape),
+            "tiles": "x".join(str(t) for t in rec.tiles),
+            "mmos": rec.mmo_instructions,
+            "unit_ops": rec.unit_ops,
+            "wall_ms": rec.wall_time_s * 1e3,
+            "cycles": rec.cycle_estimate,
+        }
+        for rec in records
+    ]
+    summary = TraceSummary.from_records(records)
+    rows.append(
+        {
+            "api": "TOTAL",
+            "backend": "+".join(sorted(summary.by_backend)) or "-",
+            "ring": "+".join(sorted(summary.by_ring)) or "-",
+            "shape": f"{summary.launches} launches",
+            "mmos": summary.mmo_instructions,
+            "unit_ops": summary.unit_ops,
+            "wall_ms": summary.wall_time_s * 1e3,
+            "cycles": summary.cycle_estimate,
+        }
+    )
+    columns = [
+        "api", "backend", "ring", "shape", "tiles",
+        "mmos", "unit_ops", "wall_ms", "cycles",
+    ]
+    return render_table(rows, title=title, columns=columns)

@@ -30,7 +30,7 @@ class SemiringMatrix:
 
     __array_priority__ = 100  # keep numpy from hijacking binary operators
 
-    def __init__(self, data, ring: Semiring | str, *, backend: str = "vectorized"):
+    def __init__(self, data, ring: Semiring | str, *, backend: str | None = None):
         self.ring = get_semiring(ring)
         array = np.asarray(data)
         if array.ndim != 2:

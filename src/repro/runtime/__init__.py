@@ -1,6 +1,13 @@
 """SIMD² programming model: tile API, whole-matrix kernels, closure loops."""
 
 from repro.runtime.api import MatrixHandle, RuntimeError_, TileProgramBuilder
+from repro.runtime.context import (
+    ExecutionContext,
+    default_context,
+    resolve_context,
+    use_context,
+)
+from repro.runtime.trace import LaunchRecord, Trace, TraceSummary
 from repro.runtime.kernels import (
     KernelStats,
     build_tile_mmo_program,
@@ -17,6 +24,13 @@ __all__ = [
     "MatrixHandle",
     "RuntimeError_",
     "TileProgramBuilder",
+    "ExecutionContext",
+    "default_context",
+    "resolve_context",
+    "use_context",
+    "LaunchRecord",
+    "Trace",
+    "TraceSummary",
     "KernelStats",
     "build_tile_mmo_program",
     "mmo_tiled",

@@ -19,6 +19,7 @@ from repro.core.semiring import Semiring
 from repro.hw.device import Simd2Device
 from repro.isa.opcodes import MmoOpcode
 from repro.runtime.api import RuntimeError_
+from repro.runtime.context import ExecutionContext, resolve_context
 from repro.runtime.kernels import KernelStats, mmo_tiled
 
 __all__ = ["BatchStats", "batched_mmo"]
@@ -67,8 +68,9 @@ def batched_mmo(
     b: np.ndarray,
     c: np.ndarray | None = None,
     *,
-    backend: str = "vectorized",
+    backend: str | None = None,
     device: Simd2Device | None = None,
+    context: ExecutionContext | None = None,
 ) -> tuple[np.ndarray, BatchStats]:
     """``D[i] = C[i] ⊕ (A[i] ⊗ B[i])`` with batch broadcasting.
 
@@ -79,6 +81,8 @@ def batched_mmo(
     if isinstance(ring, MmoOpcode):
         ring = ring.semiring
     ring = get_semiring(ring)
+    # Resolve once so an unknown backend fails before any batch item runs.
+    ctx = resolve_context(context, backend=backend, device=device)
 
     batch: int | None = None
     for name, operand in (("A", a), ("B", b)) + ((("C", c),) if c is not None else ()):
@@ -113,7 +117,7 @@ def batched_mmo(
         c_item = None if c3 is None else pick(c3, index)
         result, stats = mmo_tiled(
             ring, pick(a3, index), pick(b3, index), c_item,
-            backend=backend, device=device,
+            context=ctx, api="batched_mmo",
         )
         outputs.append(result)
         stats_list.append(stats)

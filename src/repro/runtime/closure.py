@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.registry import get_semiring
 from repro.core.semiring import Semiring, SemiringError
 from repro.hw.device import Simd2Device
+from repro.runtime.context import ExecutionContext, resolve_context
 from repro.runtime.kernels import KernelStats, mmo_tiled
 
 __all__ = ["ClosureResult", "closure", "max_iterations_for"]
@@ -68,8 +69,9 @@ def closure(
     method: str = "leyzorek",
     convergence_check: bool = True,
     max_iterations: int | None = None,
-    backend: str = "vectorized",
+    backend: str | None = None,
     device: Simd2Device | None = None,
+    context: ExecutionContext | None = None,
 ) -> ClosureResult:
     """Iterate ``D ← D ⊕ (D ⊗ X)`` to a fixpoint under ``ring``.
 
@@ -91,8 +93,11 @@ def closure(
     max_iterations:
         Iteration cap; defaults to the method's worst case for the given
         vertex count.
-    backend / device:
-        Forwarded to :func:`~repro.runtime.kernels.mmo_tiled`.
+    backend / device / context:
+        Execution configuration, resolved once up front (so an unknown
+        backend fails before any iteration) and forwarded to
+        :func:`~repro.runtime.kernels.mmo_tiled`; ``backend=None`` defers
+        to the ambient :func:`~repro.runtime.context.default_context`.
 
     Returns
     -------
@@ -100,6 +105,7 @@ def closure(
         Final matrix plus iteration and instruction statistics.
     """
     ring = get_semiring(ring)
+    ctx = resolve_context(context, backend=backend, device=device)
     current = np.asarray(adjacency, dtype=ring.output_dtype)
     if current.ndim != 2 or current.shape[0] != current.shape[1]:
         raise SemiringError(
@@ -125,7 +131,7 @@ def closure(
     for _ in range(limit):
         operand = current if method == "leyzorek" else base
         updated, stats = mmo_tiled(
-            ring, current, operand, current, backend=backend, device=device
+            ring, current, operand, current, context=ctx, api="closure"
         )
         all_stats.append(stats)
         iterations += 1

@@ -1,0 +1,147 @@
+"""Ambient execution configuration: one object instead of loose keywords.
+
+Every dispatch decision the runtime used to thread by hand — which backend
+runs the mmo, which emulated device it runs on, whether the device fans
+warps across threads, where launch records go — lives in one immutable
+:class:`ExecutionContext`.  A context variable supplies the ambient
+default, so the three ways of configuring a run compose cleanly:
+
+- **ambient**: ``with use_context(backend="sparse"): apsp(graph)`` — every
+  launch underneath routes through the sparse backend, no signature
+  changes anywhere;
+- **explicit**: pass ``context=ExecutionContext(...)`` to any runtime
+  entry point;
+- **legacy keywords**: ``backend="emulate"``/``device=dev`` keep working —
+  they are folded into the resolved context by :func:`resolve_context`.
+
+Backend names are validated here, once, against the registry in
+:mod:`repro.backends` — every entry point fails fast with the list of
+registered backends instead of deep in the stack.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import dataclasses
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.device import Simd2Device
+    from repro.runtime.trace import Trace
+
+__all__ = [
+    "ExecutionContext",
+    "default_context",
+    "resolve_context",
+    "use_context",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionContext:
+    """Everything the dispatch layer needs to know to run one launch.
+
+    Parameters
+    ----------
+    backend:
+        Registry name of the backend that runs mmos (``"vectorized"``,
+        ``"emulate"``, ``"sparse"``, or anything registered via
+        :func:`repro.backends.register_backend`).
+    device:
+        Emulated device for device-oriented backends.  Backends that do
+        not emulate hardware ignore it, so it is always safe to carry —
+        this replaces the per-call-site "pass the device only when
+        emulating" branching the runtime used to copy around.
+    parallel:
+        When a backend has to create a device on the fly, fan warps
+        across one worker thread per SM.
+    trace:
+        Optional :class:`~repro.runtime.trace.Trace` sink; when set,
+        every launch under this context appends a ``LaunchRecord``.
+    """
+
+    backend: str = "vectorized"
+    device: "Simd2Device | None" = None
+    parallel: bool = False
+    trace: "Trace | None" = None
+
+    def replace(self, **overrides) -> "ExecutionContext":
+        """A copy with the given fields replaced (context is immutable)."""
+        return dataclasses.replace(self, **overrides)
+
+
+#: Ambient context; ``None`` means "nothing installed, use the fallback".
+_CURRENT: contextvars.ContextVar["ExecutionContext | None"] = contextvars.ContextVar(
+    "simd2_execution_context", default=None
+)
+_FALLBACK = ExecutionContext()
+
+
+def _validate_backend(name: str) -> None:
+    # Late import: repro.backends depends on repro.runtime, not vice versa.
+    from repro.backends.base import get_backend
+
+    get_backend(name)
+
+
+def default_context() -> ExecutionContext:
+    """The ambient context (installed by :func:`use_context`, else defaults)."""
+    current = _CURRENT.get()
+    return current if current is not None else _FALLBACK
+
+
+def resolve_context(
+    context: "ExecutionContext | None" = None,
+    /,
+    *,
+    backend: str | None = None,
+    device: "Simd2Device | None" = None,
+    parallel: bool | None = None,
+    trace: "Trace | None" = None,
+) -> ExecutionContext:
+    """Fold legacy keywords over a base context and validate the backend.
+
+    ``context`` defaults to the ambient context; each non-``None`` keyword
+    overrides the corresponding field.  This is the single place the
+    runtime entry points turn their keyword shims into a context, so the
+    backend name is checked exactly once per call, up front.
+    """
+    resolved = context if context is not None else default_context()
+    overrides: dict[str, object] = {}
+    if backend is not None:
+        overrides["backend"] = backend
+    if device is not None:
+        overrides["device"] = device
+    if parallel is not None:
+        overrides["parallel"] = parallel
+    if trace is not None:
+        overrides["trace"] = trace
+    if overrides:
+        resolved = dataclasses.replace(resolved, **overrides)
+    _validate_backend(resolved.backend)
+    return resolved
+
+
+@contextlib.contextmanager
+def use_context(
+    context: "ExecutionContext | None" = None, /, **overrides
+) -> Iterator[ExecutionContext]:
+    """Install an ambient context for the dynamic extent of the block.
+
+    >>> with use_context(backend="sparse", trace=Trace()) as ctx:
+    ...     apsp(graph)                 # routes through spGEMM, traced
+    ...     ctx.trace.summary()
+
+    Field overrides apply on top of ``context`` (or the current ambient
+    context when omitted), and the backend name is validated eagerly so a
+    typo fails at the ``with`` statement, not at the first launch.
+    """
+    base = context if context is not None else default_context()
+    installed = dataclasses.replace(base, **overrides) if overrides else base
+    _validate_backend(installed.backend)
+    token = _CURRENT.set(installed)
+    try:
+        yield installed
+    finally:
+        _CURRENT.reset(token)

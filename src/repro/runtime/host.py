@@ -20,6 +20,7 @@ from repro.core.registry import get_semiring
 from repro.core.semiring import Semiring, SemiringError
 from repro.hw.device import Simd2Device
 from repro.runtime.closure import max_iterations_for
+from repro.runtime.context import ExecutionContext, resolve_context
 from repro.runtime.kernels import KernelStats, mmo_tiled
 
 __all__ = ["HostEvent", "HostClosureOutcome", "HostRuntime"]
@@ -46,9 +47,28 @@ class HostClosureOutcome:
 class HostRuntime:
     """Drives SIMD² computations on a device, logging every host step."""
 
-    def __init__(self, device: Simd2Device | None = None, *, backend: str = "emulate"):
-        self.device = device if device is not None else Simd2Device(sm_count=4)
-        self.backend = backend
+    def __init__(
+        self,
+        device: Simd2Device | None = None,
+        *,
+        backend: str | None = None,
+        context: ExecutionContext | None = None,
+    ):
+        # Device-centric API: the legacy default backend stays "emulate"
+        # unless an explicit backend or context says otherwise.
+        if context is None:
+            context = ExecutionContext(backend="emulate")
+        if device is None:
+            device = (
+                context.device if context.device is not None
+                else Simd2Device(sm_count=4)
+            )
+        self.device = device
+        # The context carries the device unconditionally; backends that do
+        # not emulate hardware simply ignore it (this replaces the old
+        # per-call-site "device only when emulating" branching).
+        self.context = resolve_context(context, backend=backend, device=device)
+        self.backend = self.context.backend
         self.events: list[HostEvent] = []
 
     # ------------------------------------------------------------------
@@ -93,11 +113,7 @@ class HostRuntime:
         a = self.device.global_memory[a_name]
         b = self.device.global_memory[b_name]
         c = None if c_name is None else self.device.global_memory[c_name]
-        result, stats = mmo_tiled(
-            ring, a, b, c,
-            backend=self.backend,
-            device=self.device if self.backend == "emulate" else None,
-        )
+        result, stats = mmo_tiled(ring, a, b, c, context=self.context)
         if out_name not in self.device.global_memory:
             self.device.malloc(out_name, result.shape, result.dtype)
             self._log("malloc", f"{out_name}{result.shape}")
@@ -139,9 +155,7 @@ class HostRuntime:
         for _ in range(limit):
             operand = dist if method == "leyzorek" else base
             delta, stats = mmo_tiled(
-                ring, dist, operand, dist,
-                backend=self.backend,
-                device=self.device if self.backend == "emulate" else None,
+                ring, dist, operand, dist, context=self.context, api="closure"
             )
             all_stats.append(stats)
             self._log("mmo_launch", f"{ring.name} closure step {iterations}")

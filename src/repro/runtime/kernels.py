@@ -2,9 +2,8 @@
 
 :func:`mmo_tiled` is the Python analogue of the paper's ``simd2_minplus``
 family: it accepts arbitrarily-shaped matrices, handles tiling/padding
-implicitly, and computes ``D = C ⊕ (A ⊗ B)`` by iterating 16×16 tile
-operations.  Two interchangeable backends mirror the paper's evaluation
-framework (Section 5.1):
+implicitly, and computes ``D = C ⊕ (A ⊗ B)`` by dispatching to a
+registered execution backend (see :mod:`repro.backends`):
 
 - ``"vectorized"`` — the cuASR/CUTLASS-like CUDA-core backend: NumPy
   vectorised semiring arithmetic with identical padding and precision.
@@ -12,28 +11,39 @@ framework (Section 5.1):
   per output tile through the Table-3 API, stages operand panels into
   shared memory, and executes on the :class:`~repro.hw.device.Simd2Device`
   emulator, returning exact dynamic instruction statistics.
+- ``"sparse"`` — Gustavson spGEMM over CSR operands, for the paper's
+  Section 6.5 sparse datapath.
 
-Both backends produce identical results (bit-for-bit for the min/max/or
+All backends produce matching results (bit-for-bit for the min/max/or
 rings and for integer-valued data; up to summation-order ulps otherwise),
 which is exactly the cross-validation the paper's framework performs.
+
+This module owns the *dispatch seam*: shape validation, backend
+resolution through the :class:`~repro.runtime.context.ExecutionContext`,
+and per-launch trace recording.  The execution bodies live in
+:mod:`repro.backends`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core import ops as core_ops
 from repro.core.registry import get_semiring
 from repro.core.semiring import Semiring
-from repro.core.tiles import TILE, ceil_div, crop, pad_to_tiles
-from repro.hw.device import Simd2Device, WarpWorkItem
-from repro.hw.shared_memory import SharedMemory
+from repro.core.tiles import TILE, ceil_div
+from repro.hw.device import Simd2Device
 from repro.hw.warp import ExecutionStats
 from repro.isa.opcodes import ElementType, MmoOpcode
 from repro.isa.program import Program
 from repro.runtime.api import RuntimeError_, TileProgramBuilder
+from repro.runtime.context import ExecutionContext, resolve_context
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sparse.spgemm import SpgemmStats
 
 __all__ = ["KernelStats", "mmo_tiled", "mmo_tiled_split_k", "build_tile_mmo_program"]
 
@@ -54,6 +64,10 @@ class KernelStats:
     Degenerate calls with an empty output (``m == 0`` or ``n == 0``) report
     the same ``tiles_k`` even though no program runs, so
     ``mmo_instructions == tiles_m * tiles_n * tiles_k`` is zero there.
+
+    Backend-specific counters ride along: ``execution`` carries the
+    dynamic emulator statistics (emulate backend), ``spgemm`` the spGEMM
+    work counters (sparse backend).
     """
 
     m: int
@@ -63,6 +77,7 @@ class KernelStats:
     tiles_n: int
     tiles_k: int
     execution: ExecutionStats | None = None
+    spgemm: "SpgemmStats | None" = None
 
     @property
     def warp_programs(self) -> int:
@@ -123,14 +138,44 @@ def build_tile_mmo_program(
     return builder.build(), c_addr, d_addr
 
 
+def _record_launch(
+    context: ExecutionContext,
+    api: str,
+    opcode: MmoOpcode,
+    stats: KernelStats,
+    wall_time_s: float,
+) -> None:
+    """Append one LaunchRecord to the context's trace sink."""
+    from repro.runtime.trace import LaunchRecord
+    from repro.timing.cycles import kernel_cycle_estimate  # lazy: cycles imports us
+
+    semiring = opcode.semiring
+    cycles = kernel_cycle_estimate(stats, boolean=semiring.is_boolean()).total
+    context.trace.record(
+        LaunchRecord(
+            api=api,
+            backend=context.backend,
+            ring=semiring.name,
+            opcode=opcode.name,
+            shape=(stats.m, stats.n, stats.k),
+            tiles=(stats.tiles_m, stats.tiles_n, stats.tiles_k),
+            wall_time_s=wall_time_s,
+            kernel_stats=stats,
+            cycle_estimate=cycles,
+        )
+    )
+
+
 def mmo_tiled(
     ring: Semiring | str | MmoOpcode,
     a: np.ndarray,
     b: np.ndarray,
     c: np.ndarray | None = None,
     *,
-    backend: str = "vectorized",
+    backend: str | None = None,
     device: Simd2Device | None = None,
+    context: ExecutionContext | None = None,
+    api: str = "mmo_tiled",
 ) -> tuple[np.ndarray, KernelStats]:
     """Whole-matrix ``D = C ⊕ (A ⊗ B)`` with implicit 16×16 tiling.
 
@@ -141,17 +186,25 @@ def mmo_tiled(
     a, b, c:
         ``(m, k)``, ``(k, n)`` and optional ``(m, n)`` matrices.
     backend:
-        ``"vectorized"`` (CUDA-core analogue) or ``"emulate"``
-        (instruction-level emulation on SIMD² units).
+        Registry name of the execution backend (``"vectorized"``,
+        ``"emulate"``, ``"sparse"``, or anything registered).  ``None``
+        defers to the ambient :func:`~repro.runtime.context
+        .default_context` (whose default is ``"vectorized"``).
     device:
-        Device to run the ``"emulate"`` backend on; a 4-SM device is
-        created when omitted.  Ignored by the vectorised backend.
+        Device for device-oriented backends (``"emulate"``); carried in
+        the context and ignored by backends that do not emulate hardware.
+    context:
+        Explicit :class:`~repro.runtime.context.ExecutionContext`; the
+        ``backend``/``device`` keywords override its fields when given.
+    api:
+        Label recorded in trace records (entry points pass their name).
 
     Returns
     -------
     (D, KernelStats)
         The result cropped to ``(m, n)`` plus tiling statistics (with
-        dynamic :class:`ExecutionStats` attached for the emulate backend).
+        dynamic :class:`ExecutionStats` attached for the emulate backend
+        and :class:`~repro.sparse.spgemm.SpgemmStats` for the sparse one).
     """
     if isinstance(ring, MmoOpcode):
         opcode = ring
@@ -171,110 +224,29 @@ def mmo_tiled(
         c = np.asarray(c)
         if c.shape != (m, n):
             raise RuntimeError_(f"accumulator shape {c.shape} != {(m, n)}")
+
+    # Resolve + validate the backend once, up front — even for degenerate
+    # shapes, so a typo fails identically on every input.
+    ctx = resolve_context(context, backend=backend, device=device)
+    from repro.backends.base import get_backend  # lazy: backends import us
+
+    impl = get_backend(ctx.backend)
+
     if m == 0 or n == 0:
-        empty = semiring.full((m, n)) if c is None else np.asarray(c, semiring.output_dtype)
-        return empty, KernelStats(m, n, k, 0, 0, ceil_div(k, TILE) if k else 1)
-
-    a_pad = pad_to_tiles(a.astype(semiring.output_dtype), semiring.k_pad_a)
-    b_pad = pad_to_tiles(b.astype(semiring.output_dtype), semiring.k_pad_b)
-    c_full = semiring.full((m, n)) if c is None else np.asarray(c, semiring.output_dtype)
-    c_pad = pad_to_tiles(c_full, semiring.oplus_identity)
-    # Degenerate inner dimension: run one full tile of absorbed inner steps.
-    if k == 0:
-        a_pad = np.full(
-            (c_pad.shape[0], TILE), semiring.k_pad_a, semiring.output_dtype
+        empty = (
+            semiring.full((m, n)) if c is None else np.asarray(c, semiring.output_dtype)
         )
-        b_pad = np.full(
-            (TILE, c_pad.shape[1]), semiring.k_pad_b, semiring.output_dtype
-        )
+        stats = KernelStats(m, n, k, 0, 0, ceil_div(k, TILE) if k else 1)
+        if ctx.trace is not None:
+            _record_launch(ctx, api, opcode, stats, 0.0)
+        return empty, stats
 
-    tiles_m = a_pad.shape[0] // TILE
-    tiles_k = a_pad.shape[1] // TILE
-    tiles_n = b_pad.shape[1] // TILE
-    stats = KernelStats(m, n, k, tiles_m, tiles_n, tiles_k)
-
-    if backend == "vectorized":
-        d_pad = core_ops.mmo(semiring, a_pad, b_pad, c_pad)
-        return crop(d_pad, m, n).copy(), stats
-
-    if backend != "emulate":
-        raise RuntimeError_(f"unknown backend {backend!r}")
-
-    device = device if device is not None else Simd2Device(sm_count=4)
-    program, c_addr, d_addr = build_tile_mmo_program(
-        opcode, tiles_k, boolean=semiring.is_boolean()
-    )
-    in_etype = ElementType.B8 if semiring.is_boolean() else ElementType.F16
-    out_etype = ElementType.B8 if semiring.is_boolean() else ElementType.F32
-
-    shared_bytes = (
-        in_etype.nbytes * 2 * tiles_k * _TILE_ELEMS + out_etype.nbytes * 2 * _TILE_ELEMS
-    ) + 64
-
-    # Stage each A row-panel and each B col-panel ONCE, pre-converted to the
-    # shared-memory element format and laid out tile-major exactly as the
-    # warp program expects (tile kk of the A panel at element kk*256, tile
-    # kk of the B panel at (tiles_k + kk)*256).  The panels are then shared
-    # across the whole tile grid instead of being re-converted per output
-    # tile.  Row-major flattening of the (tiles_k*TILE, TILE) panel shape is
-    # precisely that tile-major layout.
-    in_dtype = SharedMemory.dtype_for(in_etype)
-    out_dtype = SharedMemory.dtype_for(out_etype)
-    a_panels = [
-        a_pad[ti * TILE : (ti + 1) * TILE]
-        .reshape(TILE, tiles_k, TILE)
-        .transpose(1, 0, 2)
-        .reshape(tiles_k * TILE, TILE)
-        .astype(in_dtype)
-        for ti in range(tiles_m)
-    ]
-    b_panels = [
-        b_pad[:, tj * TILE : (tj + 1) * TILE].astype(in_dtype)
-        for tj in range(tiles_n)
-    ]
-    c_conv = c_pad.astype(out_dtype, copy=False)
-
-    work_items: list[tuple[int, int, SharedMemory]] = []
-    items: list[WarpWorkItem] = []
-    for ti in range(tiles_m):
-        for tj in range(tiles_n):
-            shm = SharedMemory(shared_bytes)
-            shm.write_matrix(0, a_panels[ti], in_etype)
-            shm.write_matrix(tiles_k * _TILE_ELEMS, b_panels[tj], in_etype)
-            c_tile = c_conv[ti * TILE : (ti + 1) * TILE, tj * TILE : (tj + 1) * TILE]
-            shm.write_matrix(c_addr, c_tile, out_etype)
-            work_items.append((ti, tj, shm))
-            items.append(WarpWorkItem(program, shm))
-
-    execution = device.launch(items)
-    d_pad = np.empty_like(c_pad)
-    for ti, tj, shm in work_items:
-        d_tile = shm.read_matrix(d_addr, (TILE, TILE), out_etype)
-        d_pad[ti * TILE : (ti + 1) * TILE, tj * TILE : (tj + 1) * TILE] = d_tile
-
-    stats = dataclasses.replace(stats, execution=execution)
-    _check_emulation_parity(stats)
-    return crop(d_pad, m, n).copy(), stats
-
-
-def _check_emulation_parity(stats: KernelStats) -> None:
-    """Assert the emulator issued exactly the statically predicted counts.
-
-    This is the paper's statistics cross-check between the validation and
-    performance-emulation backends.
-    """
-    execution = stats.execution
-    assert execution is not None
-    if (
-        execution.mmos != stats.mmo_instructions
-        or execution.loads != stats.load_instructions
-        or execution.stores != stats.store_instructions
-        or execution.unit_ops != stats.unit_ops
-    ):
-        raise RuntimeError_(
-            "emulation statistics diverge from the static tiling prediction: "
-            f"{execution} vs {stats}"
-        )
+    start = time.perf_counter()
+    result, stats = impl.run_mmo(opcode, a, b, c, context=ctx)
+    elapsed = time.perf_counter() - start
+    if ctx.trace is not None:
+        _record_launch(ctx, api, opcode, stats, elapsed)
+    return result, stats
 
 
 def mmo_tiled_split_k(
@@ -284,8 +256,9 @@ def mmo_tiled_split_k(
     c: np.ndarray | None = None,
     *,
     splits: int = 2,
-    backend: str = "vectorized",
+    backend: str | None = None,
     device: Simd2Device | None = None,
+    context: ExecutionContext | None = None,
 ) -> tuple[np.ndarray, list[KernelStats]]:
     """Split-k scheduling: partition the inner dimension across kernels.
 
@@ -309,6 +282,7 @@ def mmo_tiled_split_k(
         raise RuntimeError_(f"bad mmo operand shapes A{a.shape} x B{b.shape}")
     k = a.shape[1]
     splits = min(splits, k) if k else 1
+    ctx = resolve_context(context, backend=backend, device=device)
 
     bounds = np.linspace(0, k, splits + 1, dtype=int)
     partials: list[np.ndarray] = []
@@ -316,7 +290,8 @@ def mmo_tiled_split_k(
     for s in range(splits):
         lo, hi = int(bounds[s]), int(bounds[s + 1])
         partial, stats = mmo_tiled(
-            semiring, a[:, lo:hi], b[lo:hi, :], None, backend=backend, device=device
+            semiring, a[:, lo:hi], b[lo:hi, :], None,
+            context=ctx, api="mmo_tiled_split_k",
         )
         partials.append(partial)
         stats_list.append(stats)

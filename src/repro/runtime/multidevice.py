@@ -22,6 +22,7 @@ from repro.core.tiles import TILE, ceil_div
 from repro.hw.device import Simd2Device
 from repro.isa.opcodes import MmoOpcode
 from repro.runtime.api import RuntimeError_
+from repro.runtime.context import ExecutionContext, resolve_context
 from repro.runtime.kernels import KernelStats, mmo_tiled
 
 __all__ = ["DeviceShare", "mmo_tiled_multi_device"]
@@ -48,16 +49,24 @@ def mmo_tiled_multi_device(
     c: np.ndarray | None = None,
     *,
     devices: list[Simd2Device],
-    backend: str = "emulate",
+    backend: str | None = None,
+    context: ExecutionContext | None = None,
 ) -> tuple[np.ndarray, list[DeviceShare]]:
     """``D = C ⊕ (A ⊗ B)`` partitioned row-wise across devices.
 
     Rows are split into tile-aligned bands (multiples of 16) so no tile
     straddles a device boundary; devices at the tail may receive nothing
     when there are fewer row tiles than devices.
+
+    This is a device-centric API, so the default backend is ``"emulate"``
+    unless an explicit ``backend`` or ``context`` overrides it; each band
+    runs under the resolved context with its own device swapped in.
     """
     if not devices:
         raise RuntimeError_("need at least one device")
+    if backend is None and context is None:
+        backend = "emulate"
+    ctx = resolve_context(context, backend=backend)
     if isinstance(ring, MmoOpcode):
         semiring = ring.semiring
     else:
@@ -91,8 +100,8 @@ def mmo_tiled_multi_device(
             a[row_start:row_stop],
             b,
             band_c,
-            backend=backend,
-            device=device if backend == "emulate" else None,
+            context=ctx.replace(device=device),
+            api="mmo_tiled_multi_device",
         )
         out[row_start:row_stop] = band
         shares.append(

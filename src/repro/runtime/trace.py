@@ -1,0 +1,156 @@
+"""Per-launch observability: structured records of every mmo dispatch.
+
+The paper's evaluation framework (Section 5.1) hinges on reconciling three
+views of the same launch: the static tiling prediction (how many SIMD²
+instructions *should* issue), the dynamic emulator counters (how many
+*did*), and the timing model (what they cost).  This module gives that
+reconciliation a durable shape: whenever an :class:`~repro.runtime.context.
+ExecutionContext` carries a :class:`Trace`, the dispatch layer appends one
+:class:`LaunchRecord` per kernel launch — opcode, shape, tile grid, wall
+time, the backend that ran it, and every statistics object the launch
+produced.  :class:`TraceSummary` folds a trace into the aggregate counters
+the bench harness reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.hw.warp import ExecutionStats
+    from repro.runtime.kernels import KernelStats
+    from repro.sparse.spgemm import SpgemmStats
+
+__all__ = ["LaunchRecord", "Trace", "TraceSummary"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LaunchRecord:
+    """One dispatched mmo launch, as observed at the backend seam.
+
+    ``kernel_stats`` carries the full statistics bundle: the static tiling
+    counts always, the dynamic :class:`~repro.hw.warp.ExecutionStats` when
+    the emulate backend ran, and the
+    :class:`~repro.sparse.spgemm.SpgemmStats` when the sparse backend ran.
+    ``cycle_estimate`` is the timing model's price for the launch (total
+    unit cycles from :func:`~repro.timing.cycles.kernel_cycle_estimate`).
+    """
+
+    api: str  # entry point that launched: "mmo_tiled", "mmo_tiled_split_k", ...
+    backend: str
+    ring: str
+    opcode: str
+    shape: tuple[int, int, int]  # (m, n, k)
+    tiles: tuple[int, int, int]  # (tiles_m, tiles_n, tiles_k)
+    wall_time_s: float
+    kernel_stats: "KernelStats"
+    cycle_estimate: float
+
+    @property
+    def mmo_instructions(self) -> int:
+        return self.kernel_stats.mmo_instructions
+
+    @property
+    def warp_programs(self) -> int:
+        return self.kernel_stats.warp_programs
+
+    @property
+    def unit_ops(self) -> int:
+        return self.kernel_stats.unit_ops
+
+    @property
+    def execution(self) -> "ExecutionStats | None":
+        """Dynamic emulator counters (emulate backend only)."""
+        return self.kernel_stats.execution
+
+    @property
+    def spgemm(self) -> "SpgemmStats | None":
+        """spGEMM work counters (sparse backend only)."""
+        return self.kernel_stats.spgemm
+
+
+class Trace:
+    """An append-only sink of :class:`LaunchRecord`\\ s.
+
+    Attach one to an execution context (``use_context(trace=Trace())``) and
+    every launch under that context records itself here.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[LaunchRecord] = []
+
+    def record(self, launch: LaunchRecord) -> None:
+        self.records.append(launch)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def summary(self) -> "TraceSummary":
+        return TraceSummary.from_records(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[LaunchRecord]:
+        return iter(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Trace({len(self.records)} launches)"
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate counters of a trace — what the bench harness reports."""
+
+    launches: int
+    by_backend: dict[str, int]
+    by_ring: dict[str, int]
+    mmo_instructions: int
+    warp_programs: int
+    unit_ops: int
+    spgemm_products: int
+    wall_time_s: float
+    cycle_estimate: float
+
+    @classmethod
+    def from_records(cls, records: list[LaunchRecord]) -> "TraceSummary":
+        by_backend: dict[str, int] = {}
+        by_ring: dict[str, int] = {}
+        mmos = programs = unit_ops = products = 0
+        wall = cycles = 0.0
+        for rec in records:
+            by_backend[rec.backend] = by_backend.get(rec.backend, 0) + 1
+            by_ring[rec.ring] = by_ring.get(rec.ring, 0) + 1
+            mmos += rec.mmo_instructions
+            programs += rec.warp_programs
+            unit_ops += rec.unit_ops
+            if rec.spgemm is not None:
+                products += rec.spgemm.products
+            wall += rec.wall_time_s
+            cycles += rec.cycle_estimate
+        return cls(
+            launches=len(records),
+            by_backend=by_backend,
+            by_ring=by_ring,
+            mmo_instructions=mmos,
+            warp_programs=programs,
+            unit_ops=unit_ops,
+            spgemm_products=products,
+            wall_time_s=wall,
+            cycle_estimate=cycles,
+        )
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten to a bench-table row (see ``repro.bench.reporting``)."""
+        return {
+            "launches": self.launches,
+            "backends": "+".join(sorted(self.by_backend)) or "-",
+            "rings": "+".join(sorted(self.by_ring)) or "-",
+            "mmo_instructions": self.mmo_instructions,
+            "warp_programs": self.warp_programs,
+            "unit_ops": self.unit_ops,
+            "spgemm_products": self.spgemm_products,
+            "wall_time_s": self.wall_time_s,
+            "cycle_estimate": self.cycle_estimate,
+        }

@@ -48,5 +48,5 @@ class TestExport:
 
     def test_export_all(self, tmp_path):
         paths = export_all(tmp_path)
-        assert len(paths) == 8
+        assert len(paths) == 9
         assert all(path.exists() and path.stat().st_size > 0 for path in paths)

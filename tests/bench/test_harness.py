@@ -29,6 +29,7 @@ class TestRegistry:
             "fig12",
             "fig13",
             "fig14",
+            "trace",
         }
 
     @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
