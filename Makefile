@@ -15,8 +15,10 @@ bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_hotpaths.py
 
 # Backend-registry health: every registered backend agrees with the
-# vectorized reference, and context dispatch stays within 5% of a direct
-# backend call (writes benchmarks/results/dispatch.json).
+# vectorized reference, context dispatch stays within 5% of a direct
+# backend call, and the plan cache makes relaunching one shape strictly
+# cheaper than recompiling every launch (hit rates + <1.0x gate; writes
+# benchmarks/results/dispatch.json).
 check-backends:
 	PYTHONPATH=src python benchmarks/bench_dispatch.py --out benchmarks/results/dispatch.json
 

@@ -1,15 +1,20 @@
 """Backend-registry health check: parity smoke plus dispatch overhead.
 
 Standalone script (not a pytest benchmark), wired to ``make check-backends``
-and CI.  Two gates:
+and CI.  Three gates:
 
 1. **Parity smoke** — every *registered* backend (including ones added
    after this script was written) agrees with the vectorized reference on
    a representative plus-based and idempotent ring.
 2. **Dispatch overhead** — the full ``mmo_tiled`` path (context
-   resolution, registry lookup, trace hook) must stay within 5 % of
-   calling ``get_backend("vectorized").run_mmo`` directly on a 512² mmo.
-   The registry refactor is supposed to be free; this keeps it that way.
+   resolution, registry lookup, plan-cache lookup, trace hook) must stay
+   within 5 % of calling the backend directly on a 512² mmo.  The
+   registry refactor is supposed to be free; this keeps it that way.
+3. **Closure relaunch** — relaunching one deep-k shape many times (the
+   shape of a closure loop) with the plan cache enabled must beat the
+   same loop with memoization disabled (``PlanCache(maxsize=0)``, the
+   compile-every-launch seed behaviour): ratio < 1.0.  Plan-cache
+   hit/miss counts for both loops land in the artifact.
 
 Usage::
 
@@ -31,6 +36,7 @@ import numpy as np
 
 from repro.backends import get_backend, list_backends
 from repro.backends.tiling import resolve_opcode
+from repro.compile import PlanCache
 from repro.core import SEMIRINGS
 from repro.runtime import ExecutionContext, mmo_tiled
 
@@ -38,6 +44,15 @@ DISPATCH_N = 512
 DISPATCH_REPEATS = 5
 TINY_REPEATS = 300
 MAX_OVERHEAD_RATIO = 1.05
+
+# Closure-relaunch experiment: a small output with a deep reduction, so the
+# per-launch lowering (program length grows with tiles_k) is a visible
+# fraction of the launch — the shape class where compile-once-replay pays.
+RELAUNCH_M = RELAUNCH_N = 16
+RELAUNCH_K = 4096
+RELAUNCH_ITERS = 20
+RELAUNCH_REPEATS = 5
+MAX_RELAUNCH_RATIO = 1.0
 
 
 def _operands(ring, m, k, n, seed=0):
@@ -159,6 +174,69 @@ def dispatch_overhead(records: list[dict]) -> None:
         )
 
 
+def closure_relaunch(records: list[dict]) -> None:
+    """Cached relaunch of one shape vs recompiling on every launch.
+
+    Runs the same deep-k mmo ``RELAUNCH_ITERS`` times — the launch pattern
+    of a closure loop — under two private plan caches: a real one (one
+    miss, then hits) and ``PlanCache(maxsize=0)`` (memoization disabled,
+    every launch pays the lowering, i.e. the pre-split behaviour).  The
+    cached loop must win outright.
+    """
+    ring = SEMIRINGS["min-plus"]
+    a, b = _operands(ring, RELAUNCH_M, RELAUNCH_K, RELAUNCH_N, seed=11)
+
+    def run_loop(maxsize: int) -> PlanCache:
+        cache = PlanCache(maxsize=maxsize)
+        context = ExecutionContext(plan_cache=cache)
+        for _ in range(RELAUNCH_ITERS):
+            mmo_tiled("min-plus", a, b, context=context)
+        return cache
+
+    # Warm lazy imports and NumPy dispatch before timing; each timed call
+    # builds a fresh cache, so the cached loop's single compile is *inside*
+    # its measurement.
+    cached_stats = run_loop(128).stats()
+    uncached_stats = run_loop(0).stats()
+    cached, uncached = _interleaved_mins(
+        lambda: run_loop(128), lambda: run_loop(0), RELAUNCH_REPEATS
+    )
+    ratio = cached / uncached
+    records.append(
+        {
+            "case": "closure_relaunch",
+            "m": RELAUNCH_M, "n": RELAUNCH_N, "k": RELAUNCH_K,
+            "iterations": RELAUNCH_ITERS,
+            "cached_seconds": cached,
+            "uncached_seconds": uncached,
+            "ratio": round(ratio, 6), "max_ratio": MAX_RELAUNCH_RATIO,
+            "cached_cache": {
+                "hits": cached_stats.hits, "misses": cached_stats.misses,
+                "hit_rate": round(cached_stats.hit_rate, 6),
+            },
+            "uncached_cache": {
+                "hits": uncached_stats.hits, "misses": uncached_stats.misses,
+                "hit_rate": round(uncached_stats.hit_rate, 6),
+            },
+        }
+    )
+    print(f"relaunch {RELAUNCH_M}x{RELAUNCH_K}x{RELAUNCH_N} "
+          f"x{RELAUNCH_ITERS}  cached {cached * 1e3:6.1f}ms "
+          f"(hit rate {cached_stats.hit_rate:.2f})  "
+          f"uncached {uncached * 1e3:6.1f}ms  ratio {ratio:.3f}")
+    if cached_stats.misses != 1 or cached_stats.hits != RELAUNCH_ITERS - 1:
+        raise SystemExit(
+            f"relaunch: expected 1 miss + {RELAUNCH_ITERS - 1} hits on the "
+            f"cached loop, got {cached_stats}"
+        )
+    if ratio >= MAX_RELAUNCH_RATIO:
+        raise SystemExit(
+            f"relaunch: cached loop at {ratio:.3f}x of uncached — the plan "
+            f"cache must beat recompiling every launch "
+            f"(< {MAX_RELAUNCH_RATIO}x)"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -170,6 +248,7 @@ def main(argv: list[str] | None = None) -> int:
     records: list[dict] = []
     parity_smoke(records)
     dispatch_overhead(records)
+    closure_relaunch(records)
 
     artifact = {
         "python": platform.python_version(),

@@ -1,8 +1,11 @@
 """Execution backends for the whole-matrix mmo — one seam, many substrates.
 
-``apps → runtime → backends → hw/isa``: the runtime dispatch layer
-(:func:`repro.runtime.kernels.mmo_tiled`) resolves a backend name through
-the registry here and hands it validated operands.  Built-ins:
+``apps → runtime → compile → backends → hw/isa``: the runtime dispatch
+layer (:func:`repro.runtime.kernels.mmo_tiled`) resolves a backend name
+through the registry here, compiles the launch into a
+:class:`~repro.compile.artifact.CompiledMmo` (through the plan cache),
+and hands the artifact plus validated operands to the backend's
+``execute``.  Built-ins:
 
 - ``"vectorized"`` — NumPy semiring arithmetic (the CUDA-core analogue),
 - ``"emulate"``    — per-tile warp programs on the Simd2Device emulator,
@@ -15,6 +18,7 @@ the registry-driven parity suite pick it up automatically.
 from repro.backends.base import (
     Backend,
     BackendError,
+    MmoBackend,
     get_backend,
     list_backends,
     register_backend,
@@ -23,6 +27,7 @@ from repro.backends.base import (
 __all__ = [
     "Backend",
     "BackendError",
+    "MmoBackend",
     "get_backend",
     "list_backends",
     "register_backend",

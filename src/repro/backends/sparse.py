@@ -24,11 +24,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.backends.base import register_backend
-from repro.backends.tiling import grid_for
+from repro.backends.base import MmoBackend, register_backend
+from repro.compile.artifact import CompiledMmo
 from repro.core.precision import quantize_input, quantize_output
 from repro.core.semiring import Semiring
-from repro.isa.opcodes import MmoOpcode
 from repro.runtime.context import ExecutionContext
 from repro.runtime.kernels import KernelStats
 from repro.sparse.csr import CsrMatrix
@@ -64,21 +63,26 @@ def identity_absorbs(ring: Semiring) -> bool:
     )
 
 
-class SparseBackend:
-    """Whole-matrix mmo as CSR × CSR spGEMM plus a dense ⊕ with C."""
+class SparseBackend(MmoBackend):
+    """Whole-matrix mmo as CSR × CSR spGEMM plus a dense ⊕ with C.
+
+    Consumes only the opcode and tile grid of the compiled artifact —
+    spGEMM has no warp program — but reports the artifact's grid in its
+    :class:`KernelStats` so the dense/sparse statistics cross-check holds.
+    """
 
     name = "sparse"
 
-    def run_mmo(
+    def execute(
         self,
-        opcode: MmoOpcode,
+        compiled: CompiledMmo,
         a: np.ndarray,
         b: np.ndarray,
         c: np.ndarray | None,
         *,
         context: ExecutionContext,
     ) -> tuple[np.ndarray, KernelStats]:
-        semiring = opcode.semiring
+        semiring = compiled.opcode.semiring
         m, k = a.shape
         n = b.shape[1]
         # Quantise exactly like the dense datapath (fp16 inputs, fp32
@@ -105,7 +109,7 @@ class SparseBackend:
         dense = product.to_dense_for(semiring)
         d = np.asarray(semiring.oplus(c_full, dense), dtype=semiring.output_dtype)
 
-        tiles_m, tiles_n, tiles_k = grid_for(m, n, k)
+        tiles_m, tiles_n, tiles_k = compiled.grid
         stats = KernelStats(
             m, n, k, tiles_m, tiles_n, tiles_k, spgemm=sp_stats
         )

@@ -16,20 +16,13 @@ import dataclasses
 
 import numpy as np
 
-from repro.core.registry import get_semiring
+from repro.compile.artifact import grid_for
+from repro.compile.lower import resolve_opcode
 from repro.core.semiring import Semiring
-from repro.core.tiles import TILE, ceil_div, pad_to_tiles
-from repro.isa.opcodes import MmoOpcode
+from repro.core.tiles import TILE, pad_to_tiles
 from repro.runtime.kernels import KernelStats
 
 __all__ = ["TilePlan", "grid_for", "plan_mmo", "resolve_opcode"]
-
-
-def resolve_opcode(ring: Semiring | str | MmoOpcode) -> MmoOpcode:
-    """Normalise any ring spelling (object, name, opcode) to an opcode."""
-    if isinstance(ring, MmoOpcode):
-        return ring
-    return MmoOpcode.from_semiring(get_semiring(ring))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -91,11 +84,5 @@ def plan_mmo(
     return TilePlan(a_pad=a_pad, b_pad=b_pad, c_pad=c_pad, stats=stats)
 
 
-def grid_for(m: int, n: int, k: int) -> tuple[int, int, int]:
-    """The tile grid :func:`plan_mmo` would produce, without materialising it.
-
-    Used by backends (e.g. sparse) that never build padded operands but
-    must report the same :class:`KernelStats` tile counts as the dense
-    backends for the statistics cross-check.
-    """
-    return ceil_div(m, TILE), ceil_div(n, TILE), ceil_div(k, TILE) if k else 1
+# grid_for and resolve_opcode moved to repro.compile (the cache key and
+# the artifact are derived from them); re-exported above for compat.

@@ -3,38 +3,43 @@
 Plays the role cuASR/CUTLASS plays in the paper's validation flow
 (Section 5.1): a reference backend with identical padding and
 mixed-precision rules that every other backend must agree with.
+
+Of the compiled artifact this backend consumes only the opcode and the
+tile grid — a whole-matrix NumPy kernel has no warp program to replay —
+but it still reports the artifact's grid in its statistics, which is what
+keeps the cross-backend statistics reconciliation exact.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.backends.base import register_backend
+from repro.backends.base import MmoBackend, register_backend
 from repro.backends.tiling import plan_mmo
+from repro.compile.artifact import CompiledMmo
 from repro.core import ops as core_ops
 from repro.core.tiles import crop
-from repro.isa.opcodes import MmoOpcode
 from repro.runtime.context import ExecutionContext
 from repro.runtime.kernels import KernelStats
 
 __all__ = ["VectorizedBackend"]
 
 
-class VectorizedBackend:
+class VectorizedBackend(MmoBackend):
     """Whole-matrix mmo on the padded plan via :func:`repro.core.ops.mmo`."""
 
     name = "vectorized"
 
-    def run_mmo(
+    def execute(
         self,
-        opcode: MmoOpcode,
+        compiled: CompiledMmo,
         a: np.ndarray,
         b: np.ndarray,
         c: np.ndarray | None,
         *,
         context: ExecutionContext,
     ) -> tuple[np.ndarray, KernelStats]:
-        semiring = opcode.semiring
+        semiring = compiled.opcode.semiring
         plan = plan_mmo(semiring, a, b, c)
         d_pad = core_ops.mmo(semiring, plan.a_pad, plan.b_pad, plan.c_pad)
         stats = plan.stats

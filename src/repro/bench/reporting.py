@@ -63,7 +63,11 @@ def render_trace(
     """Render launch records (a :class:`~repro.runtime.trace.Trace`) as a table.
 
     One row per launch with the counters the paper's validation flow
-    reconciles, followed by the aggregate summary row.
+    reconciles — including the compile half: ``cached`` says whether the
+    launch's artifact came from the plan cache (``hit``/``miss``, ``-``
+    when no compilation happened), ``opt_rm`` how many instructions the
+    program optimiser removed — followed by the aggregate summary row
+    (``cached`` becomes ``hits/lookups``).
     """
     from repro.runtime.trace import TraceSummary
 
@@ -77,6 +81,11 @@ def render_trace(
             "tiles": "x".join(str(t) for t in rec.tiles),
             "mmos": rec.mmo_instructions,
             "unit_ops": rec.unit_ops,
+            "cached": (
+                "-" if rec.cache_hit is None
+                else ("hit" if rec.cache_hit else "miss")
+            ),
+            "opt_rm": rec.optimizer_removed,
             "wall_ms": rec.wall_time_s * 1e3,
             "cycles": rec.cycle_estimate,
         }
@@ -91,12 +100,14 @@ def render_trace(
             "shape": f"{summary.launches} launches",
             "mmos": summary.mmo_instructions,
             "unit_ops": summary.unit_ops,
+            "cached": f"{summary.cache_hits}/{summary.cache_lookups}",
+            "opt_rm": summary.optimizer_removed,
             "wall_ms": summary.wall_time_s * 1e3,
             "cycles": summary.cycle_estimate,
         }
     )
     columns = [
         "api", "backend", "ring", "shape", "tiles",
-        "mmos", "unit_ops", "wall_ms", "cycles",
+        "mmos", "unit_ops", "cached", "opt_rm", "wall_ms", "cycles",
     ]
     return render_table(rows, title=title, columns=columns)

@@ -1,0 +1,57 @@
+"""The program-compilation layer: lower once, execute many times.
+
+The paper's programming model (Sections 4–5, Figure 6) fixes what a SIMD²
+kernel *is* — a per-tile warp program of ``load``/``mmo``/``store`` over a
+tile grid — independently of any particular invocation.  This package
+makes that split explicit:
+
+- :func:`lower_mmo` turns ``(opcode, tile grid, accumulator?)`` into an
+  immutable :class:`CompiledMmo` artifact: the resolved opcode, the
+  Figure-6 warp program run through
+  :func:`repro.isa.optimizer.optimize_program`, the shared-memory layout
+  every emulated launch reuses, and an operand-shape spec the execute
+  path validates against;
+- :class:`PlanCache` memoizes artifacts under a :class:`PlanKey`
+  (opcode, tile grid, has-accumulator, boolean-ness) with hit/miss/
+  eviction counters, so a closure loop relaunching the same shape pays
+  for lowering exactly once;
+- :func:`compile_mmo` is the cached entry the dispatch layer calls: it
+  resolves the context's cache (or the process-wide default) and returns
+  ``(artifact, cache_hit)``.
+
+Layering: ``apps → runtime → compile → backends`` — the runtime dispatch
+seam compiles here, then hands the artifact to a backend's ``execute``.
+This package imports only ``repro.core``, ``repro.isa`` and the low-level
+``repro.runtime.api`` builder; it never imports the dispatch layer or the
+backends, keeping the dependency direction one-way.
+"""
+
+from repro.compile.artifact import CompileError, CompiledMmo, grid_for
+from repro.compile.cache import (
+    CacheStats,
+    PlanCache,
+    PlanKey,
+    default_plan_cache,
+)
+from repro.compile.lower import (
+    build_tile_mmo_program,
+    compile_mmo,
+    lower_mmo,
+    plan_key_for,
+    resolve_opcode,
+)
+
+__all__ = [
+    "CacheStats",
+    "CompileError",
+    "CompiledMmo",
+    "PlanCache",
+    "PlanKey",
+    "build_tile_mmo_program",
+    "compile_mmo",
+    "default_plan_cache",
+    "grid_for",
+    "lower_mmo",
+    "plan_key_for",
+    "resolve_opcode",
+]

@@ -1,0 +1,135 @@
+"""The immutable compilation artifact a whole-matrix mmo lowers to.
+
+A :class:`CompiledMmo` is everything about a launch that does **not**
+depend on the operand values: the resolved opcode, the tile grid, the
+optimised per-tile warp program, the shared-memory layout the emulated
+backend stages panels into, and the element types of the datapath.  Two
+launches with the same :class:`~repro.compile.cache.PlanKey` share one
+artifact — that is the contract the :class:`~repro.compile.cache.PlanCache`
+memoizes on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.core.tiles import TILE, ceil_div
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compile.cache import PlanKey
+    from repro.isa.opcodes import ElementType, MmoOpcode
+    from repro.isa.program import Program
+
+__all__ = ["CompileError", "CompiledMmo", "grid_for"]
+
+
+class CompileError(RuntimeError):
+    """Lowering failure or operand/artifact mismatch at execute time.
+
+    Subclasses plain :class:`RuntimeError` (not the runtime layer's
+    ``RuntimeError_``) deliberately: the compile layer sits *below*
+    :mod:`repro.runtime` in the dependency order, so it must not import
+    from it at module level.
+    """
+
+
+def grid_for(m: int, n: int, k: int) -> tuple[int, int, int]:
+    """The 16×16 tile grid ``(tiles_m, tiles_n, tiles_k)`` of an mmo.
+
+    ``tiles_k`` follows the :class:`~repro.runtime.kernels.KernelStats`
+    convention: ``ceil(k / 16)`` for ``k > 0`` and ``1`` for ``k == 0``
+    (one fully-absorbed inner step, so every tile program runs at least
+    one mmo instruction).
+    """
+    return ceil_div(m, TILE), ceil_div(n, TILE), ceil_div(k, TILE) if k else 1
+
+
+@dataclasses.dataclass(frozen=True)
+class CompiledMmo:
+    """One whole-matrix mmo, lowered and ready to execute many times.
+
+    Fields
+    ------
+    opcode / boolean:
+        The resolved :class:`~repro.isa.opcodes.MmoOpcode` and whether the
+        ring runs on the boolean (``b8``) datapath.
+    tiles_m / tiles_n / tiles_k:
+        The tile grid the artifact was lowered for — the operand-shape
+        spec: any ``(m, n, k)`` mapping onto this grid (and matching
+        ``has_accumulator``) may execute it, checked by
+        :meth:`validate_operands`.
+    has_accumulator:
+        Whether launches carry an explicit ``C`` operand.
+    program:
+        The per-output-tile warp program, already run through
+        :func:`repro.isa.optimizer.optimize_program`.
+    removed_loads / removed_writes:
+        What the optimiser removed from the naive lowering (the
+        observability layer surfaces their sum per launch).
+    c_addr / d_addr / shared_bytes / in_etype / out_etype:
+        The shared-memory layout: element addresses of the C and D tiles
+        in the output element space, the per-tile scratchpad size in
+        bytes, and the input/output element formats.
+    """
+
+    opcode: "MmoOpcode"
+    boolean: bool
+    tiles_m: int
+    tiles_n: int
+    tiles_k: int
+    has_accumulator: bool
+    program: "Program"
+    removed_loads: int
+    removed_writes: int
+    c_addr: int
+    d_addr: int
+    shared_bytes: int
+    in_etype: "ElementType"
+    out_etype: "ElementType"
+
+    @property
+    def grid(self) -> tuple[int, int, int]:
+        return self.tiles_m, self.tiles_n, self.tiles_k
+
+    @property
+    def optimizer_removed(self) -> int:
+        """Instructions the optimiser removed from the naive lowering."""
+        return self.removed_loads + self.removed_writes
+
+    @property
+    def key(self) -> "PlanKey":
+        """The cache key this artifact is memoized under."""
+        from repro.compile.cache import PlanKey
+
+        return PlanKey(
+            opcode=self.opcode,
+            tiles_m=self.tiles_m,
+            tiles_n=self.tiles_n,
+            tiles_k=self.tiles_k,
+            has_accumulator=self.has_accumulator,
+            boolean=self.boolean,
+        )
+
+    def validate_operands(
+        self, m: int, n: int, k: int, *, has_accumulator: bool
+    ) -> None:
+        """Check that ``(m, n, k)`` operands may replay this artifact.
+
+        Raises :class:`CompileError` when the operand tile grid or the
+        accumulator presence disagrees with what the artifact was
+        compiled for — the execute path calls this so a stale artifact
+        fails loudly instead of producing a wrong-shaped launch.
+        """
+        grid = grid_for(m, n, k)
+        if grid != self.grid:
+            raise CompileError(
+                f"operands ({m}, {n}, {k}) imply tile grid {grid}, but this "
+                f"artifact was compiled for {self.grid}"
+            )
+        if has_accumulator != self.has_accumulator:
+            raise CompileError(
+                f"artifact compiled with has_accumulator="
+                f"{self.has_accumulator}, launch supplies "
+                f"has_accumulator={has_accumulator}"
+            )

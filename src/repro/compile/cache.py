@@ -1,0 +1,156 @@
+"""A keyed, size-bounded memo of compilation artifacts.
+
+The cache exists for one workload shape: host loops (closure iteration,
+batched launches, split-k, multi-device bands) that relaunch the *same*
+tile grid dozens of times.  Keying on :class:`PlanKey` — opcode, tile
+grid, accumulator presence, boolean-ness — means every relaunch after the
+first replays the memoized :class:`~repro.compile.artifact.CompiledMmo`
+instead of re-lowering and re-optimising the warp program.
+
+``PlanCache(maxsize=0)`` disables memoization (every launch compiles
+fresh) — the bench harness uses that to measure what the cache saves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable, NamedTuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compile.artifact import CompiledMmo
+    from repro.isa.opcodes import MmoOpcode
+
+__all__ = ["CacheStats", "PlanCache", "PlanKey", "default_plan_cache"]
+
+#: Default number of artifacts the process-wide cache retains.  An
+#: artifact is a few hundred bytes of frozen dataclasses; 128 distinct
+#: (opcode, grid) combinations comfortably covers every workload in the
+#: repository while bounding a pathological shape sweep.
+DEFAULT_MAXSIZE = 128
+
+
+class PlanKey(NamedTuple):
+    """What makes two launches share one compiled artifact."""
+
+    opcode: "MmoOpcode"
+    tiles_m: int
+    tiles_n: int
+    tiles_k: int
+    has_accumulator: bool
+    boolean: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of one :class:`PlanCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups; 0.0 before the first lookup."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PlanCache:
+    """LRU cache of :class:`CompiledMmo` artifacts with observable counters.
+
+    Thread-safe: the bookkeeping is held under a lock, while the compile
+    callback runs outside it (two threads racing on the same key may both
+    compile; the artifacts are identical and the last insert wins).
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[PlanKey, CompiledMmo]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def get_or_compile(
+        self, key: PlanKey, compile_fn: "Callable[[], CompiledMmo]"
+    ) -> "tuple[CompiledMmo, bool]":
+        """Return ``(artifact, cache_hit)``, compiling on a miss."""
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return cached, True
+            self._misses += 1
+        artifact = compile_fn()
+        if self.maxsize > 0:
+            with self._lock:
+                self._entries[key] = artifact
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+        return artifact, False
+
+    def get(self, key: PlanKey) -> "CompiledMmo | None":
+        """Peek without counting a hit/miss (tests, introspection)."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def clear(self) -> None:
+        """Drop every entry; the counters keep their history."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"PlanCache(size={s.size}/{s.maxsize}, hits={s.hits}, "
+            f"misses={s.misses}, evictions={s.evictions})"
+        )
+
+
+#: The process-wide cache used when an ExecutionContext carries none.
+_DEFAULT_CACHE = PlanCache()
+
+
+def default_plan_cache() -> PlanCache:
+    """The shared cache behind every context without an explicit one."""
+    return _DEFAULT_CACHE

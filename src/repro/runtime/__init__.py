@@ -11,6 +11,7 @@ from repro.runtime.trace import LaunchRecord, Trace, TraceSummary
 from repro.runtime.kernels import (
     KernelStats,
     build_tile_mmo_program,
+    execute_compiled,
     mmo_tiled,
     mmo_tiled_split_k,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "TraceSummary",
     "KernelStats",
     "build_tile_mmo_program",
+    "execute_compiled",
     "mmo_tiled",
     "mmo_tiled_split_k",
     "ClosureResult",

@@ -14,13 +14,14 @@ import dataclasses
 
 import numpy as np
 
+from repro.compile.lower import compile_mmo, resolve_opcode
 from repro.core.registry import get_semiring
 from repro.core.semiring import Semiring
 from repro.hw.device import Simd2Device
 from repro.isa.opcodes import MmoOpcode
 from repro.runtime.api import RuntimeError_
 from repro.runtime.context import ExecutionContext, resolve_context
-from repro.runtime.kernels import KernelStats, mmo_tiled
+from repro.runtime.kernels import KernelStats, execute_compiled, mmo_tiled
 
 __all__ = ["BatchStats", "batched_mmo"]
 
@@ -111,14 +112,43 @@ def batched_mmo(
     def pick(stack: np.ndarray, index: int) -> np.ndarray:
         return stack[0] if stack.shape[0] == 1 else stack[index]
 
+    # Every batch item has the same (m, n, k) — stacks are uniform — so one
+    # compiled artifact serves the whole batch.  Precompile only when the
+    # operand shapes are consistent and non-degenerate; otherwise fall back
+    # to per-item mmo_tiled, which raises (or fast-paths) identically to the
+    # unbatched call.
+    from repro.backends.base import get_backend  # lazy: backends import us
+
+    impl = get_backend(ctx.backend)
+    compiled = None
+    first_hit: bool | None = None
+    m, k = a3.shape[1], a3.shape[2]
+    n = b3.shape[2]
+    shapes_ok = (
+        b3.shape[1] == k
+        and (c3 is None or (c3.shape[1] == m and c3.shape[2] == n))
+    )
+    if shapes_ok and m > 0 and n > 0 and callable(getattr(impl, "compile", None)):
+        opcode = resolve_opcode(ring)
+        compiled, first_hit = compile_mmo(
+            impl, opcode, m, n, k, has_accumulator=c3 is not None, context=ctx
+        )
+
     outputs = []
     stats_list = []
     for index in range(batch):
         c_item = None if c3 is None else pick(c3, index)
-        result, stats = mmo_tiled(
-            ring, pick(a3, index), pick(b3, index), c_item,
-            context=ctx, api="batched_mmo",
-        )
+        if compiled is not None:
+            result, stats = execute_compiled(
+                compiled, pick(a3, index), pick(b3, index), c_item,
+                context=ctx, api="batched_mmo",
+                cache_hit=first_hit if index == 0 else True,
+            )
+        else:
+            result, stats = mmo_tiled(
+                ring, pick(a3, index), pick(b3, index), c_item,
+                context=ctx, api="batched_mmo",
+            )
         outputs.append(result)
         stats_list.append(stats)
 

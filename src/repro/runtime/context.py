@@ -27,6 +27,7 @@ import dataclasses
 from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compile.cache import PlanCache
     from repro.hw.device import Simd2Device
     from repro.runtime.trace import Trace
 
@@ -59,12 +60,20 @@ class ExecutionContext:
     trace:
         Optional :class:`~repro.runtime.trace.Trace` sink; when set,
         every launch under this context appends a ``LaunchRecord``.
+    plan_cache:
+        :class:`~repro.compile.cache.PlanCache` the dispatch layer
+        memoizes compiled artifacts in.  ``None`` (the default) means the
+        process-wide shared cache
+        (:func:`repro.compile.cache.default_plan_cache`); pass a private
+        cache to isolate a workload's hit/miss counters, or
+        ``PlanCache(maxsize=0)`` to disable memoization entirely.
     """
 
     backend: str = "vectorized"
     device: "Simd2Device | None" = None
     parallel: bool = False
     trace: "Trace | None" = None
+    plan_cache: "PlanCache | None" = None
 
     def replace(self, **overrides) -> "ExecutionContext":
         """A copy with the given fields replaced (context is immutable)."""
@@ -99,6 +108,7 @@ def resolve_context(
     device: "Simd2Device | None" = None,
     parallel: bool | None = None,
     trace: "Trace | None" = None,
+    plan_cache: "PlanCache | None" = None,
 ) -> ExecutionContext:
     """Fold legacy keywords over a base context and validate the backend.
 
@@ -117,6 +127,8 @@ def resolve_context(
         overrides["parallel"] = parallel
     if trace is not None:
         overrides["trace"] = trace
+    if plan_cache is not None:
+        overrides["plan_cache"] = plan_cache
     if overrides:
         resolved = dataclasses.replace(resolved, **overrides)
     _validate_backend(resolved.backend)

@@ -2,17 +2,23 @@
 
 :func:`mmo_tiled` is the Python analogue of the paper's ``simd2_minplus``
 family: it accepts arbitrarily-shaped matrices, handles tiling/padding
-implicitly, and computes ``D = C ⊕ (A ⊗ B)`` by dispatching to a
-registered execution backend (see :mod:`repro.backends`):
+implicitly, and computes ``D = C ⊕ (A ⊗ B)`` in two phases:
 
-- ``"vectorized"`` — the cuASR/CUTLASS-like CUDA-core backend: NumPy
-  vectorised semiring arithmetic with identical padding and precision.
-- ``"emulate"`` — the instruction-level backend: builds one warp program
-  per output tile through the Table-3 API, stages operand panels into
-  shared memory, and executes on the :class:`~repro.hw.device.Simd2Device`
-  emulator, returning exact dynamic instruction statistics.
-- ``"sparse"`` — Gustavson spGEMM over CSR operands, for the paper's
-  Section 6.5 sparse datapath.
+1. **compile** — the launch shape is lowered (through the context's
+   :class:`~repro.compile.cache.PlanCache`) into an immutable
+   :class:`~repro.compile.artifact.CompiledMmo`: resolved opcode, tile
+   grid, optimiser-cleaned warp program, shared-memory layout;
+2. **execute** — a registered backend (see :mod:`repro.backends`) runs
+   the artifact against the validated operands:
+
+   - ``"vectorized"`` — the cuASR/CUTLASS-like CUDA-core backend: NumPy
+     vectorised semiring arithmetic with identical padding and precision.
+   - ``"emulate"`` — the instruction-level backend: replays the compiled
+     warp program per output tile on the
+     :class:`~repro.hw.device.Simd2Device` emulator, returning exact
+     dynamic instruction statistics.
+   - ``"sparse"`` — Gustavson spGEMM over CSR operands, for the paper's
+     Section 6.5 sparse datapath.
 
 All backends produce matching results (bit-for-bit for the min/max/or
 rings and for integer-valued data; up to summation-order ulps otherwise),
@@ -20,8 +26,11 @@ which is exactly the cross-validation the paper's framework performs.
 
 This module owns the *dispatch seam*: shape validation, backend
 resolution through the :class:`~repro.runtime.context.ExecutionContext`,
-and per-launch trace recording.  The execution bodies live in
-:mod:`repro.backends`.
+cached compilation, and per-launch trace recording (including whether the
+plan cache hit and what the optimiser removed).  Loop-shaped entry points
+(:func:`~repro.runtime.closure.closure`, batched, split-k, multi-device,
+:class:`~repro.runtime.host.HostRuntime`) compile once up front and
+replay the artifact per iteration via :func:`execute_compiled`.
 """
 
 from __future__ import annotations
@@ -32,22 +41,29 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.compile.lower import build_tile_mmo_program  # noqa: F401 - compat re-export
+from repro.compile.lower import compile_mmo, resolve_opcode
 from repro.core.registry import get_semiring
 from repro.core.semiring import Semiring
 from repro.core.tiles import TILE, ceil_div
 from repro.hw.device import Simd2Device
 from repro.hw.warp import ExecutionStats
-from repro.isa.opcodes import ElementType, MmoOpcode
-from repro.isa.program import Program
-from repro.runtime.api import RuntimeError_, TileProgramBuilder
+from repro.isa.opcodes import MmoOpcode
+from repro.runtime.api import RuntimeError_
 from repro.runtime.context import ExecutionContext, resolve_context
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import Backend
+    from repro.compile.artifact import CompiledMmo
     from repro.sparse.spgemm import SpgemmStats
 
-__all__ = ["KernelStats", "mmo_tiled", "mmo_tiled_split_k", "build_tile_mmo_program"]
-
-_TILE_ELEMS = TILE * TILE
+__all__ = [
+    "KernelStats",
+    "build_tile_mmo_program",
+    "execute_compiled",
+    "mmo_tiled",
+    "mmo_tiled_split_k",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,47 +119,15 @@ class KernelStats:
         return self.mmo_instructions * (TILE // 4) ** 3
 
 
-def build_tile_mmo_program(
-    opcode: MmoOpcode, tiles_k: int, *, boolean: bool
-) -> tuple[Program, int, int]:
-    """Build the per-output-tile warp program of the Figure 6 kernel.
-
-    Shared-memory layout (element addresses within each type's space):
-
-    - A panel: ``tiles_k`` input tiles at ``kk * 256``,
-    - B panel: ``tiles_k`` input tiles at ``(tiles_k + kk) * 256``,
-    - C tile then D tile in the output element space, starting past the
-      input panel bytes.
-
-    Returns ``(program, c_addr, d_addr)`` with the output-space addresses.
-    """
-    if tiles_k <= 0:
-        raise RuntimeError_(f"tiles_k must be positive, got {tiles_k}")
-    in_etype = ElementType.B8 if boolean else ElementType.F16
-    out_etype = ElementType.B8 if boolean else ElementType.F32
-    input_bytes = in_etype.nbytes * 2 * tiles_k * _TILE_ELEMS
-    c_addr = ceil_div(input_bytes, out_etype.nbytes)
-    d_addr = c_addr + _TILE_ELEMS
-
-    builder = TileProgramBuilder(boolean=boolean)
-    a_frag = builder.matrix("a")
-    b_frag = builder.matrix("b")
-    acc = builder.matrix("accumulator")
-    builder.loadmatrix(acc, addr=c_addr, ld=TILE)
-    for kk in range(tiles_k):
-        builder.loadmatrix(a_frag, addr=kk * _TILE_ELEMS, ld=TILE)
-        builder.loadmatrix(b_frag, addr=(tiles_k + kk) * _TILE_ELEMS, ld=TILE)
-        builder.mmo(acc, a_frag, b_frag, acc, opcode)
-    builder.storematrix(addr=d_addr, source=acc, ld=TILE)
-    return builder.build(), c_addr, d_addr
-
-
 def _record_launch(
     context: ExecutionContext,
     api: str,
     opcode: MmoOpcode,
     stats: KernelStats,
     wall_time_s: float,
+    *,
+    cache_hit: bool | None = None,
+    optimizer_removed: int = 0,
 ) -> None:
     """Append one LaunchRecord to the context's trace sink."""
     from repro.runtime.trace import LaunchRecord
@@ -162,8 +146,96 @@ def _record_launch(
             wall_time_s=wall_time_s,
             kernel_stats=stats,
             cycle_estimate=cycles,
+            cache_hit=cache_hit,
+            optimizer_removed=optimizer_removed,
         )
     )
+
+
+def _validate_operands(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, int, int, int]:
+    """Shared shape validation: ``(m,k) × (k,n) [⊕ (m,n)]``."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise RuntimeError_(
+            f"bad mmo operand shapes A{a.shape} x B{b.shape}"
+        )
+    m, k = a.shape
+    n = b.shape[1]
+    if c is not None:
+        c = np.asarray(c)
+        if c.shape != (m, n):
+            raise RuntimeError_(f"accumulator shape {c.shape} != {(m, n)}")
+    return a, b, c, m, n, k
+
+
+def _degenerate_result(
+    semiring: Semiring, m: int, n: int, k: int, c: np.ndarray | None
+) -> tuple[np.ndarray, KernelStats]:
+    """The empty-output fast path (``m == 0`` or ``n == 0``)."""
+    empty = (
+        semiring.full((m, n)) if c is None else np.asarray(c, semiring.output_dtype)
+    )
+    return empty, KernelStats(m, n, k, 0, 0, ceil_div(k, TILE) if k else 1)
+
+
+def _supports_compile(impl: "Backend") -> bool:
+    """Whether a backend implements the compile/execute split.
+
+    Legacy backends that registered only ``run_mmo`` keep dispatching
+    through the single-shot path (no plan cache, no artifact replay).
+    """
+    return callable(getattr(impl, "compile", None)) and callable(
+        getattr(impl, "execute", None)
+    )
+
+
+def execute_compiled(
+    compiled: "CompiledMmo",
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    *,
+    context: ExecutionContext,
+    api: str = "mmo_tiled",
+    cache_hit: bool | None = True,
+) -> tuple[np.ndarray, KernelStats]:
+    """Replay a compiled artifact against fresh operands.
+
+    This is the execute half of the split, used by loop-shaped entry
+    points (closure iteration, batched launches, multi-device bands) that
+    compile once up front: operands are validated against the artifact's
+    operand-shape spec, the context's backend executes the artifact, and
+    the launch is recorded with ``cache_hit`` (callers pass the compile
+    call's hit flag for the first iteration and ``True`` for replays).
+
+    The context must already be resolved (backend validated); the backend
+    must implement ``execute``.
+    """
+    from repro.backends.base import get_backend  # lazy: backends import us
+
+    a, b, c, m, n, k = _validate_operands(a, b, c)
+    opcode = compiled.opcode
+    if m == 0 or n == 0:
+        empty, stats = _degenerate_result(opcode.semiring, m, n, k, c)
+        if context.trace is not None:
+            _record_launch(context, api, opcode, stats, 0.0)
+        return empty, stats
+    compiled.validate_operands(m, n, k, has_accumulator=c is not None)
+    impl = get_backend(context.backend)
+
+    start = time.perf_counter()
+    result, stats = impl.execute(compiled, a, b, c, context=context)
+    elapsed = time.perf_counter() - start
+    if context.trace is not None:
+        _record_launch(
+            context, api, opcode, stats, elapsed,
+            cache_hit=cache_hit,
+            optimizer_removed=compiled.optimizer_removed,
+        )
+    return result, stats
 
 
 def mmo_tiled(
@@ -206,24 +278,9 @@ def mmo_tiled(
         dynamic :class:`ExecutionStats` attached for the emulate backend
         and :class:`~repro.sparse.spgemm.SpgemmStats` for the sparse one).
     """
-    if isinstance(ring, MmoOpcode):
-        opcode = ring
-    else:
-        opcode = MmoOpcode.from_semiring(get_semiring(ring))
+    opcode = resolve_opcode(ring)
     semiring = opcode.semiring
-
-    a = np.asarray(a)
-    b = np.asarray(b)
-    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
-        raise RuntimeError_(
-            f"bad mmo operand shapes A{a.shape} x B{b.shape}"
-        )
-    m, k = a.shape
-    n = b.shape[1]
-    if c is not None:
-        c = np.asarray(c)
-        if c.shape != (m, n):
-            raise RuntimeError_(f"accumulator shape {c.shape} != {(m, n)}")
+    a, b, c, m, n, k = _validate_operands(a, b, c)
 
     # Resolve + validate the backend once, up front — even for degenerate
     # shapes, so a typo fails identically on every input.
@@ -233,14 +290,27 @@ def mmo_tiled(
     impl = get_backend(ctx.backend)
 
     if m == 0 or n == 0:
-        empty = (
-            semiring.full((m, n)) if c is None else np.asarray(c, semiring.output_dtype)
-        )
-        stats = KernelStats(m, n, k, 0, 0, ceil_div(k, TILE) if k else 1)
+        empty, stats = _degenerate_result(semiring, m, n, k, c)
         if ctx.trace is not None:
             _record_launch(ctx, api, opcode, stats, 0.0)
         return empty, stats
 
+    if _supports_compile(impl):
+        compiled, hit = compile_mmo(
+            impl, opcode, m, n, k, has_accumulator=c is not None, context=ctx
+        )
+        start = time.perf_counter()
+        result, stats = impl.execute(compiled, a, b, c, context=ctx)
+        elapsed = time.perf_counter() - start
+        if ctx.trace is not None:
+            _record_launch(
+                ctx, api, opcode, stats, elapsed,
+                cache_hit=hit,
+                optimizer_removed=compiled.optimizer_removed,
+            )
+        return result, stats
+
+    # Legacy single-shot path: backends registered with only run_mmo.
     start = time.perf_counter()
     result, stats = impl.run_mmo(opcode, a, b, c, context=ctx)
     elapsed = time.perf_counter() - start
@@ -266,21 +336,25 @@ def mmo_tiled_split_k(
     GPUs then split k across concurrent kernels, each producing a partial
     result, and combine the partials — valid for *every* SIMD² ring since
     ⊕ is associative and commutative (the same property the reduction tree
-    relies on).  The accumulator ``C`` is folded in exactly once.
+    relies on).  The accumulator ``C`` is folded in exactly once, and its
+    shape is validated up front so a bad ``C`` fails before any kernel
+    runs (exactly like :func:`mmo_tiled`).
+
+    Zero-width partitions (possible when integer bounds repeat, e.g. for
+    ``k == 0``) are skipped rather than launched as ``k = 0`` kernels;
+    when every partition is empty the whole call degenerates to a single
+    ``k = 0`` launch.  Equal-width partitions share one compiled artifact
+    through the context's plan cache.
 
     Returns the combined result and per-split kernel statistics.
     """
-    if isinstance(ring, MmoOpcode):
-        semiring = ring.semiring
-    else:
-        semiring = get_semiring(ring)
+    opcode = resolve_opcode(ring)
+    semiring = opcode.semiring
     if splits <= 0:
         raise RuntimeError_(f"splits must be positive, got {splits}")
-    a = np.asarray(a)
-    b = np.asarray(b)
-    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
-        raise RuntimeError_(f"bad mmo operand shapes A{a.shape} x B{b.shape}")
-    k = a.shape[1]
+    a, b, c, m, n, k = _validate_operands(a, b, c)
+    if c is not None:
+        c = np.asarray(c, dtype=semiring.output_dtype)
     splits = min(splits, k) if k else 1
     ctx = resolve_context(context, backend=backend, device=device)
 
@@ -289,9 +363,19 @@ def mmo_tiled_split_k(
     stats_list: list[KernelStats] = []
     for s in range(splits):
         lo, hi = int(bounds[s]), int(bounds[s + 1])
+        if hi <= lo:
+            continue
         partial, stats = mmo_tiled(
-            semiring, a[:, lo:hi], b[lo:hi, :], None,
+            opcode, a[:, lo:hi], b[lo:hi, :], None,
             context=ctx, api="mmo_tiled_split_k",
+        )
+        partials.append(partial)
+        stats_list.append(stats)
+
+    if not partials:
+        # Every partition was empty (k == 0): one degenerate launch.
+        partial, stats = mmo_tiled(
+            opcode, a, b, None, context=ctx, api="mmo_tiled_split_k"
         )
         partials.append(partial)
         stats_list.append(stats)
@@ -302,9 +386,6 @@ def mmo_tiled_split_k(
             semiring.oplus(combined, partial), dtype=semiring.output_dtype
         )
     if c is not None:
-        c = np.asarray(c, dtype=semiring.output_dtype)
-        if c.shape != combined.shape:
-            raise RuntimeError_(f"accumulator shape {c.shape} != {combined.shape}")
         combined = np.asarray(
             semiring.oplus(combined, c), dtype=semiring.output_dtype
         )

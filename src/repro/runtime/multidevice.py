@@ -16,6 +16,8 @@ import dataclasses
 
 import numpy as np
 
+from repro.compile.artifact import grid_for
+from repro.compile.lower import compile_mmo, resolve_opcode
 from repro.core.registry import get_semiring
 from repro.core.semiring import Semiring
 from repro.core.tiles import TILE, ceil_div
@@ -23,7 +25,7 @@ from repro.hw.device import Simd2Device
 from repro.isa.opcodes import MmoOpcode
 from repro.runtime.api import RuntimeError_
 from repro.runtime.context import ExecutionContext, resolve_context
-from repro.runtime.kernels import KernelStats, mmo_tiled
+from repro.runtime.kernels import KernelStats, execute_compiled, mmo_tiled
 
 __all__ = ["DeviceShare", "mmo_tiled_multi_device"]
 
@@ -84,9 +86,28 @@ def mmo_tiled_multi_device(
 
     row_tiles = ceil_div(m, TILE) if m else 0
     tiles_per_device = ceil_div(row_tiles, len(devices)) if row_tiles else 0
+    k = a.shape[1]
+
+    # All bands except possibly the last share one tile-aligned height, so a
+    # single compiled artifact covers them; compile it once for the common
+    # band shape and replay it per device.  A shorter tail band (and any
+    # backend without the compile/execute split) falls back to mmo_tiled.
+    from repro.backends.base import get_backend  # lazy: backends import us
+
+    impl = get_backend(ctx.backend)
+    compiled = None
+    first_hit: bool | None = None
+    band_rows = min(m, tiles_per_device * TILE)
+    if band_rows > 0 and n > 0 and callable(getattr(impl, "compile", None)):
+        opcode = resolve_opcode(semiring)
+        compiled, first_hit = compile_mmo(
+            impl, opcode, band_rows, n, k,
+            has_accumulator=c is not None, context=ctx,
+        )
 
     out = np.empty((m, n), dtype=semiring.output_dtype)
     shares: list[DeviceShare] = []
+    launched = 0
     for index, device in enumerate(devices):
         start_tile = index * tiles_per_device
         stop_tile = min(row_tiles, (index + 1) * tiles_per_device)
@@ -95,14 +116,26 @@ def mmo_tiled_multi_device(
         if row_stop <= row_start:
             continue
         band_c = None if c is None else c[row_start:row_stop]
-        band, stats = mmo_tiled(
-            semiring,
-            a[row_start:row_stop],
-            b,
-            band_c,
-            context=ctx.replace(device=device),
-            api="mmo_tiled_multi_device",
-        )
+        band_ctx = ctx.replace(device=device)
+        if (
+            compiled is not None
+            and grid_for(row_stop - row_start, n, k) == compiled.grid
+        ):
+            band, stats = execute_compiled(
+                compiled, a[row_start:row_stop], b, band_c,
+                context=band_ctx, api="mmo_tiled_multi_device",
+                cache_hit=first_hit if launched == 0 else True,
+            )
+        else:
+            band, stats = mmo_tiled(
+                semiring,
+                a[row_start:row_stop],
+                b,
+                band_c,
+                context=band_ctx,
+                api="mmo_tiled_multi_device",
+            )
+        launched += 1
         out[row_start:row_stop] = band
         shares.append(
             DeviceShare(

@@ -35,6 +35,15 @@ class LaunchRecord:
     :class:`~repro.sparse.spgemm.SpgemmStats` when the sparse backend ran.
     ``cycle_estimate`` is the timing model's price for the launch (total
     unit cycles from :func:`~repro.timing.cycles.kernel_cycle_estimate`).
+
+    ``cache_hit`` reports the compilation half of the launch: ``True``
+    when the plan cache served the compiled artifact (or a precompiled
+    artifact was replayed), ``False`` when this launch paid for a fresh
+    lowering, and ``None`` when no compilation happened at all (degenerate
+    empty outputs, legacy ``run_mmo``-only backends).
+    ``optimizer_removed`` counts the instructions
+    :func:`repro.isa.optimizer.optimize_program` dropped from the
+    artifact's warp program.
     """
 
     api: str  # entry point that launched: "mmo_tiled", "mmo_tiled_split_k", ...
@@ -46,6 +55,8 @@ class LaunchRecord:
     wall_time_s: float
     kernel_stats: "KernelStats"
     cycle_estimate: float
+    cache_hit: bool | None = None
+    optimizer_removed: int = 0
 
     @property
     def mmo_instructions(self) -> int:
@@ -112,12 +123,27 @@ class TraceSummary:
     spgemm_products: int
     wall_time_s: float
     cycle_estimate: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    optimizer_removed: int = 0
+
+    @property
+    def cache_lookups(self) -> int:
+        """Launches that went through the compile layer at all."""
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of compiled launches served from cache (0.0 when none)."""
+        lookups = self.cache_lookups
+        return self.cache_hits / lookups if lookups else 0.0
 
     @classmethod
     def from_records(cls, records: list[LaunchRecord]) -> "TraceSummary":
         by_backend: dict[str, int] = {}
         by_ring: dict[str, int] = {}
         mmos = programs = unit_ops = products = 0
+        hits = misses = removed = 0
         wall = cycles = 0.0
         for rec in records:
             by_backend[rec.backend] = by_backend.get(rec.backend, 0) + 1
@@ -127,6 +153,11 @@ class TraceSummary:
             unit_ops += rec.unit_ops
             if rec.spgemm is not None:
                 products += rec.spgemm.products
+            if rec.cache_hit is True:
+                hits += 1
+            elif rec.cache_hit is False:
+                misses += 1
+            removed += rec.optimizer_removed
             wall += rec.wall_time_s
             cycles += rec.cycle_estimate
         return cls(
@@ -139,6 +170,9 @@ class TraceSummary:
             spgemm_products=products,
             wall_time_s=wall,
             cycle_estimate=cycles,
+            cache_hits=hits,
+            cache_misses=misses,
+            optimizer_removed=removed,
         )
 
     def as_row(self) -> dict[str, object]:
@@ -151,6 +185,9 @@ class TraceSummary:
             "warp_programs": self.warp_programs,
             "unit_ops": self.unit_ops,
             "spgemm_products": self.spgemm_products,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "optimizer_removed": self.optimizer_removed,
             "wall_time_s": self.wall_time_s,
             "cycle_estimate": self.cycle_estimate,
         }

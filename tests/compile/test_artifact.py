@@ -1,0 +1,82 @@
+"""CompiledMmo lowering invariants and operand-shape validation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.compile import CompileError, grid_for, lower_mmo
+from repro.core import TILE
+from repro.isa import ElementType, MmoOpcode
+from repro.isa.optimizer import optimize_program
+
+_TILE_ELEMS = TILE * TILE
+
+
+class TestGridFor:
+    def test_ceiling_division(self):
+        assert grid_for(20, 17, 33) == (2, 2, 3)
+        assert grid_for(16, 16, 16) == (1, 1, 1)
+
+    def test_k_zero_convention(self):
+        # k == 0 still runs one fully-absorbed inner step per tile program.
+        assert grid_for(4, 4, 0) == (1, 1, 1)
+
+
+class TestLowerMmo:
+    @pytest.mark.parametrize("opcode", list(MmoOpcode))
+    def test_every_opcode_lowers(self, opcode):
+        artifact = lower_mmo(opcode, 2, 3, 4, has_accumulator=True)
+        assert artifact.opcode is opcode
+        assert artifact.grid == (2, 3, 4)
+        assert artifact.boolean == opcode.semiring.is_boolean()
+        # The Figure-6 generator emits an already-optimal program: the
+        # optimiser must find nothing, and re-optimising is a fixpoint.
+        assert artifact.optimizer_removed == 0
+        assert optimize_program(artifact.program).removed == 0
+        # 1 C-load + (2 loads + 1 mmo) per inner step + 1 store (+halt).
+        stats = artifact.program.stats()
+        assert stats.mmos == artifact.tiles_k
+        assert stats.loads == 1 + 2 * artifact.tiles_k
+        assert stats.stores == 1
+
+    def test_shared_memory_layout(self):
+        artifact = lower_mmo(MmoOpcode.MINPLUS, 1, 1, 3, has_accumulator=True)
+        assert artifact.in_etype is ElementType.F16
+        assert artifact.out_etype is ElementType.F32
+        # C sits just past the two input panels, D one tile after C.
+        input_bytes = artifact.in_etype.nbytes * 2 * 3 * _TILE_ELEMS
+        assert artifact.c_addr == input_bytes // artifact.out_etype.nbytes
+        assert artifact.d_addr == artifact.c_addr + _TILE_ELEMS
+        assert artifact.shared_bytes >= (
+            input_bytes + 2 * _TILE_ELEMS * artifact.out_etype.nbytes
+        )
+
+    def test_boolean_ring_uses_b8(self):
+        artifact = lower_mmo(MmoOpcode.ORAND, 1, 1, 1, has_accumulator=False)
+        assert artifact.boolean is True
+        assert artifact.in_etype is ElementType.B8
+        assert artifact.out_etype is ElementType.B8
+
+    def test_artifact_is_immutable(self):
+        artifact = lower_mmo(MmoOpcode.MMA, 1, 1, 1, has_accumulator=False)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            artifact.tiles_m = 2  # type: ignore[misc]
+
+
+class TestValidateOperands:
+    def test_accepts_any_shape_in_the_same_tile_class(self):
+        artifact = lower_mmo(MmoOpcode.MINPLUS, 2, 2, 3, has_accumulator=True)
+        for m, n, k in [(17, 17, 33), (32, 32, 48), (20, 18, 35)]:
+            artifact.validate_operands(m, n, k, has_accumulator=True)
+
+    def test_rejects_different_grid(self):
+        artifact = lower_mmo(MmoOpcode.MINPLUS, 2, 2, 3, has_accumulator=True)
+        with pytest.raises(CompileError, match="tile grid"):
+            artifact.validate_operands(33, 17, 33, has_accumulator=True)
+
+    def test_rejects_accumulator_mismatch(self):
+        artifact = lower_mmo(MmoOpcode.MINPLUS, 1, 1, 1, has_accumulator=True)
+        with pytest.raises(CompileError, match="has_accumulator"):
+            artifact.validate_operands(16, 16, 16, has_accumulator=False)

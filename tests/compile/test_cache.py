@@ -1,0 +1,176 @@
+"""PlanCache semantics: keying, LRU bounds, counters, disabled mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile import (
+    PlanCache,
+    PlanKey,
+    default_plan_cache,
+    lower_mmo,
+    plan_key_for,
+)
+from repro.isa import MmoOpcode
+
+
+def _key(tiles_m: int = 1, tiles_n: int = 1, tiles_k: int = 1) -> PlanKey:
+    return PlanKey(
+        opcode=MmoOpcode.MINPLUS,
+        tiles_m=tiles_m,
+        tiles_n=tiles_n,
+        tiles_k=tiles_k,
+        has_accumulator=True,
+        boolean=False,
+    )
+
+
+def _artifact_for(key: PlanKey):
+    return lower_mmo(
+        key.opcode, key.tiles_m, key.tiles_n, key.tiles_k,
+        has_accumulator=key.has_accumulator,
+    )
+
+
+class TestGetOrCompile:
+    def test_miss_then_hit_returns_same_artifact(self):
+        cache = PlanCache()
+        key = _key()
+        calls = []
+
+        def compile_fn():
+            calls.append(1)
+            return _artifact_for(key)
+
+        first, hit1 = cache.get_or_compile(key, compile_fn)
+        second, hit2 = cache.get_or_compile(key, compile_fn)
+        assert (hit1, hit2) == (False, True)
+        assert second is first  # the memoized object, not a recompile
+        assert len(calls) == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_distinct_keys_compile_separately(self):
+        cache = PlanCache()
+        a, _ = cache.get_or_compile(_key(tiles_k=1), lambda: _artifact_for(_key(tiles_k=1)))
+        b, _ = cache.get_or_compile(_key(tiles_k=2), lambda: _artifact_for(_key(tiles_k=2)))
+        assert a is not b
+        assert len(cache) == 2
+        assert cache.misses == 2
+
+    def test_peek_does_not_count(self):
+        cache = PlanCache()
+        key = _key()
+        assert cache.get(key) is None
+        cache.get_or_compile(key, lambda: _artifact_for(key))
+        assert cache.get(key) is not None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+
+class TestLru:
+    def test_eviction_drops_least_recently_used(self):
+        cache = PlanCache(maxsize=2)
+        k1, k2, k3 = _key(tiles_k=1), _key(tiles_k=2), _key(tiles_k=3)
+        cache.get_or_compile(k1, lambda: _artifact_for(k1))
+        cache.get_or_compile(k2, lambda: _artifact_for(k2))
+        cache.get_or_compile(k3, lambda: _artifact_for(k3))  # evicts k1
+        assert cache.get(k1) is None
+        assert cache.get(k2) is not None and cache.get(k3) is not None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_hit_refreshes_recency(self):
+        cache = PlanCache(maxsize=2)
+        k1, k2, k3 = _key(tiles_k=1), _key(tiles_k=2), _key(tiles_k=3)
+        cache.get_or_compile(k1, lambda: _artifact_for(k1))
+        cache.get_or_compile(k2, lambda: _artifact_for(k2))
+        cache.get_or_compile(k1, lambda: _artifact_for(k1))  # k1 now freshest
+        cache.get_or_compile(k3, lambda: _artifact_for(k3))  # evicts k2, not k1
+        assert cache.get(k1) is not None
+        assert cache.get(k2) is None
+
+    def test_evicted_key_misses_again(self):
+        cache = PlanCache(maxsize=1)
+        k1, k2 = _key(tiles_k=1), _key(tiles_k=2)
+        cache.get_or_compile(k1, lambda: _artifact_for(k1))
+        cache.get_or_compile(k2, lambda: _artifact_for(k2))
+        _, hit = cache.get_or_compile(k1, lambda: _artifact_for(k1))
+        assert hit is False
+        assert cache.misses == 3
+
+
+class TestDisabledCache:
+    def test_maxsize_zero_never_stores(self):
+        cache = PlanCache(maxsize=0)
+        key = _key()
+        calls = []
+
+        def compile_fn():
+            calls.append(1)
+            return _artifact_for(key)
+
+        _, hit1 = cache.get_or_compile(key, compile_fn)
+        _, hit2 = cache.get_or_compile(key, compile_fn)
+        assert (hit1, hit2) == (False, False)
+        assert len(calls) == 2
+        assert len(cache) == 0
+        assert cache.get(key) is None
+        assert cache.evictions == 0
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            PlanCache(maxsize=-1)
+
+
+class TestStats:
+    def test_snapshot_and_hit_rate(self):
+        cache = PlanCache(maxsize=4)
+        key = _key()
+        cache.get_or_compile(key, lambda: _artifact_for(key))
+        cache.get_or_compile(key, lambda: _artifact_for(key))
+        cache.get_or_compile(key, lambda: _artifact_for(key))
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (2, 1, 0)
+        assert (stats.size, stats.maxsize) == (1, 4)
+        assert stats.lookups == 3
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert PlanCache().stats().hit_rate == 0.0
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = PlanCache()
+        key = _key()
+        cache.get_or_compile(key, lambda: _artifact_for(key))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+        _, hit = cache.get_or_compile(key, lambda: _artifact_for(key))
+        assert hit is False
+
+
+class TestKeying:
+    def test_plan_key_for_matches_artifact_key(self):
+        key = plan_key_for(MmoOpcode.MAXPLUS, 20, 17, 33, has_accumulator=True)
+        artifact = lower_mmo(
+            MmoOpcode.MAXPLUS, key.tiles_m, key.tiles_n, key.tiles_k,
+            has_accumulator=True,
+        )
+        assert artifact.key == key
+
+    def test_same_tile_grid_same_key(self):
+        # Any (m, n, k) in the same 16-ceiling class shares one key.
+        assert plan_key_for(
+            MmoOpcode.MINPLUS, 17, 17, 17, has_accumulator=False
+        ) == plan_key_for(MmoOpcode.MINPLUS, 32, 32, 32, has_accumulator=False)
+
+    def test_key_distinguishes_accumulator_and_opcode(self):
+        base = plan_key_for(MmoOpcode.MINPLUS, 16, 16, 16, has_accumulator=False)
+        assert base != plan_key_for(
+            MmoOpcode.MINPLUS, 16, 16, 16, has_accumulator=True
+        )
+        assert base != plan_key_for(
+            MmoOpcode.MAXPLUS, 16, 16, 16, has_accumulator=False
+        )
+
+    def test_default_cache_is_a_singleton(self):
+        assert default_plan_cache() is default_plan_cache()

@@ -19,6 +19,7 @@ from repro.isa import (
 )
 from repro.isa.optimizer import optimize_program
 from repro.runtime.kernels import build_tile_mmo_program
+from repro.compile import lower_mmo
 
 
 def _mma_program(extra: list) -> Program:
@@ -175,3 +176,84 @@ class TestBehaviourPreservation:
             return  # programs that fault (type mismatches) are out of scope
         optimised = optimize_program(program).program
         np.testing.assert_array_equal(run(optimised), original)
+
+
+def _run_tile_mmo(program: Program, artifact, rng: np.random.Generator) -> np.ndarray:
+    """Execute a Figure-6 tile program against staged random panels.
+
+    Stages the A/B panels and the C tile exactly like the emulate backend
+    (tile kk of A at element ``kk*256``, tile kk of B at
+    ``(tiles_k + kk)*256`` in the input element space, C at ``c_addr`` in
+    the output space) and returns the D tile.
+    """
+    tiles_k = artifact.tiles_k
+    if artifact.boolean:
+        sample = lambda shape: rng.random(shape) < 0.4  # noqa: E731
+    else:
+        # Small integers are exact in f16 inputs and f32 accumulation, so
+        # original and optimised programs must match bit-for-bit.
+        sample = lambda shape: rng.integers(-4, 5, shape)  # noqa: E731
+    shm = SharedMemory(artifact.shared_bytes)
+    for kk in range(tiles_k):
+        shm.write_matrix(kk * 256, sample((TILE, TILE)), artifact.in_etype)
+        shm.write_matrix(
+            (tiles_k + kk) * 256, sample((TILE, TILE)), artifact.in_etype
+        )
+    shm.write_matrix(artifact.c_addr, sample((TILE, TILE)), artifact.out_etype)
+    WarpExecutor(shm).run(program)
+    return shm.read_matrix(artifact.d_addr, (TILE, TILE), artifact.out_etype)
+
+
+class TestGeneratedProgramPreservation:
+    """optimise(build_tile_mmo_program(...)) is output-preserving, all rings."""
+
+    @pytest.mark.parametrize("opcode", list(MmoOpcode))
+    @given(seed=st.integers(0, 2**32 - 1), tiles_k=st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_optimised_generated_program_bit_exact(self, opcode, seed, tiles_k):
+        artifact = lower_mmo(opcode, 1, 1, tiles_k, has_accumulator=True)
+        naive, c_addr, d_addr = build_tile_mmo_program(
+            opcode, tiles_k, boolean=artifact.boolean
+        )
+        assert (c_addr, d_addr) == (artifact.c_addr, artifact.d_addr)
+        optimised = optimize_program(naive).program
+        original = _run_tile_mmo(naive, artifact, np.random.default_rng(seed))
+        replayed = _run_tile_mmo(optimised, artifact, np.random.default_rng(seed))
+        np.testing.assert_array_equal(replayed, original)
+
+    def test_redundant_load_fires_on_c_resident_two_step_program(self):
+        # A hand-written two-step kernel that keeps C resident in the
+        # accumulator but sloppily reloads the A fragment from the same
+        # address between steps: the optimiser must drop the reload and
+        # nothing else, and the output must not change.
+        def build(reload_a: bool) -> Program:
+            body = [
+                LoadMatrix(dst=2, addr=512, ld=16, etype=ElementType.F32),
+                LoadMatrix(dst=0, addr=0, ld=16),
+                LoadMatrix(dst=1, addr=256, ld=16),
+                Mmo(MmoOpcode.MINPLUS, 2, 0, 1, 2),
+            ]
+            if reload_a:
+                body.append(LoadMatrix(dst=0, addr=0, ld=16))
+            body += [
+                LoadMatrix(dst=1, addr=256, ld=16),  # same B: also redundant
+                Mmo(MmoOpcode.MINPLUS, 2, 0, 1, 2),
+                StoreMatrix(src=2, addr=768, ld=16),
+            ]
+            return Program(body, auto_halt=True)
+
+        sloppy = build(reload_a=True)
+        result = optimize_program(sloppy)
+        assert result.removed_loads == 2  # the A reload and the repeated B
+        assert result.removed_writes == 0
+
+        def run(p: Program) -> np.ndarray:
+            shm = SharedMemory()
+            rng = np.random.default_rng(7)
+            shm.write_matrix(0, rng.integers(0, 5, (TILE, TILE)), ElementType.F16)
+            shm.write_matrix(256, rng.integers(0, 5, (TILE, TILE)), ElementType.F16)
+            shm.write_matrix(512, rng.integers(0, 5, (TILE, TILE)), ElementType.F32)
+            WarpExecutor(shm).run(p)
+            return shm.read_matrix(768, (TILE, TILE), ElementType.F32)
+
+        np.testing.assert_array_equal(run(result.program), run(sloppy))

@@ -5,8 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import mmo
-from repro.runtime import RuntimeError_, mmo_tiled_split_k
+from repro.core import SEMIRINGS, mmo
+from repro.runtime import (
+    ExecutionContext,
+    RuntimeError_,
+    Trace,
+    mmo_tiled_split_k,
+)
 from tests.conftest import make_ring_inputs
 
 
@@ -60,3 +65,51 @@ class TestSplitK:
             mmo_tiled_split_k(
                 "mma", np.zeros((2, 3)), np.zeros((3, 2)), np.zeros((3, 3))
             )
+
+    def test_bad_accumulator_fails_before_any_launch(self):
+        # Regression: the accumulator shape used to be checked only when C
+        # was folded in, *after* every partial kernel had already run.
+        trace = Trace()
+        ctx = ExecutionContext(trace=trace)
+        with pytest.raises(RuntimeError_, match="accumulator shape"):
+            mmo_tiled_split_k(
+                "min-plus", np.zeros((8, 32)), np.zeros((32, 8)),
+                np.zeros((8, 9)), splits=4, context=ctx,
+            )
+        assert len(trace) == 0
+
+
+class TestEmptyPartitions:
+    """Zero-width partitions must be skipped, not launched as k=0 kernels."""
+
+    def test_k_zero_degenerates_to_single_launch(self, rng):
+        # With k == 0 every linspace bound repeats (all partitions empty);
+        # regression: this used to launch `splits` kernels (or worse) —
+        # now it collapses to exactly one degenerate launch.
+        ring = SEMIRINGS["min-plus"]
+        a, b, c = make_ring_inputs(ring, 8, 0, 8, rng)
+        got, stats_list = mmo_tiled_split_k("min-plus", a, b, c, splits=3)
+        np.testing.assert_array_equal(got, mmo(ring, a, b, c))
+        assert len(stats_list) == 1
+        assert stats_list[0].k == 0
+
+    def test_k_zero_without_accumulator(self, rng):
+        ring = SEMIRINGS["plus-mul"]
+        a, b, _ = make_ring_inputs(ring, 5, 0, 7, rng, with_c=False)
+        got, stats_list = mmo_tiled_split_k("plus-mul", a, b, splits=2)
+        np.testing.assert_array_equal(got, mmo(ring, a, b))
+        assert len(stats_list) == 1
+
+    @pytest.mark.parametrize("k,splits", [(2, 3), (1, 5), (3, 7), (5, 4)])
+    def test_no_zero_width_kernel_ever_launches(self, rng, k, splits):
+        # The satellite scenario: more requested splits than k columns.
+        # Every launched kernel must see a non-empty slice of k, and the
+        # combined result must still match the oracle.
+        ring = SEMIRINGS["min-plus"]
+        a, b, c = make_ring_inputs(ring, 8, k, 8, rng)
+        got, stats_list = mmo_tiled_split_k(
+            "min-plus", a, b, c, splits=splits
+        )
+        assert all(stats.k > 0 for stats in stats_list)
+        assert sum(stats.k for stats in stats_list) == k
+        np.testing.assert_array_equal(got, mmo(ring, a, b, c))
