@@ -68,9 +68,15 @@ def render_trace(
     when no compilation happened), ``opt_rm`` how many instructions the
     program optimiser removed — followed by the aggregate summary row
     (``cached`` becomes ``hits/lookups``).
-    """
-    from repro.runtime.trace import TraceSummary
 
+    Passing a :class:`~repro.runtime.trace.Trace` object (rather than a
+    bare record iterable) additionally renders its resilience events —
+    injected faults, detected corruption, retries, fallbacks, device
+    failures, repartitions, watchdog trips — as a second table.
+    """
+    from repro.runtime.trace import Trace, TraceSummary
+
+    events = list(records.events) if isinstance(records, Trace) else []
     records = list(records)
     rows: list[dict[str, object]] = [
         {
@@ -110,4 +116,24 @@ def render_trace(
         "api", "backend", "ring", "shape", "tiles",
         "mmos", "unit_ops", "cached", "opt_rm", "wall_ms", "cycles",
     ]
-    return render_table(rows, title=title, columns=columns)
+    table = render_table(rows, title=title, columns=columns)
+    if not events:
+        return table
+    event_rows: list[dict[str, object]] = [
+        {
+            "kind": event.kind,
+            "api": event.api,
+            "backend": event.backend,
+            "attempt": event.attempt or "-",
+            "device": "-" if event.device_index is None else event.device_index,
+            "launch": "-" if event.launch_ordinal is None else event.launch_ordinal,
+            "detail": event.detail,
+        }
+        for event in events
+    ]
+    event_table = render_table(
+        event_rows,
+        title=f"resilience events ({len(events)})",
+        columns=["kind", "api", "backend", "attempt", "device", "launch", "detail"],
+    )
+    return table + "\n\n" + event_table

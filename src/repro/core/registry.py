@@ -110,6 +110,7 @@ PLUS_NORM = Semiring(
     otimes=_squared_difference,
     oplus_identity=0.0,
     associative_otimes=False,
+    distributive_otimes=False,
 )
 
 #: All nine SIMD² semirings, keyed by canonical name.

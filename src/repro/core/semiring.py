@@ -59,6 +59,11 @@ class Semiring:
         Whether ``⊗`` is associative; ``plus-norm`` is the one exception.
     commutative_otimes:
         Whether ``a ⊗ b == b ⊗ a`` (true for all nine SIMD² rings).
+    distributive_otimes:
+        Whether ``⊗`` distributes over ``⊕`` — the algebraic property the
+        ABFT checksums in :mod:`repro.resilience.checksum` rest on
+        (``⊕-fold(A) ⊗ b == ⊕-fold(A ⊗ b)``).  ``plus-norm`` is again the
+        exception: ``(a+b-c)² != (a-c)² + (b-c)²``.
     """
 
     name: str
@@ -70,6 +75,7 @@ class Semiring:
     output_dtype: np.dtype = dataclasses.field(default=np.dtype(np.float32))
     associative_otimes: bool = True
     commutative_otimes: bool = True
+    distributive_otimes: bool = True
     #: Values used to pad operands A and B along the inner (k) dimension.
     #: They must satisfy ``pad_a ⊗ pad_b == oplus_identity`` so padded inner
     #: steps are absorbed by the reduction (checked in __post_init__).

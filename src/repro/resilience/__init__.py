@@ -1,0 +1,65 @@
+"""Resilient execution layer for SIMD² mmos.
+
+Four cooperating pieces, all opt-in and all observable through the trace:
+
+- :mod:`repro.resilience.faults` — deterministic fault injection at the
+  execute seam (:class:`FaultPlan` on the execution context);
+- :mod:`repro.resilience.checksum` — semiring-generalized ABFT: ⊕-fold
+  row/column checksums verified on every checked launch;
+- :mod:`repro.resilience.policy` — recovery: :class:`RetryPolicy`,
+  :class:`FallbackChain`, and :func:`resilient_mmo`;
+- :mod:`repro.resilience.watchdog` — closure-iteration health checks
+  (NaN poisoning, non-monotone progress, oscillation);
+- :mod:`repro.resilience.closure` — :func:`resilient_closure`, the whole
+  stack composed over the multi-device fixpoint loop.
+
+See ``docs/RESILIENCE.md`` for the design and the exactness argument.
+"""
+
+from repro.resilience.checksum import (
+    CheckedLaunch,
+    ChecksumReport,
+    ChecksumUnsupported,
+    CorruptionDetected,
+    MmoChecksums,
+    checked_mmo,
+    mmo_checksums,
+)
+from repro.resilience.closure import ResilientClosureResult, resilient_closure
+from repro.resilience.faults import (
+    DeviceFailure,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ResilienceError,
+)
+from repro.resilience.policy import (
+    FallbackChain,
+    ResilienceExhausted,
+    RetryPolicy,
+    resilient_mmo,
+)
+from repro.resilience.watchdog import ClosureDiagnostics, ClosureWatchdog
+
+__all__ = [
+    "CheckedLaunch",
+    "ChecksumReport",
+    "ChecksumUnsupported",
+    "ClosureDiagnostics",
+    "ClosureWatchdog",
+    "CorruptionDetected",
+    "DeviceFailure",
+    "FallbackChain",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "MmoChecksums",
+    "ResilienceError",
+    "ResilienceExhausted",
+    "ResilientClosureResult",
+    "RetryPolicy",
+    "checked_mmo",
+    "mmo_checksums",
+    "resilient_closure",
+    "resilient_mmo",
+]

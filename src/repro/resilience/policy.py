@@ -1,0 +1,217 @@
+"""Recovery policies: bounded retries and backend fallback chains.
+
+The resilience layer separates *detection* (fault plan events, ABFT
+checksums, hardware errors) from *response*.  This module owns the
+response side for single launches:
+
+- :class:`RetryPolicy` — how many times to relaunch after a retryable
+  failure (an injected drop, a detected corruption).  Retries are loud:
+  every attempt lands as a ``retry`` :class:`~repro.runtime.trace
+  .ResilienceEvent` on the context's trace.
+- :class:`FallbackChain` — which backends to degrade through when a
+  backend keeps failing (e.g. ``vectorized → emulate``: if the fast path
+  is corrupt or the emulated device faults, fall back to the other
+  substrate and keep serving).  Each hop records a ``fallback`` event.
+- :func:`resilient_mmo` — the two composed: checked (optional) launches
+  under the context's backend, retried per policy, falling back down the
+  chain, raising :class:`ResilienceExhausted` only when every avenue is
+  spent.
+
+Multi-device recovery (band repartitioning) lives with the partitioner in
+:mod:`repro.runtime.multidevice`; it consumes the same :class:`RetryPolicy`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.hw.errors import HardwareError
+from repro.resilience.checksum import CheckedLaunch, CorruptionDetected, mmo_checksums
+from repro.resilience.faults import DeviceFailure, InjectedFault, ResilienceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.semiring import Semiring
+    from repro.isa.opcodes import MmoOpcode
+    from repro.runtime.context import ExecutionContext
+    from repro.runtime.kernels import KernelStats
+
+__all__ = [
+    "FallbackChain",
+    "ResilienceExhausted",
+    "RetryPolicy",
+    "resilient_mmo",
+]
+
+#: Failures a retry on the same backend can plausibly outrun: transient
+#: injected faults and detected output corruption.
+RETRYABLE = (CorruptionDetected, InjectedFault)
+
+#: Failures that justify degrading to the next backend in the chain:
+#: everything retryable plus hard device faults.
+FALLBACK_ON = RETRYABLE + (HardwareError, DeviceFailure)
+
+
+class ResilienceExhausted(ResilienceError):
+    """Every retry and every fallback backend failed.
+
+    ``causes`` holds the terminal exception per attempted backend, in
+    chain order, so callers can see the whole degradation path.
+    """
+
+    def __init__(self, causes: list[tuple[str, BaseException]]):
+        chain = "; ".join(f"{name}: {exc}" for name, exc in causes)
+        super().__init__(f"all recovery avenues exhausted ({chain})")
+        self.causes = tuple(causes)
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded relaunch of a failed launch on the same backend.
+
+    ``max_retries`` counts *extra* attempts: ``max_retries=2`` allows up
+    to three launches.  ``retry_on`` is the tuple of exception types worth
+    retrying — defaults to transient faults and detected corruption
+    (validation errors propagate immediately: retrying a shape mismatch
+    cannot help).
+    """
+
+    max_retries: int = 2
+    retry_on: tuple[type[BaseException], ...] = RETRYABLE
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ResilienceError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Whether ``attempt`` (0-based) may be followed by another."""
+        return attempt + 1 < self.max_attempts and isinstance(
+            exc, self.retry_on
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FallbackChain:
+    """Ordered backends to degrade through when one keeps failing.
+
+    The chain is consulted *after* the context's own backend; backends
+    already tried are skipped, so ``FallbackChain(("vectorized",
+    "emulate"))`` under a vectorized context degrades straight to the
+    emulator.
+    """
+
+    backends: tuple[str, ...] = ("vectorized", "emulate")
+    fallback_on: tuple[type[BaseException], ...] = FALLBACK_ON
+
+    def plan(self, first: str) -> tuple[str, ...]:
+        """The full backend order for a launch starting at ``first``."""
+        order = [first]
+        for name in self.backends:
+            if name not in order:
+                order.append(name)
+        return tuple(order)
+
+    def should_fall_back(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.fallback_on)
+
+
+def _record_event(
+    context: "ExecutionContext",
+    *,
+    kind: str,
+    api: str,
+    backend: str,
+    detail: str,
+    attempt: int = 0,
+) -> None:
+    if context.trace is None:
+        return
+    from repro.runtime.trace import ResilienceEvent
+
+    context.trace.record_event(
+        ResilienceEvent(
+            kind=kind, api=api, backend=backend, detail=detail, attempt=attempt
+        )
+    )
+
+
+def resilient_mmo(
+    ring: "Semiring | str | MmoOpcode",
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    *,
+    context: "ExecutionContext | None" = None,
+    retry: RetryPolicy | None = None,
+    fallback: FallbackChain | None = None,
+    checked: bool = True,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+    api: str = "resilient_mmo",
+) -> "tuple[np.ndarray, KernelStats]":
+    """``mmo_tiled`` with ABFT verification, retries, and backend fallback.
+
+    Attempts the launch on the context's backend up to ``retry.max_attempts``
+    times, verifying the ABFT invariant after each launch when ``checked``
+    (checksums are computed once, before the first launch).  When a backend
+    exhausts its retries on a fallback-worthy failure, the next backend in
+    ``fallback`` takes over.  Raises :class:`ResilienceExhausted` when the
+    whole chain fails; non-recoverable errors (shape validation, unknown
+    rings) propagate immediately.
+    """
+    from repro.compile.lower import resolve_opcode
+    from repro.runtime.context import resolve_context
+    from repro.runtime.kernels import mmo_tiled
+
+    opcode = resolve_opcode(ring)
+    ctx = resolve_context(context)
+    retry = retry if retry is not None else RetryPolicy()
+    fallback = fallback if fallback is not None else FallbackChain()
+    checker = CheckedLaunch(rtol=rtol, atol=atol) if checked else None
+    sums = (
+        mmo_checksums(opcode.semiring, a, b, c, rtol=rtol, atol=atol)
+        if checker is not None
+        else None
+    )
+
+    causes: list[tuple[str, BaseException]] = []
+    for backend_name in fallback.plan(ctx.backend):
+        attempt_ctx = ctx.replace(backend=backend_name)
+        if backend_name != ctx.backend:
+            _record_event(
+                ctx, kind="fallback", api=api, backend=backend_name,
+                detail=f"degrading {causes[-1][0]} -> {backend_name}: "
+                       f"{causes[-1][1]}",
+            )
+        last: BaseException | None = None
+        for attempt in range(retry.max_attempts):
+            try:
+                result, stats = mmo_tiled(
+                    opcode, a, b, c, context=attempt_ctx, api=api
+                )
+                if checker is not None and sums is not None:
+                    checker.verify(sums, result, context=attempt_ctx, api=api)
+                return result, stats
+            except Exception as exc:  # noqa: BLE001 - classified below
+                last = exc
+                if retry.should_retry(exc, attempt):
+                    _record_event(
+                        ctx, kind="retry", api=api, backend=backend_name,
+                        detail=f"attempt {attempt + 1} failed: {exc}",
+                        attempt=attempt + 1,
+                    )
+                    continue
+                if fallback.should_fall_back(exc):
+                    break  # next backend in the chain
+                raise  # non-recoverable: propagate as-is
+        assert last is not None
+        causes.append((backend_name, last))
+    raise ResilienceExhausted(causes)

@@ -7,15 +7,21 @@ from repro.runtime.context import (
     resolve_context,
     use_context,
 )
-from repro.runtime.trace import LaunchRecord, Trace, TraceSummary
+from repro.runtime.trace import LaunchRecord, ResilienceEvent, Trace, TraceSummary
 from repro.runtime.kernels import (
     KernelStats,
+    OperandValidationError,
     build_tile_mmo_program,
     execute_compiled,
     mmo_tiled,
     mmo_tiled_split_k,
 )
-from repro.runtime.closure import ClosureResult, closure, max_iterations_for
+from repro.runtime.closure import (
+    ClosureResult,
+    closure,
+    matrices_equal,
+    max_iterations_for,
+)
 from repro.runtime.host import HostClosureOutcome, HostEvent, HostRuntime
 from repro.runtime.batched import BatchStats, batched_mmo
 from repro.runtime.vector import VectorResult, reachable_from, sssp, vxm
@@ -30,15 +36,18 @@ __all__ = [
     "resolve_context",
     "use_context",
     "LaunchRecord",
+    "ResilienceEvent",
     "Trace",
     "TraceSummary",
     "KernelStats",
+    "OperandValidationError",
     "build_tile_mmo_program",
     "execute_compiled",
     "mmo_tiled",
     "mmo_tiled_split_k",
     "ClosureResult",
     "closure",
+    "matrices_equal",
     "max_iterations_for",
     "HostClosureOutcome",
     "HostEvent",

@@ -21,7 +21,12 @@ from repro.hw.device import Simd2Device
 from repro.isa.opcodes import MmoOpcode
 from repro.runtime.api import RuntimeError_
 from repro.runtime.context import ExecutionContext, resolve_context
-from repro.runtime.kernels import KernelStats, execute_compiled, mmo_tiled
+from repro.runtime.kernels import (
+    KernelStats,
+    _validate_ring_inputs,
+    execute_compiled,
+    mmo_tiled,
+)
 
 __all__ = ["BatchStats", "batched_mmo"]
 
@@ -108,6 +113,10 @@ def batched_mmo(
     c3 = None
     if c is not None:
         c3, _ = _as_batched("C", c, batch)
+    # One up-front poison check over the whole stack: NaN (and the
+    # oppositely-signed infinity on min-plus/max-plus) fails here naming
+    # the operand, not deep inside batch item 17.
+    _validate_ring_inputs(ring, a3, b3, c3)
 
     def pick(stack: np.ndarray, index: int) -> np.ndarray:
         return stack[0] if stack.shape[0] == 1 else stack[index]

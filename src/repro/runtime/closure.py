@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -32,12 +33,35 @@ from repro.hw.device import Simd2Device
 from repro.runtime.context import ExecutionContext, resolve_context
 from repro.runtime.kernels import KernelStats, execute_compiled, mmo_tiled
 
-__all__ = ["ClosureResult", "closure", "max_iterations_for"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.watchdog import ClosureDiagnostics, ClosureWatchdog
+
+__all__ = ["ClosureResult", "closure", "matrices_equal", "max_iterations_for"]
+
+
+def matrices_equal(x: np.ndarray, y: np.ndarray) -> bool:
+    """Whole-matrix equality with ``NaN == NaN`` semantics.
+
+    The convergence check must treat a NaN fixpoint as a fixpoint —
+    plain ``np.array_equal`` has ``NaN != NaN`` and would spin a
+    NaN-poisoned closure to its iteration cap.  Boolean matrices (or-and)
+    take the plain path, where ``equal_nan`` is meaningless.
+    """
+    x = np.asarray(x)
+    if np.issubdtype(x.dtype, np.floating):
+        return bool(np.array_equal(x, y, equal_nan=True))
+    return bool(np.array_equal(x, y))
 
 
 @dataclasses.dataclass(frozen=True)
 class ClosureResult:
-    """Outcome of a closure iteration."""
+    """Outcome of a closure iteration.
+
+    ``diagnostics`` is ``None`` unless a watchdog observed the run: a
+    healthy summary when the loop completed normally, or the structured
+    reason (NaN poisoning, non-monotone progress, oscillation) when the
+    watchdog terminated it early (in which case ``converged`` is False).
+    """
 
     matrix: np.ndarray
     iterations: int
@@ -46,6 +70,7 @@ class ClosureResult:
     mmo_calls: int
     convergence_checks: int
     kernel_stats: tuple[KernelStats, ...]
+    diagnostics: "ClosureDiagnostics | None" = None
 
     @property
     def total_mmo_instructions(self) -> int:
@@ -73,6 +98,7 @@ def closure(
     backend: str | None = None,
     device: Simd2Device | None = None,
     context: ExecutionContext | None = None,
+    watchdog: "bool | ClosureWatchdog" = False,
 ) -> ClosureResult:
     """Iterate ``D ← D ⊕ (D ⊗ X)`` to a fixpoint under ``ring``.
 
@@ -99,6 +125,14 @@ def closure(
         backend fails before any iteration) and forwarded to
         :func:`~repro.runtime.kernels.mmo_tiled`; ``backend=None`` defers
         to the ambient :func:`~repro.runtime.context.default_context`.
+    watchdog:
+        ``True`` (or a configured
+        :class:`~repro.resilience.watchdog.ClosureWatchdog`) observes
+        every iterate for NaN poisoning, non-monotone progress on
+        idempotent rings, and oscillation; on detection the loop
+        terminates with the structured diagnosis on
+        ``ClosureResult.diagnostics`` (and a ``watchdog`` trace event)
+        instead of burning the iteration cap.
 
     Returns
     -------
@@ -124,10 +158,21 @@ def closure(
     if method not in ("leyzorek", "bellman-ford"):
         raise SemiringError(f"unknown closure method {method!r}")
 
+    guard: "ClosureWatchdog | None" = None
+    if watchdog:
+        if watchdog is True:
+            # Lazy import: repro.resilience imports the runtime package.
+            from repro.resilience.watchdog import ClosureWatchdog
+
+            guard = ClosureWatchdog(ring)
+        else:
+            guard = watchdog
+
     base = current.copy()
     converged = False
     iterations = 0
     checks = 0
+    diagnostics: "ClosureDiagnostics | None" = None
     all_stats: list[KernelStats] = []
 
     # Every iteration launches the same (n, n, n)-with-accumulator shape, so
@@ -159,14 +204,39 @@ def closure(
             )
         all_stats.append(stats)
         iterations += 1
+        if guard is not None:
+            diagnostics = guard.observe(updated, current, iterations)
+            if diagnostics is not None:
+                current = updated
+                if ctx.trace is not None:
+                    from repro.runtime.trace import ResilienceEvent
+
+                    ctx.trace.record_event(
+                        ResilienceEvent(
+                            kind="watchdog",
+                            api="closure",
+                            backend=ctx.backend,
+                            detail=diagnostics.describe(),
+                        )
+                    )
+                break
         if convergence_check:
             checks += 1
-            if np.array_equal(updated, current):
+            # NaN-safe: a NaN fixpoint is still a fixpoint (NaN != NaN
+            # under np.array_equal would spin to the iteration cap).
+            if matrices_equal(updated, current):
                 current = updated
                 converged = True
                 break
         current = updated
 
+    if guard is not None and diagnostics is None:
+        from repro.resilience.watchdog import ClosureDiagnostics
+
+        diagnostics = ClosureDiagnostics(
+            healthy=True, reason=None, iteration=iterations,
+            detail="no poisoning, regression, or oscillation observed",
+        )
     return ClosureResult(
         matrix=current,
         iterations=iterations,
@@ -175,4 +245,5 @@ def closure(
         mmo_calls=len(all_stats),
         convergence_checks=checks,
         kernel_stats=tuple(all_stats),
+        diagnostics=diagnostics,
     )

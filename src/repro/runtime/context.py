@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Iterator
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.compile.cache import PlanCache
     from repro.hw.device import Simd2Device
+    from repro.resilience.faults import FaultPlan
     from repro.runtime.trace import Trace
 
 __all__ = [
@@ -67,6 +68,12 @@ class ExecutionContext:
         (:func:`repro.compile.cache.default_plan_cache`); pass a private
         cache to isolate a workload's hit/miss counters, or
         ``PlanCache(maxsize=0)`` to disable memoization entirely.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan`.  When set,
+        the dispatch layer consults it at the execute boundary: scheduled
+        launches are dropped or their outputs corrupted deterministically,
+        and the multi-device partitioner hard-fails the planned devices.
+        ``None`` (the default) injects nothing and costs nothing.
     """
 
     backend: str = "vectorized"
@@ -74,6 +81,7 @@ class ExecutionContext:
     parallel: bool = False
     trace: "Trace | None" = None
     plan_cache: "PlanCache | None" = None
+    fault_plan: "FaultPlan | None" = None
 
     def replace(self, **overrides) -> "ExecutionContext":
         """A copy with the given fields replaced (context is immutable)."""
@@ -109,6 +117,7 @@ def resolve_context(
     parallel: bool | None = None,
     trace: "Trace | None" = None,
     plan_cache: "PlanCache | None" = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> ExecutionContext:
     """Fold legacy keywords over a base context and validate the backend.
 
@@ -129,6 +138,8 @@ def resolve_context(
         overrides["trace"] = trace
     if plan_cache is not None:
         overrides["plan_cache"] = plan_cache
+    if fault_plan is not None:
+        overrides["fault_plan"] = fault_plan
     if overrides:
         resolved = dataclasses.replace(resolved, **overrides)
     _validate_backend(resolved.backend)

@@ -59,11 +59,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "KernelStats",
+    "OperandValidationError",
     "build_tile_mmo_program",
     "execute_compiled",
     "mmo_tiled",
     "mmo_tiled_split_k",
 ]
+
+
+class OperandValidationError(RuntimeError_, ValueError):
+    """An operand carries values the ring cannot combine soundly.
+
+    Subclasses ``ValueError`` so callers catching either the runtime's
+    error family or plain ``ValueError`` see the rejection.
+    """
 
 
 @dataclasses.dataclass(frozen=True)
@@ -167,8 +176,73 @@ def _validate_operands(
     if c is not None:
         c = np.asarray(c)
         if c.shape != (m, n):
-            raise RuntimeError_(f"accumulator shape {c.shape} != {(m, n)}")
+            # OperandValidationError is also a ValueError, so plain-ValueError
+            # callers see the rejection too.
+            raise OperandValidationError(
+                f"accumulator shape {c.shape} != {(m, n)}: operand C must "
+                f"match the A{a.shape} x B{b.shape} output"
+            )
     return a, b, c, m, n, k
+
+
+def _validate_ring_inputs(
+    semiring: Semiring, a: np.ndarray, b: np.ndarray, c: np.ndarray | None
+) -> None:
+    """Reject input values that silently poison ±inf-identity rings.
+
+    On rings whose ⊕ identity is ``±inf`` (the min/max family), the
+    identity itself is legitimate data ("no edge"), but a NaN input
+    propagates through every ⊕-selection and corrupts whole tiles without
+    raising; for min-plus/max-plus the *oppositely*-signed infinity is
+    equally poisonous, because ``⊗ = +`` maps it against identity padding
+    to NaN (``-inf + inf``).  Both are rejected here, up front, with the
+    offending operand named — a :class:`OperandValidationError` (also a
+    ``ValueError``) instead of silently-wrong tiles.
+
+    Rings with finite identities (plus-mul, plus-norm, or-and) accept any
+    value NumPy accepts, unchanged.
+    """
+    identity = semiring.oplus_identity
+    if isinstance(identity, bool) or np.isfinite(identity):
+        return
+    poison_inf = None
+    if semiring.otimes is np.add:
+        poison_inf = -identity  # the infinity of the opposite sign
+    for name, operand in (("A", a), ("B", b), ("C", c)):
+        if operand is None or not np.issubdtype(operand.dtype, np.floating):
+            continue
+        if np.isnan(operand).any():
+            raise OperandValidationError(
+                f"operand {name} contains NaN, which poisons the "
+                f"{semiring.name} ring's ⊕-selection; sanitise inputs first"
+            )
+        if poison_inf is not None and name in ("A", "B"):
+            if (operand == poison_inf).any():
+                raise OperandValidationError(
+                    f"operand {name} contains {poison_inf}, which maps to "
+                    f"NaN against the {semiring.name} ring's "
+                    f"{identity} padding (⊗ is +); sanitise inputs first"
+                )
+
+
+def _fault_begin(context: ExecutionContext, api: str) -> int | None:
+    """Claim a launch ordinal from the context's fault plan, if any.
+
+    Raises :class:`~repro.resilience.faults.InjectedFault` when the plan
+    drops this launch — the loud-fault half of the injection seam.
+    """
+    if context.fault_plan is None:
+        return None
+    return context.fault_plan.begin_launch(context, api)
+
+
+def _fault_corrupt(
+    context: ExecutionContext, api: str, ordinal: int | None, result: np.ndarray
+) -> np.ndarray:
+    """Apply the fault plan's scheduled output corruption, if any."""
+    if ordinal is None or context.fault_plan is None:
+        return result
+    return context.fault_plan.corrupt_output(ordinal, result, context, api)
 
 
 def _degenerate_result(
@@ -226,9 +300,11 @@ def execute_compiled(
     compiled.validate_operands(m, n, k, has_accumulator=c is not None)
     impl = get_backend(context.backend)
 
+    ordinal = _fault_begin(context, api)
     start = time.perf_counter()
     result, stats = impl.execute(compiled, a, b, c, context=context)
     elapsed = time.perf_counter() - start
+    result = _fault_corrupt(context, api, ordinal, result)
     if context.trace is not None:
         _record_launch(
             context, api, opcode, stats, elapsed,
@@ -248,6 +324,7 @@ def mmo_tiled(
     device: Simd2Device | None = None,
     context: ExecutionContext | None = None,
     api: str = "mmo_tiled",
+    validate_inputs: bool = True,
 ) -> tuple[np.ndarray, KernelStats]:
     """Whole-matrix ``D = C ⊕ (A ⊗ B)`` with implicit 16×16 tiling.
 
@@ -270,6 +347,11 @@ def mmo_tiled(
         ``backend``/``device`` keywords override its fields when given.
     api:
         Label recorded in trace records (entry points pass their name).
+    validate_inputs:
+        Reject value-poisoned operands (NaN, and oppositely-signed inf on
+        min-plus/max-plus) with a :class:`OperandValidationError` before
+        launching — see :func:`_validate_ring_inputs`.  Loop entry points
+        that deliberately iterate non-finite state may disable it.
 
     Returns
     -------
@@ -281,6 +363,8 @@ def mmo_tiled(
     opcode = resolve_opcode(ring)
     semiring = opcode.semiring
     a, b, c, m, n, k = _validate_operands(a, b, c)
+    if validate_inputs:
+        _validate_ring_inputs(semiring, a, b, c)
 
     # Resolve + validate the backend once, up front — even for degenerate
     # shapes, so a typo fails identically on every input.
@@ -299,9 +383,11 @@ def mmo_tiled(
         compiled, hit = compile_mmo(
             impl, opcode, m, n, k, has_accumulator=c is not None, context=ctx
         )
+        ordinal = _fault_begin(ctx, api)
         start = time.perf_counter()
         result, stats = impl.execute(compiled, a, b, c, context=ctx)
         elapsed = time.perf_counter() - start
+        result = _fault_corrupt(ctx, api, ordinal, result)
         if ctx.trace is not None:
             _record_launch(
                 ctx, api, opcode, stats, elapsed,
@@ -311,9 +397,11 @@ def mmo_tiled(
         return result, stats
 
     # Legacy single-shot path: backends registered with only run_mmo.
+    ordinal = _fault_begin(ctx, api)
     start = time.perf_counter()
     result, stats = impl.run_mmo(opcode, a, b, c, context=ctx)
     elapsed = time.perf_counter() - start
+    result = _fault_corrupt(ctx, api, ordinal, result)
     if ctx.trace is not None:
         _record_launch(ctx, api, opcode, stats, elapsed)
     return result, stats

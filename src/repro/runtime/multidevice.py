@@ -8,11 +8,31 @@ list of emulated devices (each device gets a contiguous row band, B is
 broadcast), runs each band on its device, and reassembles the result —
 with per-device statistics so tests can assert the partition is balanced
 and that the union of executed work equals the single-device run exactly.
+
+Resilience (all opt-in, defaults preserve the plain fail-fast behaviour):
+
+- ``checked=True`` verifies every band against its semiring ABFT
+  checksums (:mod:`repro.resilience.checksum`) and retries detected
+  corruption per ``retry`` (a :class:`~repro.resilience.policy
+  .RetryPolicy`);
+- ``on_device_failure="repartition"`` survives hard device failures
+  (injected via the context's :class:`~repro.resilience.faults.FaultPlan`
+  or surfaced as emulator :class:`~repro.hw.errors.HardwareError`\\ s): the
+  failed device is blacklisted and the *entire row space* is repartitioned
+  across the survivors, so the reassembled result is bit-identical to a
+  fault-free run;
+- ``blacklist`` is a caller-owned mutable set of failed device indices —
+  pass the same set across calls (e.g. every iteration of a closure) and
+  a dead device stays dead instead of being rediscovered each launch.
+
+Every failure, retry, and repartition lands as a
+:class:`~repro.runtime.trace.ResilienceEvent` on the context's trace.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,10 +42,14 @@ from repro.core.registry import get_semiring
 from repro.core.semiring import Semiring
 from repro.core.tiles import TILE, ceil_div
 from repro.hw.device import Simd2Device
+from repro.hw.errors import HardwareError
 from repro.isa.opcodes import MmoOpcode
 from repro.runtime.api import RuntimeError_
 from repro.runtime.context import ExecutionContext, resolve_context
 from repro.runtime.kernels import KernelStats, execute_compiled, mmo_tiled
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.policy import RetryPolicy
 
 __all__ = ["DeviceShare", "mmo_tiled_multi_device"]
 
@@ -44,6 +68,159 @@ class DeviceShare:
         return self.row_stop - self.row_start
 
 
+def _record_event(
+    ctx: ExecutionContext,
+    *,
+    kind: str,
+    detail: str,
+    attempt: int = 0,
+    device_index: int | None = None,
+) -> None:
+    if ctx.trace is None:
+        return
+    from repro.runtime.trace import ResilienceEvent
+
+    ctx.trace.record_event(
+        ResilienceEvent(
+            kind=kind,
+            api="mmo_tiled_multi_device",
+            backend=ctx.backend,
+            detail=detail,
+            attempt=attempt,
+            device_index=device_index,
+        )
+    )
+
+
+def _run_partition(
+    roster: list[tuple[int, Simd2Device]],
+    semiring: Semiring,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None,
+    ctx: ExecutionContext,
+    *,
+    checked: bool,
+    retry: "RetryPolicy | None",
+    wrap_hw_errors: bool,
+    rtol: float,
+    atol: float,
+) -> tuple[np.ndarray, list[DeviceShare]]:
+    """Run one banding of the rows over ``roster``; raise DeviceFailure on loss."""
+    m, k = a.shape
+    n = b.shape[1]
+    row_tiles = ceil_div(m, TILE) if m else 0
+    tiles_per_device = ceil_div(row_tiles, len(roster)) if row_tiles else 0
+
+    # All bands except possibly the last share one tile-aligned height, so a
+    # single compiled artifact covers them; compile it once for the common
+    # band shape and replay it per device.  A shorter tail band (and any
+    # backend without the compile/execute split) falls back to mmo_tiled.
+    from repro.backends.base import get_backend  # lazy: backends import us
+
+    impl = get_backend(ctx.backend)
+    compiled = None
+    first_hit: bool | None = None
+    band_rows = min(m, tiles_per_device * TILE)
+    if band_rows > 0 and n > 0 and callable(getattr(impl, "compile", None)):
+        opcode = resolve_opcode(semiring)
+        compiled, first_hit = compile_mmo(
+            impl, opcode, band_rows, n, k,
+            has_accumulator=c is not None, context=ctx,
+        )
+
+    if checked or retry is not None:
+        # Lazy: repro.resilience imports this package.
+        from repro.resilience.checksum import CheckedLaunch, mmo_checksums
+        from repro.resilience.policy import RETRYABLE, RetryPolicy
+
+        policy = retry if retry is not None else RetryPolicy()
+        checker = CheckedLaunch(rtol=rtol, atol=atol) if checked else None
+    else:
+        RETRYABLE = ()  # noqa: N806 - mirrors the imported constant
+        policy = None
+        checker = None
+
+    out = np.empty((m, n), dtype=semiring.output_dtype)
+    shares: list[DeviceShare] = []
+    launched = 0
+    for position, (index, device) in enumerate(roster):
+        start_tile = position * tiles_per_device
+        stop_tile = min(row_tiles, (position + 1) * tiles_per_device)
+        row_start = min(m, start_tile * TILE)
+        row_stop = min(m, stop_tile * TILE)
+        if row_stop <= row_start:
+            continue
+        plan = ctx.fault_plan
+        if plan is not None and plan.device_should_fail(index):
+            from repro.resilience.faults import DeviceFailure
+
+            plan.record_device_failure(ctx, "mmo_tiled_multi_device", index)
+            raise DeviceFailure(index, "injected hard failure")
+        a_band = a[row_start:row_stop]
+        band_c = None if c is None else c[row_start:row_stop]
+        band_ctx = ctx.replace(device=device)
+        sums = (
+            mmo_checksums(semiring, a_band, b, band_c, rtol=rtol, atol=atol)
+            if checker is not None
+            else None
+        )
+
+        attempts = policy.max_attempts if policy is not None else 1
+        band = stats = None
+        for attempt in range(attempts):
+            try:
+                if (
+                    compiled is not None
+                    and grid_for(row_stop - row_start, n, k) == compiled.grid
+                ):
+                    band, stats = execute_compiled(
+                        compiled, a_band, b, band_c,
+                        context=band_ctx, api="mmo_tiled_multi_device",
+                        cache_hit=first_hit if launched == 0 else True,
+                    )
+                else:
+                    band, stats = mmo_tiled(
+                        semiring, a_band, b, band_c,
+                        context=band_ctx, api="mmo_tiled_multi_device",
+                    )
+                if checker is not None and sums is not None:
+                    checker.verify(
+                        sums, band, context=band_ctx,
+                        api="mmo_tiled_multi_device",
+                    )
+                break
+            except HardwareError as exc:
+                if not wrap_hw_errors:
+                    raise
+                from repro.resilience.faults import DeviceFailure
+
+                raise DeviceFailure(index, str(exc)) from exc
+            except RETRYABLE as exc:
+                if attempt + 1 >= attempts:
+                    raise
+                _record_event(
+                    ctx, kind="retry", attempt=attempt + 1,
+                    device_index=index,
+                    detail=f"band [{row_start}:{row_stop}) attempt "
+                           f"{attempt + 1} failed: {exc}",
+                )
+        assert band is not None and stats is not None
+        launched += 1
+        out[row_start:row_stop] = band
+        shares.append(
+            DeviceShare(
+                device_index=index,
+                row_start=row_start,
+                row_stop=row_stop,
+                stats=stats,
+            )
+        )
+    if m == 0:
+        out = semiring.full((m, n)) if c is None else np.asarray(c, semiring.output_dtype)
+    return out, shares
+
+
 def mmo_tiled_multi_device(
     ring: Semiring | str | MmoOpcode,
     a: np.ndarray,
@@ -53,6 +230,12 @@ def mmo_tiled_multi_device(
     devices: list[Simd2Device],
     backend: str | None = None,
     context: ExecutionContext | None = None,
+    checked: bool = False,
+    retry: "RetryPolicy | None" = None,
+    on_device_failure: str = "abort",
+    blacklist: set[int] | None = None,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
 ) -> tuple[np.ndarray, list[DeviceShare]]:
     """``D = C ⊕ (A ⊗ B)`` partitioned row-wise across devices.
 
@@ -63,7 +246,31 @@ def mmo_tiled_multi_device(
     This is a device-centric API, so the default backend is ``"emulate"``
     unless an explicit ``backend`` or ``context`` overrides it; each band
     runs under the resolved context with its own device swapped in.
+
+    Parameters (resilience, all opt-in)
+    -----------------------------------
+    checked:
+        Verify every band against its ⊕-fold ABFT checksums; a detected
+        corruption is retried per ``retry`` and raises
+        :class:`~repro.resilience.checksum.CorruptionDetected` when the
+        retries are spent.
+    retry:
+        :class:`~repro.resilience.policy.RetryPolicy` for transient band
+        failures (detected corruption, injected drops).  Defaults to the
+        policy's defaults when ``checked`` is set.
+    on_device_failure:
+        ``"abort"`` (default) propagates the failure; ``"repartition"``
+        blacklists the failed device and redistributes *all* rows across
+        the surviving devices, raising only when none survive.
+    blacklist:
+        Caller-owned set of failed device indices, updated in place —
+        share it across calls so dead devices stay blacklisted.
     """
+    if on_device_failure not in ("abort", "repartition"):
+        raise RuntimeError_(
+            f"on_device_failure must be 'abort' or 'repartition', "
+            f"got {on_device_failure!r}"
+        )
     if not devices:
         raise RuntimeError_("need at least one device")
     if backend is None and context is None:
@@ -84,67 +291,40 @@ def mmo_tiled_multi_device(
         if c.shape != (m, n):
             raise RuntimeError_(f"accumulator shape {c.shape} != {(m, n)}")
 
-    row_tiles = ceil_div(m, TILE) if m else 0
-    tiles_per_device = ceil_div(row_tiles, len(devices)) if row_tiles else 0
-    k = a.shape[1]
-
-    # All bands except possibly the last share one tile-aligned height, so a
-    # single compiled artifact covers them; compile it once for the common
-    # band shape and replay it per device.  A shorter tail band (and any
-    # backend without the compile/execute split) falls back to mmo_tiled.
-    from repro.backends.base import get_backend  # lazy: backends import us
-
-    impl = get_backend(ctx.backend)
-    compiled = None
-    first_hit: bool | None = None
-    band_rows = min(m, tiles_per_device * TILE)
-    if band_rows > 0 and n > 0 and callable(getattr(impl, "compile", None)):
-        opcode = resolve_opcode(semiring)
-        compiled, first_hit = compile_mmo(
-            impl, opcode, band_rows, n, k,
-            has_accumulator=c is not None, context=ctx,
-        )
-
-    out = np.empty((m, n), dtype=semiring.output_dtype)
-    shares: list[DeviceShare] = []
-    launched = 0
-    for index, device in enumerate(devices):
-        start_tile = index * tiles_per_device
-        stop_tile = min(row_tiles, (index + 1) * tiles_per_device)
-        row_start = min(m, start_tile * TILE)
-        row_stop = min(m, stop_tile * TILE)
-        if row_stop <= row_start:
-            continue
-        band_c = None if c is None else c[row_start:row_stop]
-        band_ctx = ctx.replace(device=device)
-        if (
-            compiled is not None
-            and grid_for(row_stop - row_start, n, k) == compiled.grid
-        ):
-            band, stats = execute_compiled(
-                compiled, a[row_start:row_stop], b, band_c,
-                context=band_ctx, api="mmo_tiled_multi_device",
-                cache_hit=first_hit if launched == 0 else True,
+    blacklist = blacklist if blacklist is not None else set()
+    repartition = on_device_failure == "repartition"
+    while True:
+        roster = [
+            (index, device)
+            for index, device in enumerate(devices)
+            if index not in blacklist
+        ]
+        if not roster:
+            raise RuntimeError_(
+                f"no surviving devices: all {len(devices)} blacklisted "
+                f"({sorted(blacklist)})"
             )
-        else:
-            band, stats = mmo_tiled(
-                semiring,
-                a[row_start:row_stop],
-                b,
-                band_c,
-                context=band_ctx,
-                api="mmo_tiled_multi_device",
+        try:
+            return _run_partition(
+                roster, semiring, a, b, c, ctx,
+                checked=checked, retry=retry,
+                wrap_hw_errors=repartition,
+                rtol=rtol, atol=atol,
             )
-        launched += 1
-        out[row_start:row_stop] = band
-        shares.append(
-            DeviceShare(
-                device_index=index,
-                row_start=row_start,
-                row_stop=row_stop,
-                stats=stats,
+        except Exception as exc:
+            from repro.resilience.faults import DeviceFailure
+
+            if not (repartition and isinstance(exc, DeviceFailure)):
+                raise
+            blacklist.add(exc.device_index)
+            _record_event(
+                ctx, kind="device_failure", device_index=exc.device_index,
+                detail=str(exc),
             )
-        )
-    if m == 0:
-        out = semiring.full((m, n)) if c is None else np.asarray(c, semiring.output_dtype)
-    return out, shares
+            survivors = len(devices) - len(blacklist)
+            _record_event(
+                ctx, kind="repartition",
+                detail=f"redistributing {ceil_div(m, TILE)} row tiles "
+                       f"across {survivors} surviving device(s) "
+                       f"(blacklist {sorted(blacklist)})",
+            )

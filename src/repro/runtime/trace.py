@@ -22,7 +22,36 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.runtime.kernels import KernelStats
     from repro.sparse.spgemm import SpgemmStats
 
-__all__ = ["LaunchRecord", "Trace", "TraceSummary"]
+__all__ = ["LaunchRecord", "ResilienceEvent", "Trace", "TraceSummary"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ResilienceEvent:
+    """One resilience-layer occurrence, as observed at the dispatch seam.
+
+    ``kind`` is one of:
+
+    - ``"fault_injected"`` — the context's fault plan corrupted an output,
+      dropped a launch, or hard-failed a device;
+    - ``"corruption_detected"`` — an ABFT checksum verification failed;
+    - ``"retry"`` — a recovery policy relaunched after a failure;
+    - ``"fallback"`` — a fallback chain degraded to another backend;
+    - ``"device_failure"`` — a device was blacklisted by the partitioner;
+    - ``"repartition"`` — multi-device work was redistributed across the
+      surviving devices;
+    - ``"watchdog"`` — the closure watchdog terminated an iteration.
+
+    ``detail`` is human-readable; ``attempt``/``device_index``/
+    ``launch_ordinal`` carry the structured coordinates when applicable.
+    """
+
+    kind: str
+    api: str
+    backend: str
+    detail: str
+    attempt: int = 0
+    device_index: int | None = None
+    launch_ordinal: int | None = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -82,23 +111,34 @@ class LaunchRecord:
 
 
 class Trace:
-    """An append-only sink of :class:`LaunchRecord`\\ s.
+    """An append-only sink of :class:`LaunchRecord`\\ s and resilience events.
 
     Attach one to an execution context (``use_context(trace=Trace())``) and
-    every launch under that context records itself here.
+    every launch under that context records itself here; the resilience
+    layer (fault injector, ABFT verifier, recovery policies, watchdog)
+    appends :class:`ResilienceEvent`\\ s alongside.
     """
 
     def __init__(self) -> None:
         self.records: list[LaunchRecord] = []
+        self.events: list[ResilienceEvent] = []
 
     def record(self, launch: LaunchRecord) -> None:
         self.records.append(launch)
 
+    def record_event(self, event: ResilienceEvent) -> None:
+        self.events.append(event)
+
+    def events_of(self, kind: str) -> list[ResilienceEvent]:
+        """Every recorded event of one ``kind`` (see :class:`ResilienceEvent`)."""
+        return [event for event in self.events if event.kind == kind]
+
     def clear(self) -> None:
         self.records.clear()
+        self.events.clear()
 
     def summary(self) -> "TraceSummary":
-        return TraceSummary.from_records(self.records)
+        return TraceSummary.from_records(self.records, self.events)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -126,6 +166,41 @@ class TraceSummary:
     cache_hits: int = 0
     cache_misses: int = 0
     optimizer_removed: int = 0
+    #: Resilience-event counts by kind (``faults_injected`` etc. read it).
+    by_event: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def resilience_events(self) -> int:
+        """Total resilience events observed alongside the launches."""
+        return sum(self.by_event.values())
+
+    @property
+    def faults_injected(self) -> int:
+        return self.by_event.get("fault_injected", 0)
+
+    @property
+    def corruptions_detected(self) -> int:
+        return self.by_event.get("corruption_detected", 0)
+
+    @property
+    def retries(self) -> int:
+        return self.by_event.get("retry", 0)
+
+    @property
+    def fallbacks(self) -> int:
+        return self.by_event.get("fallback", 0)
+
+    @property
+    def device_failures(self) -> int:
+        return self.by_event.get("device_failure", 0)
+
+    @property
+    def repartitions(self) -> int:
+        return self.by_event.get("repartition", 0)
+
+    @property
+    def watchdog_trips(self) -> int:
+        return self.by_event.get("watchdog", 0)
 
     @property
     def cache_lookups(self) -> int:
@@ -139,7 +214,11 @@ class TraceSummary:
         return self.cache_hits / lookups if lookups else 0.0
 
     @classmethod
-    def from_records(cls, records: list[LaunchRecord]) -> "TraceSummary":
+    def from_records(
+        cls,
+        records: list[LaunchRecord],
+        events: "list[ResilienceEvent] | tuple[ResilienceEvent, ...]" = (),
+    ) -> "TraceSummary":
         by_backend: dict[str, int] = {}
         by_ring: dict[str, int] = {}
         mmos = programs = unit_ops = products = 0
@@ -160,6 +239,9 @@ class TraceSummary:
             removed += rec.optimizer_removed
             wall += rec.wall_time_s
             cycles += rec.cycle_estimate
+        by_event: dict[str, int] = {}
+        for event in events:
+            by_event[event.kind] = by_event.get(event.kind, 0) + 1
         return cls(
             launches=len(records),
             by_backend=by_backend,
@@ -173,6 +255,7 @@ class TraceSummary:
             cache_hits=hits,
             cache_misses=misses,
             optimizer_removed=removed,
+            by_event=by_event,
         )
 
     def as_row(self) -> dict[str, object]:
@@ -188,6 +271,7 @@ class TraceSummary:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "optimizer_removed": self.optimizer_removed,
+            "resilience_events": self.resilience_events,
             "wall_time_s": self.wall_time_s,
             "cycle_estimate": self.cycle_estimate,
         }

@@ -1,0 +1,138 @@
+"""Tests for the deterministic fault injector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ResilienceError,
+)
+from repro.runtime import Trace, mmo_tiled, use_context
+from tests.conftest import make_ring_inputs
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ResilienceError, match="unknown fault kind"):
+            FaultSpec(kind="gamma-ray")
+
+    def test_tile_outside_grid_rejected(self, rng):
+        from repro.core import SEMIRINGS
+
+        a, b, _ = make_ring_inputs(SEMIRINGS["min-plus"], 32, 16, 32, rng, with_c=False)
+        plan = FaultPlan(corrupt={0: FaultSpec(kind="stuck", tile=(9, 9))})
+        with use_context(backend="vectorized", fault_plan=plan) as ctx:
+            with pytest.raises(ResilienceError, match="outside the"):
+                mmo_tiled("min-plus", a, b, context=ctx)
+
+
+class TestInjection:
+    def test_clean_plan_changes_nothing(self, ring, rng):
+        a, b, c = make_ring_inputs(ring, 32, 16, 32, rng)
+        baseline, _ = mmo_tiled(ring, a, b, c)
+        with use_context(backend="vectorized", fault_plan=FaultPlan()) as ctx:
+            got, _ = mmo_tiled(ring, a, b, c, context=ctx)
+        np.testing.assert_array_equal(got, baseline)
+
+    def test_corruption_is_deterministic(self, ring, rng):
+        a, b, c = make_ring_inputs(ring, 48, 16, 48, rng)
+        outs = []
+        for _ in range(2):
+            plan = FaultPlan(seed=42, corrupt={0: FaultSpec(kind="bitflip")})
+            with use_context(backend="vectorized", fault_plan=plan) as ctx:
+                got, _ = mmo_tiled(ring, a, b, c, context=ctx)
+            outs.append(got)
+            assert plan.injected_corruptions == 1
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_bitflip_changes_exactly_one_element(self, rng):
+        from repro.core import SEMIRINGS
+
+        a, b, c = make_ring_inputs(SEMIRINGS["min-plus"], 48, 16, 48, rng)
+        baseline, _ = mmo_tiled("min-plus", a, b, c)
+        plan = FaultPlan(seed=1, corrupt={0: FaultSpec(kind="bitflip")})
+        with use_context(backend="vectorized", fault_plan=plan) as ctx:
+            got, _ = mmo_tiled("min-plus", a, b, c, context=ctx)
+        assert np.sum(got != baseline) == 1
+
+    def test_stuck_tile_freezes_the_tile(self, rng):
+        from repro.core import SEMIRINGS
+
+        a, b, c = make_ring_inputs(SEMIRINGS["min-plus"], 48, 16, 48, rng)
+        plan = FaultPlan(corrupt={0: FaultSpec(kind="stuck", tile=(1, 2), value=-7.0)})
+        with use_context(backend="vectorized", fault_plan=plan) as ctx:
+            got, _ = mmo_tiled("min-plus", a, b, c, context=ctx)
+        np.testing.assert_array_equal(got[16:32, 32:48], -7.0)
+
+    def test_nan_poison_lands_in_chosen_tile(self, rng):
+        from repro.core import SEMIRINGS
+
+        a, b, c = make_ring_inputs(SEMIRINGS["min-plus"], 32, 16, 32, rng)
+        plan = FaultPlan(corrupt={0: FaultSpec(kind="nan", tile=(0, 1))})
+        with use_context(backend="vectorized", fault_plan=plan) as ctx:
+            got, _ = mmo_tiled("min-plus", a, b, c, context=ctx)
+        assert np.isnan(got[:16, 16:32]).sum() == 1
+        assert np.isnan(got).sum() == 1
+
+    def test_only_the_scheduled_ordinal_is_corrupted(self, rng):
+        from repro.core import SEMIRINGS
+
+        a, b, c = make_ring_inputs(SEMIRINGS["min-plus"], 32, 16, 32, rng)
+        baseline, _ = mmo_tiled("min-plus", a, b, c)
+        plan = FaultPlan(corrupt={1: FaultSpec(kind="nan")})
+        with use_context(backend="vectorized", fault_plan=plan) as ctx:
+            first, _ = mmo_tiled("min-plus", a, b, c, context=ctx)
+            second, _ = mmo_tiled("min-plus", a, b, c, context=ctx)
+            third, _ = mmo_tiled("min-plus", a, b, c, context=ctx)
+        np.testing.assert_array_equal(first, baseline)
+        assert np.isnan(second).any()
+        np.testing.assert_array_equal(third, baseline)
+        assert plan.launches_seen == 3
+
+    def test_same_plan_corrupts_all_backends(self, rng):
+        from repro.core import SEMIRINGS
+
+        a, b, c = make_ring_inputs(SEMIRINGS["min-plus"], 32, 16, 32, rng)
+        for backend in ("vectorized", "emulate", "sparse"):
+            plan = FaultPlan(corrupt={0: FaultSpec(kind="stuck", tile=(0, 0), value=3.0)})
+            with use_context(backend=backend, fault_plan=plan) as ctx:
+                got, _ = mmo_tiled("min-plus", a, b, c, context=ctx)
+            np.testing.assert_array_equal(got[:16, :16], 3.0)
+            assert plan.injected_corruptions == 1
+
+
+class TestDrops:
+    def test_dropped_launch_raises_injected_fault(self, rng):
+        from repro.core import SEMIRINGS
+
+        a, b, _ = make_ring_inputs(SEMIRINGS["plus-mul"], 16, 16, 16, rng, with_c=False)
+        plan = FaultPlan(drop=(0,))
+        trace = Trace()
+        with use_context(backend="vectorized", fault_plan=plan, trace=trace) as ctx:
+            with pytest.raises(InjectedFault, match="dropped launch 0"):
+                mmo_tiled("plus-mul", a, b, context=ctx)
+            # the ordinal advanced, so the next launch is clean
+            got, _ = mmo_tiled("plus-mul", a, b, context=ctx)
+        assert plan.injected_drops == 1
+        assert trace.summary().faults_injected == 1
+        np.testing.assert_array_equal(got, mmo_tiled("plus-mul", a, b)[0])
+
+
+class TestTraceEvents:
+    def test_injections_land_on_the_trace(self, rng):
+        from repro.core import SEMIRINGS
+
+        a, b, c = make_ring_inputs(SEMIRINGS["min-plus"], 32, 16, 32, rng)
+        trace = Trace()
+        plan = FaultPlan(corrupt={0: FaultSpec(kind="nan")})
+        with use_context(backend="vectorized", fault_plan=plan, trace=trace) as ctx:
+            mmo_tiled("min-plus", a, b, c, context=ctx)
+        events = trace.events_of("fault_injected")
+        assert len(events) == 1
+        assert events[0].launch_ordinal == 0
+        assert "NaN poison" in events[0].detail
+        assert trace.summary().by_event == {"fault_injected": 1}

@@ -1,0 +1,118 @@
+"""Tests for retry policies, fallback chains, and resilient_mmo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SEMIRINGS, mmo
+from repro.resilience import (
+    CorruptionDetected,
+    FallbackChain,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ResilienceError,
+    ResilienceExhausted,
+    RetryPolicy,
+    resilient_mmo,
+)
+from repro.runtime import RuntimeError_, Trace, use_context
+from tests.conftest import make_ring_inputs
+
+
+class TestRetryPolicy:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ResilienceError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+
+    def test_attempt_budget(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.max_attempts == 3
+        corrupted = CorruptionDetected.__new__(CorruptionDetected)
+        assert policy.should_retry(InjectedFault("x"), 0)
+        assert policy.should_retry(InjectedFault("x"), 1)
+        assert not policy.should_retry(InjectedFault("x"), 2)
+        assert not policy.should_retry(ValueError("x"), 0)
+        del corrupted
+
+    def test_zero_retries_means_one_attempt(self):
+        assert RetryPolicy(max_retries=0).max_attempts == 1
+
+
+class TestFallbackChain:
+    def test_plan_starts_at_context_backend_and_dedups(self):
+        chain = FallbackChain(backends=("vectorized", "emulate"))
+        assert chain.plan("vectorized") == ("vectorized", "emulate")
+        assert chain.plan("emulate") == ("emulate", "vectorized")
+        assert chain.plan("sparse") == ("sparse", "vectorized", "emulate")
+
+    def test_should_fall_back_classification(self):
+        chain = FallbackChain()
+        assert chain.should_fall_back(InjectedFault("x"))
+        assert not chain.should_fall_back(ValueError("x"))
+
+
+class TestResilientMmo:
+    def test_clean_run_parity(self, ring, rng):
+        a, b, c = make_ring_inputs(ring, 32, 16, 32, rng)
+        checked = ring.name != "plus-norm" and not (
+            ring.otimes is np.multiply and ring.oplus in (np.minimum, np.maximum)
+        )
+        d, _ = resilient_mmo(ring, a, b, c, checked=checked)
+        np.testing.assert_array_equal(d, mmo(ring, a, b, c))
+
+    def test_transient_corruption_recovered_by_retry(self, rng):
+        a, b, c = make_ring_inputs(SEMIRINGS["min-plus"], 48, 16, 48, rng)
+        trace = Trace()
+        plan = FaultPlan(seed=2, corrupt={0: FaultSpec(kind="nan")})
+        with use_context(backend="vectorized", fault_plan=plan, trace=trace) as ctx:
+            d, _ = resilient_mmo("min-plus", a, b, c, context=ctx)
+        np.testing.assert_array_equal(d, mmo("min-plus", a, b, c))
+        summary = trace.summary()
+        assert summary.retries == 1
+        assert summary.corruptions_detected == 1
+        assert summary.fallbacks == 0
+
+    def test_persistent_failure_falls_back_to_next_backend(self, rng):
+        a, b, _ = make_ring_inputs(SEMIRINGS["min-plus"], 32, 16, 32, rng, with_c=False)
+        trace = Trace()
+        # Drop the first three launches: the first backend's whole attempt
+        # budget.  Launch 3 (first attempt on the fallback backend) is clean.
+        plan = FaultPlan(drop=(0, 1, 2))
+        with use_context(backend="vectorized", fault_plan=plan, trace=trace) as ctx:
+            d, _ = resilient_mmo("min-plus", a, b, context=ctx)
+        np.testing.assert_array_equal(d, mmo("min-plus", a, b))
+        summary = trace.summary()
+        assert summary.retries == 2
+        assert summary.fallbacks == 1
+        assert trace.events_of("fallback")[0].backend == "emulate"
+
+    def test_exhaustion_raises_with_cause_chain(self, rng):
+        a, b, _ = make_ring_inputs(SEMIRINGS["min-plus"], 16, 16, 16, rng, with_c=False)
+        plan = FaultPlan(drop=range(100))
+        with use_context(backend="vectorized", fault_plan=plan) as ctx:
+            with pytest.raises(ResilienceExhausted) as excinfo:
+                resilient_mmo("min-plus", a, b, context=ctx)
+        names = [name for name, _ in excinfo.value.causes]
+        assert names == ["vectorized", "emulate"]
+        assert all(isinstance(exc, InjectedFault) for _, exc in excinfo.value.causes)
+
+    def test_non_recoverable_errors_propagate_immediately(self, rng):
+        a = rng.random((16, 16))
+        bad_b = rng.random((8, 16))  # shape mismatch: retrying cannot help
+        plan = FaultPlan()
+        with use_context(backend="vectorized", fault_plan=plan) as ctx:
+            with pytest.raises(RuntimeError_, match="bad mmo operand shapes"):
+                resilient_mmo("min-plus", a, bad_b, context=ctx)
+        assert plan.launches_seen == 0
+
+    def test_retry_budget_is_respected(self, rng):
+        a, b, _ = make_ring_inputs(SEMIRINGS["min-plus"], 16, 16, 16, rng, with_c=False)
+        plan = FaultPlan(drop=range(100))
+        policy = RetryPolicy(max_retries=0)
+        with use_context(backend="vectorized", fault_plan=plan) as ctx:
+            with pytest.raises(ResilienceExhausted):
+                resilient_mmo("min-plus", a, b, context=ctx, retry=policy)
+        # one attempt per backend, no retries
+        assert plan.launches_seen == 2

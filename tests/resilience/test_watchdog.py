@@ -1,0 +1,101 @@
+"""Tests for the closure watchdog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resilience import ClosureDiagnostics, ClosureWatchdog
+
+
+def _mat(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.float32)
+
+
+class TestNanPoisoning:
+    def test_new_nan_trips(self):
+        guard = ClosureWatchdog("min-plus")
+        previous = _mat([[0.0, 1.0], [2.0, 0.0]])
+        updated = previous.copy()
+        updated[0, 1] = np.nan
+        diag = guard.observe(updated, previous, 1)
+        assert diag is not None and diag.reason == "nan_poisoning"
+        assert "(0, 1)" in diag.detail
+        assert not diag.healthy
+
+    def test_initial_nan_is_tolerated(self):
+        # A NaN fixpoint is the caller's business; only *new* NaNs trip.
+        guard = ClosureWatchdog("min-plus")
+        previous = _mat([[0.0, np.nan], [2.0, 0.0]])
+        assert guard.observe(previous.copy(), previous, 1) is None
+
+    def test_nan_check_can_be_disabled(self):
+        guard = ClosureWatchdog("min-plus", check_nan=False, check_monotone=False)
+        previous = _mat([[0.0, 1.0]])
+        updated = _mat([[0.0, np.nan]])
+        assert guard.observe(updated, previous, 1) is None
+
+
+class TestMonotonicity:
+    def test_min_ring_trips_on_increase(self):
+        guard = ClosureWatchdog("min-plus")
+        previous = _mat([[0.0, 3.0], [2.0, 0.0]])
+        updated = _mat([[0.0, 5.0], [2.0, 0.0]])
+        diag = guard.observe(updated, previous, 2)
+        assert diag is not None and diag.reason == "non_monotone"
+        assert "increased" in diag.detail
+
+    def test_max_ring_trips_on_decrease(self):
+        guard = ClosureWatchdog("max-plus")
+        previous = _mat([[0.0, 3.0]])
+        updated = _mat([[0.0, 1.0]])
+        diag = guard.observe(updated, previous, 1)
+        assert diag is not None and diag.reason == "non_monotone"
+        assert "decreased" in diag.detail
+
+    def test_or_and_trips_on_lost_edge(self):
+        guard = ClosureWatchdog("or-and")
+        previous = np.array([[True, True], [False, True]])
+        updated = np.array([[True, False], [False, True]])
+        diag = guard.observe(updated, previous, 1)
+        assert diag is not None and diag.reason == "non_monotone"
+
+    def test_plus_ring_has_no_order_to_police(self):
+        guard = ClosureWatchdog("plus-mul")
+        assert not guard.check_monotone
+        previous = _mat([[1.0]])
+        updated = _mat([[0.5]])  # would "regress" under max — fine here
+        assert guard.observe(updated, previous, 1) is None
+
+    def test_healthy_descent_passes(self):
+        guard = ClosureWatchdog("min-plus")
+        previous = _mat([[0.0, 5.0], [2.0, 0.0]])
+        updated = _mat([[0.0, 4.0], [2.0, 0.0]])
+        assert guard.observe(updated, previous, 1) is None
+
+
+class TestOscillation:
+    def test_period_two_flapping_trips(self):
+        # Monotone checks would also fire here, so use plus-mul (no order).
+        guard = ClosureWatchdog("plus-mul")
+        state_a = _mat([[1.0, 2.0]])
+        state_b = _mat([[3.0, 4.0]])
+        assert guard.observe(state_b, state_a, 1) is None
+        assert guard.observe(state_a, state_b, 2) is None
+        diag = guard.observe(state_b, state_a, 3)
+        assert diag is not None and diag.reason == "oscillation"
+
+    def test_fixpoint_is_not_oscillation(self):
+        guard = ClosureWatchdog("plus-mul")
+        state = _mat([[1.0, 2.0]])
+        assert guard.observe(state, state, 1) is None
+        assert guard.observe(state, state, 2) is None
+        assert guard.observe(state, state, 3) is None
+
+
+class TestDiagnostics:
+    def test_describe_healthy_and_tripped(self):
+        healthy = ClosureDiagnostics(True, None, 3, "ok")
+        assert healthy.describe() == "closure healthy"
+        tripped = ClosureDiagnostics(False, "oscillation", 4, "flap")
+        assert tripped.describe() == "oscillation at iteration 4: flap"

@@ -149,3 +149,71 @@ class TestValidation:
     def test_bad_max_iterations(self):
         with pytest.raises(SemiringError, match="must be positive"):
             closure("min-plus", np.zeros((2, 2)), max_iterations=0)
+
+
+class TestNanFixpoint:
+    """Regression: a NaN-poisoned matrix must still terminate.
+
+    ``np.array_equal`` treats ``NaN != NaN``, so the old convergence check
+    could never see a fixpoint containing NaN and spun to the iteration
+    cap.  ``matrices_equal`` (NaN == NaN) fixes that.
+    """
+
+    def test_nan_fixpoint_converges(self):
+        from repro.runtime import matrices_equal
+
+        adj = _path_graph_minplus(8).astype(np.float32)
+        adj[0, 1] = np.nan
+        result = closure("min-plus", adj, max_iterations=100)
+        assert result.converged
+        assert result.iterations < 100
+        # the fixpoint it stopped at really is a fixpoint
+        again = closure(
+            "min-plus", result.matrix, max_iterations=2, convergence_check=True
+        )
+        assert matrices_equal(again.matrix, result.matrix)
+
+    def test_matrices_equal_semantics(self):
+        from repro.runtime import matrices_equal
+
+        nan_mat = np.array([[np.nan, 1.0]], dtype=np.float32)
+        assert matrices_equal(nan_mat, nan_mat.copy())
+        assert not matrices_equal(nan_mat, np.array([[np.nan, 2.0]]))
+        bools = np.array([[True, False]])
+        assert matrices_equal(bools, bools.copy())
+        assert not matrices_equal(bools, ~bools)
+
+
+class TestWatchdogIntegration:
+    def test_healthy_run_reports_diagnostics(self):
+        result = closure("min-plus", _path_graph_minplus(8), watchdog=True)
+        assert result.diagnostics is not None
+        assert result.diagnostics.healthy
+        assert result.diagnostics.describe() == "closure healthy"
+
+    def test_no_watchdog_means_no_diagnostics(self):
+        result = closure("min-plus", _path_graph_minplus(8))
+        assert result.diagnostics is None
+
+    def test_nan_appearing_mid_run_trips(self, rng):
+        from repro.resilience import FaultPlan, FaultSpec
+        from repro.runtime import Trace, use_context
+
+        adj = _path_graph_minplus(32).astype(np.float32)
+        trace = Trace()
+        plan = FaultPlan(seed=6, corrupt={1: FaultSpec(kind="nan")})
+        with use_context(backend="vectorized", fault_plan=plan, trace=trace) as ctx:
+            result = closure(
+                "min-plus", adj, context=ctx, watchdog=True, max_iterations=50
+            )
+        assert result.diagnostics is not None
+        assert result.diagnostics.reason == "nan_poisoning"
+        assert not result.converged
+        assert trace.summary().watchdog_trips == 1
+
+    def test_preconfigured_watchdog_accepted(self):
+        from repro.resilience import ClosureWatchdog
+
+        guard = ClosureWatchdog("min-plus", check_oscillation=False)
+        result = closure("min-plus", _path_graph_minplus(6), watchdog=guard)
+        assert result.diagnostics is not None and result.diagnostics.healthy

@@ -259,3 +259,47 @@ class TestTraceSummary:
             mmo_tiled("plus-mul", np.ones((4, 4)), np.ones((4, 4)))
         trace.clear()
         assert len(trace) == 0
+
+
+class TestResilienceEvents:
+    def test_summary_counts_events_by_kind(self):
+        from repro.runtime import ResilienceEvent
+
+        trace = Trace()
+        trace.record_event(ResilienceEvent("retry", "x", "vectorized", "d", attempt=1))
+        trace.record_event(ResilienceEvent("retry", "x", "vectorized", "d", attempt=2))
+        trace.record_event(ResilienceEvent("watchdog", "closure", "emulate", "d"))
+        summary = trace.summary()
+        assert summary.by_event == {"retry": 2, "watchdog": 1}
+        assert summary.retries == 2
+        assert summary.watchdog_trips == 1
+        assert summary.resilience_events == 3
+        assert summary.as_row()["resilience_events"] == 3
+        assert trace.events_of("retry")[0].attempt == 1
+
+    def test_clear_drops_events(self):
+        from repro.runtime import ResilienceEvent
+
+        trace = Trace()
+        trace.record_event(ResilienceEvent("retry", "x", "vectorized", "d"))
+        trace.clear()
+        assert trace.events == []
+
+    def test_render_trace_appends_event_table(self):
+        from repro.bench import render_trace
+        from repro.runtime import ResilienceEvent
+
+        trace = Trace()
+        with use_context(trace=trace):
+            mmo_tiled("plus-mul", np.ones((4, 4)), np.ones((4, 4)))
+        trace.record_event(
+            ResilienceEvent(
+                "corruption_detected", "checked_mmo", "vectorized",
+                "suspect tiles [(0, 0)]",
+            )
+        )
+        text = render_trace(trace, title="T")
+        assert "resilience events (1)" in text
+        assert "corruption_detected" in text
+        # a bare record list still renders without an event section
+        assert "resilience events" not in render_trace(trace.records)

@@ -89,3 +89,83 @@ class TestValidation:
                 np.zeros((3, 3)),
                 devices=_devices(1),
             )
+
+
+class TestResilienceEdges:
+    """Edge cases of blacklist-driven repartitioning."""
+
+    def test_all_blacklisted_raises(self, rng):
+        from repro.core import SEMIRINGS
+
+        a, b, _ = make_ring_inputs(SEMIRINGS["min-plus"], 32, 16, 16, rng, with_c=False)
+        with pytest.raises(RuntimeError_, match="no surviving devices"):
+            mmo_tiled_multi_device(
+                "min-plus", a, b, devices=_devices(2), blacklist={0, 1}
+            )
+
+    def test_single_survivor_carries_all_rows(self, rng):
+        from repro.core import SEMIRINGS
+
+        a, b, c = make_ring_inputs(SEMIRINGS["min-plus"], 48, 16, 24, rng)
+        devices = _devices(3)
+        got, shares = mmo_tiled_multi_device(
+            "min-plus", a, b, c, devices=devices, blacklist={0, 1}
+        )
+        np.testing.assert_array_equal(got, mmo("min-plus", a, b, c))
+        assert [sh.device_index for sh in shares] == [2]
+        assert shares[0].rows == 48
+
+    def test_repartitioned_parity_all_rings(self, ring, rng):
+        """Bit-identical reassembly: a run that loses a device mid-flight
+        must equal the single-device result on every opcode."""
+        from repro.resilience import FaultPlan
+        from repro.runtime import use_context
+
+        a, b, c = make_ring_inputs(ring, 48, 20, 24, rng)
+        plan = FaultPlan(fail_devices=(1,))
+        blacklist: set[int] = set()
+        with use_context(backend="emulate", fault_plan=plan) as ctx:
+            got, shares = mmo_tiled_multi_device(
+                ring, a, b, c, devices=_devices(3), context=ctx,
+                on_device_failure="repartition", blacklist=blacklist,
+            )
+        np.testing.assert_array_equal(got, mmo(ring, a, b, c))
+        assert blacklist == {1}
+        assert sorted(sh.device_index for sh in shares) == [0, 2]
+
+    def test_abort_mode_propagates_device_failure(self, rng):
+        from repro.core import SEMIRINGS
+        from repro.resilience import DeviceFailure, FaultPlan
+        from repro.runtime import use_context
+
+        a, b, _ = make_ring_inputs(SEMIRINGS["min-plus"], 32, 16, 16, rng, with_c=False)
+        plan = FaultPlan(fail_devices=(0,))
+        with use_context(backend="emulate", fault_plan=plan) as ctx:
+            with pytest.raises(DeviceFailure, match="device 0 failed"):
+                mmo_tiled_multi_device(
+                    "min-plus", a, b, devices=_devices(2), context=ctx
+                )
+
+    def test_bad_on_device_failure_rejected(self, rng):
+        with pytest.raises(RuntimeError_, match="on_device_failure"):
+            mmo_tiled_multi_device(
+                "mma", np.zeros((2, 2)), np.zeros((2, 2)),
+                devices=_devices(1), on_device_failure="shrug",
+            )
+
+    def test_checked_bands_catch_injected_corruption(self, rng):
+        from repro.core import SEMIRINGS
+        from repro.resilience import FaultPlan, FaultSpec
+        from repro.runtime import Trace, use_context
+
+        a, b, c = make_ring_inputs(SEMIRINGS["min-plus"], 48, 16, 48, rng)
+        trace = Trace()
+        plan = FaultPlan(seed=4, corrupt={0: FaultSpec(kind="nan")})
+        with use_context(backend="emulate", fault_plan=plan, trace=trace) as ctx:
+            got, _ = mmo_tiled_multi_device(
+                "min-plus", a, b, c, devices=_devices(2), context=ctx,
+                checked=True,
+            )
+        np.testing.assert_array_equal(got, mmo("min-plus", a, b, c))
+        assert trace.summary().corruptions_detected >= 1
+        assert trace.summary().retries >= 1

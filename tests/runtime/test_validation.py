@@ -1,0 +1,103 @@
+"""Tests for early operand validation (value poison + accumulator shape)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SEMIRINGS
+from repro.runtime import (
+    OperandValidationError,
+    RuntimeError_,
+    batched_mmo,
+    mmo_tiled,
+)
+from tests.conftest import make_ring_inputs
+
+
+class TestErrorType:
+    def test_is_both_runtime_and_value_error(self):
+        assert issubclass(OperandValidationError, RuntimeError_)
+        assert issubclass(OperandValidationError, ValueError)
+
+
+class TestNanRejection:
+    @pytest.mark.parametrize(
+        "name", ["min-plus", "max-plus", "min-mul", "max-mul", "min-max", "max-min"]
+    )
+    @pytest.mark.parametrize("operand", ["A", "B", "C"])
+    def test_inf_identity_rings_reject_nan(self, name, operand, rng):
+        a, b, c = make_ring_inputs(SEMIRINGS[name], 32, 16, 32, rng)
+        poisoned = {"A": a, "B": b, "C": c}[operand]
+        poisoned[3, 5] = np.nan
+        with pytest.raises(OperandValidationError, match=f"operand {operand}.*NaN"):
+            mmo_tiled(name, a, b, c)
+
+    @pytest.mark.parametrize("name", ["plus-mul", "plus-norm"])
+    def test_finite_identity_rings_accept_nan(self, name, rng):
+        # plus-based rings have no ⊕-selection for NaN to poison silently;
+        # NaN-in → NaN-out is ordinary IEEE behaviour there.
+        a, b, c = make_ring_inputs(SEMIRINGS[name], 32, 16, 32, rng)
+        a[0, 0] = np.nan
+        d, _ = mmo_tiled(name, a, b, c)
+        assert np.isnan(d[0]).any()
+
+    def test_opt_out_for_loop_entry_points(self, rng):
+        a, b, c = make_ring_inputs(SEMIRINGS["min-plus"], 32, 16, 32, rng)
+        a[3, 5] = np.nan
+        d, _ = mmo_tiled("min-plus", a, b, c, validate_inputs=False)
+        assert np.isnan(d).any()
+
+
+class TestOppositeInfinityRejection:
+    def test_min_plus_rejects_negative_inf(self, rng):
+        # min-plus padding is +inf; -inf + inf = NaN, silently.
+        a, b, _ = make_ring_inputs(SEMIRINGS["min-plus"], 32, 16, 32, rng, with_c=False)
+        a[1, 2] = -np.inf
+        with pytest.raises(OperandValidationError, match=r"operand A.*-inf"):
+            mmo_tiled("min-plus", a, b)
+
+    def test_max_plus_rejects_positive_inf(self, rng):
+        a, b, _ = make_ring_inputs(SEMIRINGS["max-plus"], 32, 16, 32, rng, with_c=False)
+        b[1, 2] = np.inf
+        with pytest.raises(OperandValidationError, match="operand B.*inf"):
+            mmo_tiled("max-plus", a, b)
+
+    def test_identity_signed_inf_is_legitimate_data(self, rng):
+        # +inf on min-plus means "no edge" — must be accepted.
+        a, b, _ = make_ring_inputs(SEMIRINGS["min-plus"], 32, 16, 32, rng, with_c=False)
+        a[1, 2] = np.inf
+        d, _ = mmo_tiled("min-plus", a, b)
+        assert np.isfinite(d).all()
+
+    def test_min_max_accepts_both_infinities(self, rng):
+        # ⊗ is max, not +: -inf is a legitimate "always loses" value.
+        a, b, _ = make_ring_inputs(SEMIRINGS["min-max"], 32, 16, 32, rng, with_c=False)
+        a[1, 2] = -np.inf
+        mmo_tiled("min-max", a, b)
+
+
+class TestAccumulatorShape:
+    def test_mismatch_is_value_error_naming_c(self, rng):
+        a, b, _ = make_ring_inputs(SEMIRINGS["plus-mul"], 32, 16, 32, rng, with_c=False)
+        bad_c = np.zeros((16, 16))
+        with pytest.raises(ValueError, match="accumulator shape.*operand C"):
+            mmo_tiled("plus-mul", a, b, bad_c)
+        with pytest.raises(OperandValidationError):
+            mmo_tiled("plus-mul", a, b, bad_c)
+
+
+class TestBatchedValidation:
+    def test_batched_rejects_poison_up_front(self, rng):
+        a = rng.integers(0, 9, (4, 32, 16)).astype(np.float64)
+        b = rng.integers(0, 9, (4, 16, 32)).astype(np.float64)
+        a[2, 5, 7] = np.nan  # deep inside batch item 2
+        with pytest.raises(OperandValidationError, match="operand A.*NaN"):
+            batched_mmo("min-plus", a, b)
+
+    def test_batched_clean_run_unaffected(self, rng):
+        a = rng.integers(0, 9, (3, 32, 16)).astype(np.float64)
+        b = rng.integers(0, 9, (3, 16, 32)).astype(np.float64)
+        d, stats = batched_mmo("min-plus", a, b)
+        assert d.shape == (3, 32, 32)
+        assert stats.batch == 3
