@@ -1,7 +1,7 @@
 """Backend-registry health check: parity smoke plus dispatch overhead.
 
 Standalone script (not a pytest benchmark), wired to ``make check-backends``
-and CI.  Three gates:
+and CI.  Four gates:
 
 1. **Parity smoke** — every *registered* backend (including ones added
    after this script was written) agrees with the vectorized reference on
@@ -10,7 +10,12 @@ and CI.  Three gates:
    resolution, registry lookup, plan-cache lookup, trace hook) must stay
    within 5 % of calling the backend directly on a 512² mmo.  The
    registry refactor is supposed to be free; this keeps it that way.
-3. **Closure relaunch** — relaunching one deep-k shape many times (the
+3. **Hooks overhead** — the lifecycle hook pipeline on a *default*
+   context (validation only: no trace, no faults) must dispatch
+   launchless, and its per-call cost over a bare backend ``execute``
+   must stay within 5 % of the 512² kernel it brackets.  The pipeline
+   refactor replaced the hand-threaded seams; this keeps it free.
+4. **Closure relaunch** — relaunching one deep-k shape many times (the
    shape of a closure loop) with the plan cache enabled must beat the
    same loop with memoization disabled (``PlanCache(maxsize=0)``, the
    compile-every-launch seed behaviour): ratio < 1.0.  Plan-cache
@@ -44,6 +49,7 @@ DISPATCH_N = 512
 DISPATCH_REPEATS = 5
 TINY_REPEATS = 300
 MAX_OVERHEAD_RATIO = 1.05
+MAX_HOOKS_OVERHEAD_RATIO = 1.05
 
 # Closure-relaunch experiment: a small output with a deep reduction, so the
 # per-launch lowering (program length grows with tiles_k) is a visible
@@ -174,6 +180,90 @@ def dispatch_overhead(records: list[dict]) -> None:
         )
 
 
+def hooks_overhead(records: list[dict]) -> None:
+    """Hook-pipeline cost on a default context vs the kernel it brackets.
+
+    The lifecycle pipeline replaced the hand-threaded trace/fault/
+    validation seams with ``begin_launch``/``finish_launch`` around every
+    backend call.  On a default context (validation hook only) it must be
+    free twice over: structurally — ``begin_launch`` takes the
+    allocation-free path and returns no ``Launch`` carrier — and in time,
+    measured like :func:`dispatch_overhead`: isolate the per-call delta
+    of the pipelined ``execute_compiled`` path over a bare backend
+    ``execute`` on a 16² mmo, then hold it against the 512² kernel of
+    the relaunch loop.
+    """
+    from repro.runtime import execute_compiled
+    from repro.runtime.kernels import compile_in_context
+
+    ring = SEMIRINGS["plus-mul"]
+    impl = get_backend("vectorized")
+    opcode = resolve_opcode("plus-mul")
+    context = ExecutionContext(plan_cache=PlanCache())
+
+    # Structural gate: the default pipeline dispatches launchless.
+    probe_a, probe_b = _operands(ring, 16, 16, 16, seed=5)
+    launchless = (
+        context.pipeline.begin_launch(
+            context, "bench", opcode, probe_a, probe_b, None
+        )
+        is None
+    )
+    if not launchless:
+        raise SystemExit(
+            "hooks: default pipeline allocated a Launch carrier — the "
+            "no-observer hot path must be allocation-free"
+        )
+
+    # (1) Per-call pipeline overhead, measured where it is measurable.
+    tiny, _ = compile_in_context(
+        context, impl, opcode, 16, 16, 16, has_accumulator=False
+    )
+    impl.execute(tiny, probe_a, probe_b, None, context=context)  # warm
+    execute_compiled(tiny, probe_a, probe_b, context=context)
+    tiny_direct, tiny_piped = _interleaved_mins(
+        lambda: impl.execute(tiny, probe_a, probe_b, None, context=context),
+        lambda: execute_compiled(tiny, probe_a, probe_b, context=context),
+        TINY_REPEATS,
+    )
+    overhead = max(0.0, tiny_piped - tiny_direct)
+
+    # (2) The 512² relaunch kernel the overhead budget is expressed against.
+    n = DISPATCH_N
+    a, b = _operands(ring, n, n, n, seed=23)
+    compiled, _ = compile_in_context(
+        context, impl, opcode, n, n, n, has_accumulator=False
+    )
+    direct, piped = _interleaved_mins(
+        lambda: impl.execute(compiled, a, b, None, context=context),
+        lambda: execute_compiled(compiled, a, b, context=context),
+        DISPATCH_REPEATS,
+    )
+    ratio = (direct + overhead) / direct
+    records.append(
+        {
+            "case": "hooks_overhead", "n": n,
+            "launchless": launchless,
+            "tiny_direct_seconds": tiny_direct,
+            "tiny_pipeline_seconds": tiny_piped,
+            "overhead_seconds_per_call": overhead,
+            "direct_seconds": direct, "pipeline_seconds": piped,
+            "ratio": round(ratio, 6),
+            "max_ratio": MAX_HOOKS_OVERHEAD_RATIO,
+        }
+    )
+    print(f"hooks   per-call overhead {overhead * 1e6:6.1f}us  "
+          f"(tiny {tiny_direct * 1e6:.1f}us -> {tiny_piped * 1e6:.1f}us, "
+          f"launchless={launchless})")
+    print(f"hooks   {n}²  direct {direct * 1e3:7.2f}ms  "
+          f"pipeline {piped * 1e3:7.2f}ms  overhead ratio {ratio:.6f}")
+    if ratio > MAX_HOOKS_OVERHEAD_RATIO:
+        raise SystemExit(
+            f"hooks overhead {ratio:.3f}x exceeds the "
+            f"{MAX_HOOKS_OVERHEAD_RATIO}x budget"
+        )
+
+
 def closure_relaunch(records: list[dict]) -> None:
     """Cached relaunch of one shape vs recompiling on every launch.
 
@@ -248,6 +338,7 @@ def main(argv: list[str] | None = None) -> int:
     records: list[dict] = []
     parity_smoke(records)
     dispatch_overhead(records)
+    hooks_overhead(records)
     closure_relaunch(records)
 
     artifact = {

@@ -113,17 +113,22 @@ class PlanCache:
             self._entries.clear()
 
     # ------------------------------------------------------------------
+    # Counter reads take the lock like stats() does: an unlocked read can
+    # observe a torn hit/miss pair while another thread is mid-update.
     @property
     def hits(self) -> int:
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
-        return self._misses
+        with self._lock:
+            return self._misses
 
     @property
     def evictions(self) -> int:
-        return self._evictions
+        with self._lock:
+            return self._evictions
 
     def stats(self) -> CacheStats:
         with self._lock:

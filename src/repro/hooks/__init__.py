@@ -1,0 +1,51 @@
+"""Lifecycle hook pipeline for the SIMD² runtime.
+
+One seam for every cross-cutting dispatch concern: hooks registered at
+``pre_compile`` / ``post_compile`` / ``pre_execute`` / ``post_execute``
+plus an ``on_event`` channel, assembled per
+:class:`~repro.runtime.context.ExecutionContext` and invoked by the
+runtime entry points instead of per-entry-point hand-threading.  See
+:mod:`repro.hooks.pipeline` for the contract and
+:mod:`repro.hooks.builtin` for the trace/fault/validation/cache-stats
+hooks.
+"""
+
+from repro.hooks.builtin import (
+    CacheStatsHook,
+    FaultHook,
+    TraceHook,
+    ValidationHook,
+)
+from repro.hooks.pipeline import (
+    EMPTY_PIPELINE,
+    Hook,
+    HookPipeline,
+    Launch,
+    build_pipeline,
+    emit_event,
+)
+from repro.hooks.registry import (
+    HookError,
+    get_hook,
+    list_hooks,
+    register_hook,
+    resolve_hook,
+)
+
+__all__ = [
+    "CacheStatsHook",
+    "EMPTY_PIPELINE",
+    "FaultHook",
+    "Hook",
+    "HookError",
+    "HookPipeline",
+    "Launch",
+    "TraceHook",
+    "ValidationHook",
+    "build_pipeline",
+    "emit_event",
+    "get_hook",
+    "list_hooks",
+    "register_hook",
+    "resolve_hook",
+]

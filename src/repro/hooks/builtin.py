@@ -1,0 +1,196 @@
+"""Built-in lifecycle hooks: the four concerns PR 2–5 hand-threaded.
+
+Each hook is stateless (reads everything from the launch's context), so a
+single shared instance serves every pipeline; :func:`~repro.hooks
+.pipeline.build_pipeline` assembles them in the canonical order
+validation → fault → trace.  That order *is* load-bearing:
+
+- validation raises before the fault plan claims an ordinal, so a
+  rejected launch consumes no fault-schedule slot (matching the
+  pre-pipeline runtime, where ``_validate_ring_inputs`` ran at the top of
+  ``mmo_tiled``);
+- fault corruption rewrites ``launch.result`` before the trace hook
+  reads it, and an injected *drop* raises in ``pre_execute`` before any
+  record is appended — a dropped launch leaves no ``LaunchRecord``.
+
+:class:`CacheStatsHook` is the odd one out: it is stateful (per-instance
+counters), so it is not part of the default assembly — attach a fresh
+instance via ``ExecutionContext(hooks=(CacheStatsHook(),))`` to meter one
+context's compile traffic (the serving tier does this per tenant, where
+the process-wide :class:`~repro.compile.cache.PlanCache` counters are too
+coarse).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.hooks.pipeline import Hook
+from repro.hooks.registry import register_hook
+from repro.runtime.kernels import _validate_ring_inputs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compile.artifact import CompiledMmo
+    from repro.hooks.pipeline import Launch
+    from repro.runtime.context import ExecutionContext
+    from repro.runtime.trace import ResilienceEvent
+
+__all__ = [
+    "CacheStatsHook",
+    "FaultHook",
+    "TraceHook",
+    "ValidationHook",
+    "FAULT_HOOK",
+    "TRACE_HOOK",
+    "VALIDATION_HOOK",
+]
+
+
+@register_hook(name="validation")
+class ValidationHook(Hook):
+    """Reject value-poisoned operands before the backend runs.
+
+    Delegates to :func:`repro.runtime.kernels._validate_ring_inputs` —
+    still the single implementation — and honours the per-launch
+    ``validate_inputs=False`` opt-out that loop entry points use when
+    they deliberately iterate non-finite state (NaN fixpoints, fault
+    studies).  Because this runs at ``pre_execute`` on *every* dispatch
+    path, ``mmo_tiled`` and ``execute_compiled`` now validate
+    identically.
+    """
+
+    def pre_execute(self, launch: "Launch") -> None:
+        if launch.validate_inputs:
+            _validate_ring_inputs(
+                launch.opcode.semiring, launch.a, launch.b, launch.c
+            )
+
+    def launchless_pre(self, context, api, opcode, a, b, c, validate_inputs) -> None:
+        # Allocation-free form: lets a validation-only pipeline dispatch
+        # without building a Launch carrier (see Hook.launchless_pre).
+        if validate_inputs:
+            _validate_ring_inputs(opcode.semiring, a, b, c)
+
+
+@register_hook(name="fault")
+class FaultHook(Hook):
+    """The fault-injection seam (subsumes ``_fault_begin``/``_fault_corrupt``).
+
+    ``pre_execute`` claims the next launch ordinal from the context's
+    :class:`~repro.resilience.faults.FaultPlan` (raising
+    :class:`~repro.resilience.faults.InjectedFault` on scheduled drops);
+    ``post_execute`` applies any scheduled output corruption.  Degenerate
+    launches never ran a kernel, so they claim no ordinal — fault
+    schedules address real launches only.
+    """
+
+    def pre_execute(self, launch: "Launch") -> None:
+        plan = launch.context.fault_plan
+        if plan is None or launch.degenerate:
+            return
+        launch.fault_ordinal = plan.begin_launch(launch.context, launch.api)
+
+    def post_execute(self, launch: "Launch") -> None:
+        plan = launch.context.fault_plan
+        if plan is None or launch.fault_ordinal is None:
+            return
+        launch.result = plan.corrupt_output(
+            launch.fault_ordinal, launch.result, launch.context, launch.api
+        )
+
+
+@register_hook(name="trace")
+class TraceHook(Hook):
+    """Record launches and resilience events on the context's trace sink.
+
+    Subsumes the old per-entry-point ``_record_launch`` helper (one
+    :class:`~repro.runtime.trace.LaunchRecord` per completed launch, with
+    cycle estimate, cache-hit flag and optimiser statistics) and the
+    hand-called ``trace.record_event`` sites (events now arrive through
+    the pipeline's ``on_event`` channel).  Runs last in the built-in
+    order so it observes the post-corruption result and never records a
+    launch an earlier hook aborted.
+    """
+
+    def post_execute(self, launch: "Launch") -> None:
+        trace = launch.context.trace
+        if trace is None:
+            return
+        from repro.runtime.trace import LaunchRecord
+        from repro.timing.cycles import kernel_cycle_estimate  # lazy: cycles imports kernels
+
+        opcode = launch.opcode
+        semiring = opcode.semiring
+        stats = launch.stats
+        cycles = kernel_cycle_estimate(stats, boolean=semiring.is_boolean()).total
+        trace.record(
+            LaunchRecord(
+                api=launch.api,
+                backend=launch.context.backend,
+                ring=semiring.name,
+                opcode=opcode.name,
+                shape=(stats.m, stats.n, stats.k),
+                tiles=(stats.tiles_m, stats.tiles_n, stats.tiles_k),
+                wall_time_s=launch.wall_time_s,
+                kernel_stats=stats,
+                cycle_estimate=cycles,
+                cache_hit=launch.cache_hit,
+                optimizer_removed=launch.optimizer_removed,
+            )
+        )
+
+    def on_event(self, context: "ExecutionContext", event: "ResilienceEvent") -> None:
+        trace = context.trace
+        if trace is not None:
+            trace.record_event(event)
+
+
+@register_hook(name="cache-stats")
+class CacheStatsHook(Hook):
+    """Per-pipeline compile-traffic counters (hit/miss at the compile seam).
+
+    Unlike the process-wide :class:`~repro.compile.cache.PlanCache`
+    counters, an instance attached to one context meters only that
+    context's launches — the granularity the serving tier needs per
+    tenant and the autotuner needs per candidate schedule.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def post_compile(
+        self,
+        context: "ExecutionContext",
+        api: str,
+        compiled: "CompiledMmo",
+        cache_hit: bool,
+    ) -> None:
+        with self._lock:
+            if cache_hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+
+    @property
+    def lookups(self) -> int:
+        with self._lock:
+            return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses}
+
+
+#: Shared stateless instances used by the default pipeline assembly.
+VALIDATION_HOOK = ValidationHook()
+FAULT_HOOK = FaultHook()
+TRACE_HOOK = TraceHook()

@@ -1,0 +1,416 @@
+"""Lifecycle hook pipeline: one seam for every cross-cutting launch concern.
+
+PR 2–5 grew four cross-cutting concerns — trace recording, fault
+injection, ABFT/resilience events, input validation — and each was
+hand-threaded through every runtime entry point (``mmo_tiled``,
+``execute_compiled``, closure, batched, split-k, multi-device bands).
+Five copies of the same seam drift: ``execute_compiled`` skipped the
+ring-input poison check, multi-device raised the wrong error family for a
+bad accumulator.  This module replaces the copies with **one pipeline**
+carried on the :class:`~repro.runtime.context.ExecutionContext`, with
+hooks invoked at four fixed lifecycle points plus an event channel:
+
+- ``pre_compile``  — before a launch shape is lowered/looked up;
+- ``post_compile`` — after the artifact is resolved (carries the cache
+  hit flag);
+- ``pre_execute``  — after shapes are validated, before the backend
+  runs (input validation, fault-plan ordinal claims live here);
+- ``post_execute`` — after the backend returned (fault corruption,
+  trace recording; a hook may replace ``launch.result``);
+- ``on_event``     — the out-of-band channel resilience occurrences
+  (retries, fallbacks, watchdog trips, checksum failures) flow through
+  instead of hand-calling ``trace.record_event``.
+
+Hooks at each point fire in **registration order** (for the built-in
+assembly: validation → fault → trace → custom hooks), and the same order
+applies pre and post — so fault corruption always lands before the trace
+record, and a raising validation/fault hook aborts the launch *before*
+any record is written (no orphaned records).
+
+Cost discipline: the pipeline is assembled once per context and cached;
+each lifecycle point dispatches over a precomputed tuple of hooks that
+actually override that point.  A pipeline with no execute hooks performs
+**zero per-launch allocation** — :meth:`HookPipeline.begin_launch`
+returns ``None`` and :meth:`HookPipeline.finish_launch` passes the
+result straight through.  :func:`emit_event` constructs its
+:class:`~repro.runtime.trace.ResilienceEvent` only when something
+listens.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.compile.artifact import CompiledMmo
+    from repro.isa.opcodes import MmoOpcode
+    from repro.runtime.context import ExecutionContext
+    from repro.runtime.kernels import KernelStats
+    from repro.runtime.trace import ResilienceEvent
+
+__all__ = [
+    "Hook",
+    "HookPipeline",
+    "Launch",
+    "build_pipeline",
+    "emit_event",
+]
+
+
+class Hook:
+    """Base class of lifecycle hooks.
+
+    Subclass and override any subset of the five points; the pipeline
+    inspects which methods are overridden at assembly time and only ever
+    invokes those, so an unoverridden point costs nothing per launch.
+    Hooks self-register with :func:`repro.hooks.register_hook` so they
+    can be named in configuration (the serving tier / autotuner attach
+    custom hooks this way); instances attach to a context via
+    ``ExecutionContext(hooks=(...))``.
+    """
+
+    #: Registry name (set by :func:`repro.hooks.register_hook`).
+    name: str = ""
+
+    #: Optional allocation-free form of ``pre_execute`` with signature
+    #: ``(context, api, opcode, a, b, c, validate_inputs) -> None``.  When
+    #: *every* pre-execute hook in a pipeline provides one and nothing
+    #: listens on ``post_execute``, :meth:`HookPipeline.begin_launch` runs
+    #: these directly and skips the :class:`Launch` allocation — this is
+    #: how the default (validation-only) pipeline keeps the hot path
+    #: allocation-free.  Hooks that need cross-point state (fault
+    #: ordinals) leave it ``None``.
+    launchless_pre = None
+
+    def pre_compile(
+        self,
+        context: "ExecutionContext",
+        api: str,
+        opcode: "MmoOpcode",
+        m: int,
+        n: int,
+        k: int,
+        has_accumulator: bool,
+    ) -> None:
+        """Before a launch shape is lowered or served from the plan cache."""
+
+    def post_compile(
+        self,
+        context: "ExecutionContext",
+        api: str,
+        compiled: "CompiledMmo",
+        cache_hit: bool,
+    ) -> None:
+        """After the compiled artifact is resolved (``cache_hit`` tells how)."""
+
+    def pre_execute(self, launch: "Launch") -> None:
+        """After shape validation, before the backend executes.
+
+        May raise to abort the launch (validation rejections, injected
+        drops); nothing has been recorded yet at this point.
+        """
+
+    def post_execute(self, launch: "Launch") -> None:
+        """After the backend returned; may replace ``launch.result``."""
+
+    def on_event(self, context: "ExecutionContext", event: "ResilienceEvent") -> None:
+        """An out-of-band resilience occurrence under this context."""
+
+
+class Launch:
+    """Mutable per-launch carrier threaded through the execute hooks.
+
+    One ``Launch`` spans ``pre_execute`` → backend → ``post_execute``;
+    hooks communicate across the two points by writing attributes
+    (``FaultHook`` stores its claimed ordinal in ``fault_ordinal``,
+    custom hooks may use the free-form ``notes`` slot).  ``result``,
+    ``stats`` and ``wall_time_s`` are populated before ``post_execute``
+    fires; a post hook that reassigns ``result`` (fault corruption)
+    changes what the caller receives.
+
+    ``degenerate`` marks empty-output fast paths (``m == 0`` or
+    ``n == 0``): no backend runs, fault ordinals are not claimed, and
+    the trace records ``wall_time_s = 0.0`` with ``cache_hit = None`` —
+    exactly the pre-pipeline behaviour.
+    """
+
+    __slots__ = (
+        "context",
+        "api",
+        "opcode",
+        "a",
+        "b",
+        "c",
+        "validate_inputs",
+        "degenerate",
+        "cache_hit",
+        "optimizer_removed",
+        "result",
+        "stats",
+        "wall_time_s",
+        "fault_ordinal",
+        "notes",
+    )
+
+    def __init__(
+        self,
+        context: "ExecutionContext",
+        api: str,
+        opcode: "MmoOpcode",
+        a: "np.ndarray",
+        b: "np.ndarray",
+        c: "np.ndarray | None",
+        *,
+        validate_inputs: bool = True,
+        degenerate: bool = False,
+        cache_hit: bool | None = None,
+        optimizer_removed: int = 0,
+    ):
+        self.context = context
+        self.api = api
+        self.opcode = opcode
+        self.a = a
+        self.b = b
+        self.c = c
+        self.validate_inputs = validate_inputs
+        self.degenerate = degenerate
+        self.cache_hit = cache_hit
+        self.optimizer_removed = optimizer_removed
+        self.result: "np.ndarray | None" = None
+        self.stats: "KernelStats | None" = None
+        self.wall_time_s: float = 0.0
+        self.fault_ordinal: int | None = None
+        self.notes: dict | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Launch(api={self.api!r}, opcode={self.opcode.name}, "
+            f"degenerate={self.degenerate})"
+        )
+
+
+def _overriders(hooks: "tuple[Hook, ...]", point: str) -> "tuple[Hook, ...]":
+    """The hooks that actually override ``point``, in registration order."""
+    base = getattr(Hook, point)
+    return tuple(h for h in hooks if getattr(type(h), point, base) is not base)
+
+
+class HookPipeline:
+    """An ordered set of hooks, pre-sorted by lifecycle point.
+
+    Immutable once built; :func:`build_pipeline` assembles the built-in
+    hooks a context's fields imply (validation always, fault when a
+    ``fault_plan`` is set, trace when a ``trace`` is set) followed by the
+    context's custom ``hooks`` tuple.
+    """
+
+    __slots__ = (
+        "hooks",
+        "_pre_compile",
+        "_post_compile",
+        "_pre_execute",
+        "_post_execute",
+        "_on_event",
+        "_launchless",
+    )
+
+    def __init__(self, hooks: Iterable[Hook] = ()):
+        self.hooks = tuple(hooks)
+        self._pre_compile = _overriders(self.hooks, "pre_compile")
+        self._post_compile = _overriders(self.hooks, "post_compile")
+        self._pre_execute = _overriders(self.hooks, "pre_execute")
+        self._post_execute = _overriders(self.hooks, "post_execute")
+        self._on_event = _overriders(self.hooks, "on_event")
+        # Allocation-free fast path: usable only when no hook needs the
+        # Launch carrier (see Hook.launchless_pre).
+        launchless = tuple(h.launchless_pre for h in self._pre_execute)
+        self._launchless = (
+            launchless
+            if not self._post_execute and all(fn is not None for fn in launchless)
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # compile seam
+    # ------------------------------------------------------------------
+    def pre_compile(
+        self,
+        context: "ExecutionContext",
+        api: str,
+        opcode: "MmoOpcode",
+        m: int,
+        n: int,
+        k: int,
+        has_accumulator: bool,
+    ) -> None:
+        for hook in self._pre_compile:
+            hook.pre_compile(context, api, opcode, m, n, k, has_accumulator)
+
+    def post_compile(
+        self,
+        context: "ExecutionContext",
+        api: str,
+        compiled: "CompiledMmo",
+        cache_hit: bool,
+    ) -> None:
+        for hook in self._post_compile:
+            hook.post_compile(context, api, compiled, cache_hit)
+
+    # ------------------------------------------------------------------
+    # execute seam
+    # ------------------------------------------------------------------
+    def begin_launch(
+        self,
+        context: "ExecutionContext",
+        api: str,
+        opcode: "MmoOpcode",
+        a: "np.ndarray",
+        b: "np.ndarray",
+        c: "np.ndarray | None",
+        *,
+        validate_inputs: bool = True,
+        degenerate: bool = False,
+        cache_hit: bool | None = None,
+        optimizer_removed: int = 0,
+    ) -> "Launch | None":
+        """Open one launch: fire ``pre_execute`` and return the carrier.
+
+        Returns ``None`` — with **no allocation** — when every
+        pre-execute hook offers a ``launchless_pre`` form and nothing
+        listens post-execute (true for the default validation-only
+        pipeline, and trivially for an empty one); callers pass that
+        straight to :meth:`finish_launch`, which then costs one
+        ``is None`` check.  A raising pre hook (validation, injected
+        drop) propagates before anything is recorded.
+        """
+        launchless = self._launchless
+        if launchless is not None:
+            for fn in launchless:
+                fn(context, api, opcode, a, b, c, validate_inputs)
+            return None
+        launch = Launch(
+            context,
+            api,
+            opcode,
+            a,
+            b,
+            c,
+            validate_inputs=validate_inputs,
+            degenerate=degenerate,
+            cache_hit=cache_hit,
+            optimizer_removed=optimizer_removed,
+        )
+        for hook in self._pre_execute:
+            hook.pre_execute(launch)
+        return launch
+
+    def finish_launch(
+        self,
+        launch: "Launch | None",
+        result: "np.ndarray",
+        stats: "KernelStats",
+        wall_time_s: float,
+    ) -> "np.ndarray":
+        """Close one launch: fire ``post_execute`` and return the (possibly
+        hook-replaced) result."""
+        if launch is None:
+            return result
+        launch.result = result
+        launch.stats = stats
+        launch.wall_time_s = wall_time_s
+        for hook in self._post_execute:
+            hook.post_execute(launch)
+        return launch.result
+
+    # ------------------------------------------------------------------
+    # event channel
+    # ------------------------------------------------------------------
+    @property
+    def wants_events(self) -> bool:
+        """Whether anything listens on ``on_event`` (guards event building)."""
+        return bool(self._on_event)
+
+    def emit(self, context: "ExecutionContext", event: "ResilienceEvent") -> None:
+        for hook in self._on_event:
+            hook.on_event(context, event)
+
+    # ------------------------------------------------------------------
+    def __bool__(self) -> bool:
+        return bool(self.hooks)
+
+    def __len__(self) -> int:
+        return len(self.hooks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(h.name or type(h).__name__ for h in self.hooks)
+        return f"HookPipeline([{names}])"
+
+
+#: The shared no-op pipeline (zero hooks, zero per-launch cost).
+EMPTY_PIPELINE = HookPipeline()
+
+
+def build_pipeline(context: "ExecutionContext") -> HookPipeline:
+    """Assemble the pipeline a context's fields imply.
+
+    Built-in order (also the firing order at every point): validation →
+    fault (only when ``context.fault_plan`` is set) → trace (only when
+    ``context.trace`` is set) → the context's custom ``hooks`` (instances
+    or registry names, see :func:`repro.hooks.register_hook`).
+    """
+    from repro.hooks.builtin import FAULT_HOOK, TRACE_HOOK, VALIDATION_HOOK
+    from repro.hooks.registry import resolve_hook
+
+    hooks: list[Hook] = [VALIDATION_HOOK]
+    if context.fault_plan is not None:
+        hooks.append(FAULT_HOOK)
+    if context.trace is not None:
+        hooks.append(TRACE_HOOK)
+    for spec in getattr(context, "hooks", ()):
+        hooks.append(resolve_hook(spec))
+    return HookPipeline(hooks)
+
+
+def emit_event(
+    context: "ExecutionContext",
+    *,
+    kind: str,
+    api: str,
+    detail: str,
+    backend: str | None = None,
+    attempt: int = 0,
+    device_index: int | None = None,
+    launch_ordinal: int | None = None,
+) -> None:
+    """Emit one :class:`~repro.runtime.trace.ResilienceEvent` through the
+    context's ``on_event`` channel.
+
+    This is the single seam the resilience layer (fault plans, retry and
+    fallback policies, ABFT verification, watchdogs, the multi-device
+    partitioner) reports occurrences through; ``TraceHook`` forwards the
+    events to the context's :class:`~repro.runtime.trace.Trace`, exactly
+    where ``trace.record_event`` calls used to put them.  Free when no
+    hook listens — the event object is never constructed.
+
+    ``backend`` defaults to the context's backend; recovery paths that
+    attempt a *different* backend (fallback chains) pass it explicitly.
+    """
+    pipeline = context.pipeline
+    if not pipeline._on_event:
+        return
+    from repro.runtime.trace import ResilienceEvent
+
+    pipeline.emit(
+        context,
+        ResilienceEvent(
+            kind=kind,
+            api=api,
+            backend=backend if backend is not None else context.backend,
+            detail=detail,
+            attempt=attempt,
+            device_index=device_index,
+            launch_ordinal=launch_ordinal,
+        ),
+    )

@@ -1,0 +1,88 @@
+"""Name → hook-class registry (the self-registering component idiom).
+
+Mirrors :mod:`repro.backends.base`: hook classes register themselves with
+the :func:`register_hook` decorator at definition time, and anything that
+needs a hook by name (configuration files, the serving tier's per-tenant
+context assembly, CLI flags) resolves it with :func:`get_hook` /
+:func:`resolve_hook`.  The built-in hooks live in
+:mod:`repro.hooks.builtin` and are registered on first use.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, TypeVar, overload
+
+from repro.runtime.api import RuntimeError_
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hooks.pipeline import Hook
+
+__all__ = ["HookError", "get_hook", "list_hooks", "register_hook", "resolve_hook"]
+
+
+class HookError(RuntimeError_):
+    """Unknown hook name or conflicting registration."""
+
+
+_REGISTRY: "dict[str, type[Hook]]" = {}
+
+H = TypeVar("H")
+
+
+@overload
+def register_hook(cls: type[H]) -> type[H]: ...
+@overload
+def register_hook(
+    *, name: str | None = None, replace: bool = False
+) -> "Callable[[type[H]], type[H]]": ...
+
+
+def register_hook(cls=None, *, name=None, replace=False):
+    """Class decorator: register a :class:`~repro.hooks.pipeline.Hook` type.
+
+    Usable bare (``@register_hook``, name taken from the class's ``name``
+    attribute or class name) or with arguments
+    (``@register_hook(name="trace")``).  Re-registering an existing name
+    requires ``replace=True`` so typos fail loudly.
+    """
+
+    def apply(hook_cls):
+        hook_name = name or getattr(hook_cls, "name", "") or hook_cls.__name__
+        existing = _REGISTRY.get(hook_name)
+        if existing is not None and existing is not hook_cls and not replace:
+            raise HookError(
+                f"hook {hook_name!r} already registered to "
+                f"{existing.__name__}; pass replace=True to override"
+            )
+        hook_cls.name = hook_name
+        _REGISTRY[hook_name] = hook_cls
+        return hook_cls
+
+    return apply(cls) if cls is not None else apply
+
+
+def _ensure_builtins() -> None:
+    import repro.hooks.builtin  # noqa: F401 - registers on import
+
+
+def get_hook(name: str) -> "type[Hook]":
+    """The registered hook class for ``name`` (raises :class:`HookError`)."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise HookError(f"unknown hook {name!r}; registered: {known}") from None
+
+
+def list_hooks() -> "tuple[str, ...]":
+    """Registered hook names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_hook(spec: "Hook | str") -> "Hook":
+    """A hook *instance* from an instance (passed through) or registry name."""
+    if isinstance(spec, str):
+        return get_hook(spec)()
+    return spec

@@ -312,16 +312,14 @@ class CheckedLaunch:
         """Verify a result against precomputed checksums; raise on mismatch."""
         report = sums.verify(result)
         if not report.ok:
-            if context is not None and context.trace is not None:
-                from repro.runtime.trace import ResilienceEvent
+            if context is not None:
+                from repro.hooks.pipeline import emit_event
 
-                context.trace.record_event(
-                    ResilienceEvent(
-                        kind="corruption_detected",
-                        api=api,
-                        backend=context.backend,
-                        detail=report.describe(),
-                    )
+                emit_event(
+                    context,
+                    kind="corruption_detected",
+                    api=api,
+                    detail=report.describe(),
                 )
             raise CorruptionDetected(report)
         return report

@@ -121,6 +121,9 @@ def resilient_closure(
 
     for _ in range(limit):
         operand = current if method == "leyzorek" else base
+        # In-loop launches skip ring-input validation: iterates may carry
+        # NaN/±inf legitimately (fault studies, NaN fixpoints) — the
+        # watchdog and ABFT checksums own in-loop poison detection.
         if devices is not None:
             updated, share_list = mmo_tiled_multi_device(
                 ring, current, operand, current,
@@ -128,6 +131,7 @@ def resilient_closure(
                 checked=checked, retry=retry,
                 on_device_failure=on_device_failure,
                 blacklist=blacklist, rtol=rtol, atol=atol,
+                validate_inputs=False,
             )
             shares = tuple(share_list)
         else:
@@ -135,7 +139,7 @@ def resilient_closure(
                 ring, current, operand, current,
                 context=ctx, retry=retry, fallback=fallback,
                 checked=checked, rtol=rtol, atol=atol,
-                api="resilient_closure",
+                api="resilient_closure", validate_inputs=False,
             )
         mmo_calls += 1
         iterations += 1
@@ -143,17 +147,14 @@ def resilient_closure(
             diagnostics = guard.observe(updated, current, iterations)
             if diagnostics is not None:
                 current = updated
-                if ctx.trace is not None:
-                    from repro.runtime.trace import ResilienceEvent
+                from repro.hooks.pipeline import emit_event
 
-                    ctx.trace.record_event(
-                        ResilienceEvent(
-                            kind="watchdog",
-                            api="resilient_closure",
-                            backend=ctx.backend,
-                            detail=diagnostics.describe(),
-                        )
-                    )
+                emit_event(
+                    ctx,
+                    kind="watchdog",
+                    api="resilient_closure",
+                    detail=diagnostics.describe(),
+                )
                 break
         if convergence_check and matrices_equal(updated, current):
             current = updated

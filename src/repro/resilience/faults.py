@@ -19,8 +19,9 @@ backend ran — so the same plan corrupts all three backends identically:
 Launches are numbered by one monotone ordinal per plan (the plan is
 mutable even though the context is frozen), so "corrupt launch 3" means
 the same launch on every run — and a retry, which advances the ordinal,
-deterministically escapes a transient fault.  Every injection records a
-:class:`~repro.runtime.trace.ResilienceEvent` on the context's trace.
+deterministically escapes a transient fault.  Every injection emits a
+:class:`~repro.runtime.trace.ResilienceEvent` through the context hook
+pipeline's ``on_event`` channel (landing on the trace via ``TraceHook``).
 """
 
 from __future__ import annotations
@@ -31,6 +32,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping
 
 import numpy as np
 
+from repro.hooks.pipeline import emit_event
 from repro.runtime.api import RuntimeError_
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -149,7 +151,7 @@ class FaultPlan:
             self._next_ordinal += 1
         if ordinal in self.drop:
             self.injected_drops += 1
-            _record_event(
+            emit_event(
                 context, kind="fault_injected", api=api,
                 detail=f"launch {ordinal} dropped", launch_ordinal=ordinal,
             )
@@ -168,7 +170,7 @@ class FaultPlan:
             rng = np.random.default_rng((self.seed, ordinal, index))
             detail = _apply_spec(corrupted, spec, rng)
             self.injected_corruptions += 1
-            _record_event(
+            emit_event(
                 context, kind="fault_injected", api=api,
                 detail=f"launch {ordinal}: {detail}", launch_ordinal=ordinal,
             )
@@ -182,7 +184,7 @@ class FaultPlan:
         self, context: "ExecutionContext", api: str, device_index: int
     ) -> None:
         self.injected_device_failures += 1
-        _record_event(
+        emit_event(
             context, kind="fault_injected", api=api,
             detail=f"device {device_index} hard failure",
             device_index=device_index,
@@ -243,28 +245,3 @@ def _apply_spec(out: np.ndarray, spec: FaultSpec, rng: np.random.Generator) -> s
     bit = int(rng.integers(0, 23))  # mantissa bits: loud but finite
     flat[i, j] ^= np.uint32(1 << bit)
     return f"bit {bit} flipped at ({i},{j}) in tile ({ti},{tj})"
-
-
-def _record_event(
-    context: "ExecutionContext",
-    *,
-    kind: str,
-    api: str,
-    detail: str,
-    device_index: int | None = None,
-    launch_ordinal: int | None = None,
-) -> None:
-    if context.trace is None:
-        return
-    from repro.runtime.trace import ResilienceEvent
-
-    context.trace.record_event(
-        ResilienceEvent(
-            kind=kind,
-            api=api,
-            backend=context.backend,
-            detail=detail,
-            device_index=device_index,
-            launch_ordinal=launch_ordinal,
-        )
-    )

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.hooks.pipeline import emit_event
 from repro.hw.errors import HardwareError
 from repro.resilience.checksum import CheckedLaunch, CorruptionDetected, mmo_checksums
 from repro.resilience.faults import DeviceFailure, InjectedFault, ResilienceError
@@ -123,26 +124,6 @@ class FallbackChain:
         return isinstance(exc, self.fallback_on)
 
 
-def _record_event(
-    context: "ExecutionContext",
-    *,
-    kind: str,
-    api: str,
-    backend: str,
-    detail: str,
-    attempt: int = 0,
-) -> None:
-    if context.trace is None:
-        return
-    from repro.runtime.trace import ResilienceEvent
-
-    context.trace.record_event(
-        ResilienceEvent(
-            kind=kind, api=api, backend=backend, detail=detail, attempt=attempt
-        )
-    )
-
-
 def resilient_mmo(
     ring: "Semiring | str | MmoOpcode",
     a: np.ndarray,
@@ -156,6 +137,7 @@ def resilient_mmo(
     rtol: float = 1e-4,
     atol: float = 1e-6,
     api: str = "resilient_mmo",
+    validate_inputs: bool = True,
 ) -> "tuple[np.ndarray, KernelStats]":
     """``mmo_tiled`` with ABFT verification, retries, and backend fallback.
 
@@ -186,7 +168,7 @@ def resilient_mmo(
     for backend_name in fallback.plan(ctx.backend):
         attempt_ctx = ctx.replace(backend=backend_name)
         if backend_name != ctx.backend:
-            _record_event(
+            emit_event(
                 ctx, kind="fallback", api=api, backend=backend_name,
                 detail=f"degrading {causes[-1][0]} -> {backend_name}: "
                        f"{causes[-1][1]}",
@@ -195,7 +177,8 @@ def resilient_mmo(
         for attempt in range(retry.max_attempts):
             try:
                 result, stats = mmo_tiled(
-                    opcode, a, b, c, context=attempt_ctx, api=api
+                    opcode, a, b, c, context=attempt_ctx, api=api,
+                    validate_inputs=validate_inputs,
                 )
                 if checker is not None and sums is not None:
                     checker.verify(sums, result, context=attempt_ctx, api=api)
@@ -203,7 +186,7 @@ def resilient_mmo(
             except Exception as exc:  # noqa: BLE001 - classified below
                 last = exc
                 if retry.should_retry(exc, attempt):
-                    _record_event(
+                    emit_event(
                         ctx, kind="retry", api=api, backend=backend_name,
                         detail=f"attempt {attempt + 1} failed: {exc}",
                         attempt=attempt + 1,

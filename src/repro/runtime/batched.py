@@ -14,7 +14,7 @@ import dataclasses
 
 import numpy as np
 
-from repro.compile.lower import compile_mmo, resolve_opcode
+from repro.compile.lower import resolve_opcode
 from repro.core.registry import get_semiring
 from repro.core.semiring import Semiring
 from repro.hw.device import Simd2Device
@@ -24,6 +24,7 @@ from repro.runtime.context import ExecutionContext, resolve_context
 from repro.runtime.kernels import (
     KernelStats,
     _validate_ring_inputs,
+    compile_in_context,
     execute_compiled,
     mmo_tiled,
 )
@@ -77,11 +78,15 @@ def batched_mmo(
     backend: str | None = None,
     device: Simd2Device | None = None,
     context: ExecutionContext | None = None,
+    validate_inputs: bool = True,
 ) -> tuple[np.ndarray, BatchStats]:
     """``D[i] = C[i] ⊕ (A[i] ⊗ B[i])`` with batch broadcasting.
 
     ``a``/``b``/``c`` may be 3-D stacks ``(batch, rows, cols)`` or single
-    2-D matrices (broadcast across the batch).  Returns the stacked result
+    2-D matrices (broadcast across the batch).  Ring-input poison
+    validation runs once over the whole stack up front (disabled on the
+    per-item launches); ``validate_inputs=False`` opts out, as on
+    :func:`~repro.runtime.kernels.mmo_tiled`.  Returns the stacked result
     and per-item kernel statistics.
     """
     if isinstance(ring, MmoOpcode):
@@ -115,8 +120,10 @@ def batched_mmo(
         c3, _ = _as_batched("C", c, batch)
     # One up-front poison check over the whole stack: NaN (and the
     # oppositely-signed infinity on min-plus/max-plus) fails here naming
-    # the operand, not deep inside batch item 17.
-    _validate_ring_inputs(ring, a3, b3, c3)
+    # the operand, not deep inside batch item 17.  Per-item launches skip
+    # the check — one scan, not one per batch element.
+    if validate_inputs:
+        _validate_ring_inputs(ring, a3, b3, c3)
 
     def pick(stack: np.ndarray, index: int) -> np.ndarray:
         return stack[0] if stack.shape[0] == 1 else stack[index]
@@ -139,8 +146,9 @@ def batched_mmo(
     )
     if shapes_ok and m > 0 and n > 0 and callable(getattr(impl, "compile", None)):
         opcode = resolve_opcode(ring)
-        compiled, first_hit = compile_mmo(
-            impl, opcode, m, n, k, has_accumulator=c3 is not None, context=ctx
+        compiled, first_hit = compile_in_context(
+            ctx, impl, opcode, m, n, k,
+            has_accumulator=c3 is not None, api="batched_mmo",
         )
 
     outputs = []
@@ -152,11 +160,12 @@ def batched_mmo(
                 compiled, pick(a3, index), pick(b3, index), c_item,
                 context=ctx, api="batched_mmo",
                 cache_hit=first_hit if index == 0 else True,
+                validate_inputs=False,
             )
         else:
             result, stats = mmo_tiled(
                 ring, pick(a3, index), pick(b3, index), c_item,
-                context=ctx, api="batched_mmo",
+                context=ctx, api="batched_mmo", validate_inputs=False,
             )
         outputs.append(result)
         stats_list.append(stats)

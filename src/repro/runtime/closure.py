@@ -26,12 +26,18 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.compile.lower import compile_mmo, resolve_opcode
+from repro.compile.lower import resolve_opcode
 from repro.core.registry import get_semiring
 from repro.core.semiring import Semiring, SemiringError
+from repro.hooks.pipeline import emit_event
 from repro.hw.device import Simd2Device
 from repro.runtime.context import ExecutionContext, resolve_context
-from repro.runtime.kernels import KernelStats, execute_compiled, mmo_tiled
+from repro.runtime.kernels import (
+    KernelStats,
+    compile_in_context,
+    execute_compiled,
+    mmo_tiled,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.watchdog import ClosureDiagnostics, ClosureWatchdog
@@ -99,6 +105,7 @@ def closure(
     device: Simd2Device | None = None,
     context: ExecutionContext | None = None,
     watchdog: "bool | ClosureWatchdog" = False,
+    validate_inputs: bool = False,
 ) -> ClosureResult:
     """Iterate ``D ← D ⊕ (D ⊗ X)`` to a fixpoint under ``ring``.
 
@@ -133,6 +140,13 @@ def closure(
         terminates with the structured diagnosis on
         ``ClosureResult.diagnostics`` (and a ``watchdog`` trace event)
         instead of burning the iteration cap.
+    validate_inputs:
+        Closures legitimately iterate non-finite state — ``±inf`` "no
+        edge" entries are data, and a NaN fixpoint must still converge —
+        so per-iteration ring-input validation is **off** by default
+        (the watchdog is the in-loop poison detector).  Pass ``True`` to
+        reject a NaN / oppositely-signed-inf *initial* adjacency on the
+        first launch before iterating.
 
     Returns
     -------
@@ -186,21 +200,27 @@ def closure(
     first_hit: bool | None = None
     if n > 0 and callable(getattr(impl, "compile", None)):
         opcode = resolve_opcode(ring)
-        compiled, first_hit = compile_mmo(
-            impl, opcode, n, n, n, has_accumulator=True, context=ctx
+        compiled, first_hit = compile_in_context(
+            ctx, impl, opcode, n, n, n, has_accumulator=True, api="closure"
         )
 
     for _ in range(limit):
         operand = current if method == "leyzorek" else base
+        # Only the first launch sees the caller's validate_inputs choice;
+        # replays iterate whatever the ring produced (NaN fixpoints and
+        # injected faults included — the watchdog owns in-loop detection).
+        validate = validate_inputs and iterations == 0
         if compiled is not None:
             updated, stats = execute_compiled(
                 compiled, current, operand, current,
                 context=ctx, api="closure",
                 cache_hit=first_hit if iterations == 0 else True,
+                validate_inputs=validate,
             )
         else:
             updated, stats = mmo_tiled(
-                ring, current, operand, current, context=ctx, api="closure"
+                ring, current, operand, current,
+                context=ctx, api="closure", validate_inputs=validate,
             )
         all_stats.append(stats)
         iterations += 1
@@ -208,17 +228,12 @@ def closure(
             diagnostics = guard.observe(updated, current, iterations)
             if diagnostics is not None:
                 current = updated
-                if ctx.trace is not None:
-                    from repro.runtime.trace import ResilienceEvent
-
-                    ctx.trace.record_event(
-                        ResilienceEvent(
-                            kind="watchdog",
-                            api="closure",
-                            backend=ctx.backend,
-                            detail=diagnostics.describe(),
-                        )
-                    )
+                emit_event(
+                    ctx,
+                    kind="watchdog",
+                    api="closure",
+                    detail=diagnostics.describe(),
+                )
                 break
         if convergence_check:
             checks += 1

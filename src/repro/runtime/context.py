@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.compile.cache import PlanCache
+    from repro.hooks.pipeline import Hook, HookPipeline
     from repro.hw.device import Simd2Device
     from repro.resilience.faults import FaultPlan
     from repro.runtime.trace import Trace
@@ -74,6 +75,12 @@ class ExecutionContext:
         launches are dropped or their outputs corrupted deterministically,
         and the multi-device partitioner hard-fails the planned devices.
         ``None`` (the default) injects nothing and costs nothing.
+    hooks:
+        Custom :class:`~repro.hooks.pipeline.Hook` instances (or registry
+        names, see :func:`repro.hooks.register_hook`) appended to the
+        built-in pipeline.  The built-in trace/fault/validation hooks are
+        implied by the ``trace``/``fault_plan`` fields and need not be
+        listed here.
     """
 
     backend: str = "vectorized"
@@ -82,10 +89,30 @@ class ExecutionContext:
     trace: "Trace | None" = None
     plan_cache: "PlanCache | None" = None
     fault_plan: "FaultPlan | None" = None
+    hooks: "tuple[Hook | str, ...]" = ()
 
     def replace(self, **overrides) -> "ExecutionContext":
         """A copy with the given fields replaced (context is immutable)."""
         return dataclasses.replace(self, **overrides)
+
+    @property
+    def pipeline(self) -> "HookPipeline":
+        """The lifecycle hook pipeline this context's fields imply.
+
+        Assembled lazily on first access and cached on the instance (the
+        dataclass is frozen but not slotted, so ``object.__setattr__``
+        can stash the derived pipeline without widening the equality or
+        hash contract — ``__eq__``/``__hash__`` only see declared
+        fields).  Every runtime entry point dispatches through this one
+        pipeline instead of hand-threading trace/fault/validation.
+        """
+        pipe = self.__dict__.get("_pipeline")
+        if pipe is None:
+            from repro.hooks.pipeline import build_pipeline
+
+            pipe = build_pipeline(self)
+            object.__setattr__(self, "_pipeline", pipe)
+        return pipe
 
 
 #: Ambient context; ``None`` means "nothing installed, use the fallback".
@@ -118,6 +145,7 @@ def resolve_context(
     trace: "Trace | None" = None,
     plan_cache: "PlanCache | None" = None,
     fault_plan: "FaultPlan | None" = None,
+    hooks: "tuple[Hook | str, ...] | None" = None,
 ) -> ExecutionContext:
     """Fold legacy keywords over a base context and validate the backend.
 
@@ -140,6 +168,8 @@ def resolve_context(
         overrides["plan_cache"] = plan_cache
     if fault_plan is not None:
         overrides["fault_plan"] = fault_plan
+    if hooks is not None:
+        overrides["hooks"] = tuple(hooks)
     if overrides:
         resolved = dataclasses.replace(resolved, **overrides)
     _validate_backend(resolved.backend)

@@ -16,13 +16,18 @@ import dataclasses
 
 import numpy as np
 
-from repro.compile.lower import compile_mmo, resolve_opcode
+from repro.compile.lower import resolve_opcode
 from repro.core.registry import get_semiring
 from repro.core.semiring import Semiring, SemiringError
 from repro.hw.device import Simd2Device
 from repro.runtime.closure import max_iterations_for
 from repro.runtime.context import ExecutionContext, resolve_context
-from repro.runtime.kernels import KernelStats, execute_compiled, mmo_tiled
+from repro.runtime.kernels import (
+    KernelStats,
+    compile_in_context,
+    execute_compiled,
+    mmo_tiled,
+)
 
 __all__ = ["HostEvent", "HostClosureOutcome", "HostRuntime"]
 
@@ -163,22 +168,26 @@ class HostRuntime:
         compiled = None
         first_hit: bool | None = None
         if n > 0 and callable(getattr(impl, "compile", None)):
-            compiled, first_hit = compile_mmo(
-                impl, resolve_opcode(ring), n, n, n,
-                has_accumulator=True, context=self.context,
+            compiled, first_hit = compile_in_context(
+                self.context, impl, resolve_opcode(ring), n, n, n,
+                has_accumulator=True, api="closure",
             )
 
         for _ in range(limit):
             operand = dist if method == "leyzorek" else base
+            # Closure iterates non-finite state legitimately (see
+            # repro.runtime.closure): per-iteration validation stays off.
             if compiled is not None:
                 delta, stats = execute_compiled(
                     compiled, dist, operand, dist,
                     context=self.context, api="closure",
                     cache_hit=first_hit if iterations == 0 else True,
+                    validate_inputs=False,
                 )
             else:
                 delta, stats = mmo_tiled(
-                    ring, dist, operand, dist, context=self.context, api="closure"
+                    ring, dist, operand, dist,
+                    context=self.context, api="closure", validate_inputs=False,
                 )
             all_stats.append(stats)
             self._log("mmo_launch", f"{ring.name} closure step {iterations}")

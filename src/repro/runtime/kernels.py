@@ -26,11 +26,16 @@ which is exactly the cross-validation the paper's framework performs.
 
 This module owns the *dispatch seam*: shape validation, backend
 resolution through the :class:`~repro.runtime.context.ExecutionContext`,
-cached compilation, and per-launch trace recording (including whether the
-plan cache hit and what the optimiser removed).  Loop-shaped entry points
-(:func:`~repro.runtime.closure.closure`, batched, split-k, multi-device,
-:class:`~repro.runtime.host.HostRuntime`) compile once up front and
-replay the artifact per iteration via :func:`execute_compiled`.
+and cached compilation.  Every cross-cutting per-launch concern — input
+validation, fault injection, trace recording (including whether the plan
+cache hit and what the optimiser removed) — runs through the context's
+:class:`~repro.hooks.pipeline.HookPipeline`: the compile step is
+bracketed by ``pre_compile``/``post_compile`` hooks and the backend call
+by ``pre_execute``/``post_execute`` hooks, identically on the
+:func:`mmo_tiled` and :func:`execute_compiled` paths.  Loop-shaped entry
+points (:func:`~repro.runtime.closure.closure`, batched, split-k,
+multi-device, :class:`~repro.runtime.host.HostRuntime`) compile once up
+front and replay the artifact per iteration via :func:`execute_compiled`.
 """
 
 from __future__ import annotations
@@ -61,6 +66,7 @@ __all__ = [
     "KernelStats",
     "OperandValidationError",
     "build_tile_mmo_program",
+    "compile_in_context",
     "execute_compiled",
     "mmo_tiled",
     "mmo_tiled_split_k",
@@ -128,37 +134,32 @@ class KernelStats:
         return self.mmo_instructions * (TILE // 4) ** 3
 
 
-def _record_launch(
-    context: ExecutionContext,
-    api: str,
+def compile_in_context(
+    ctx: ExecutionContext,
+    impl: "Backend",
     opcode: MmoOpcode,
-    stats: KernelStats,
-    wall_time_s: float,
+    m: int,
+    n: int,
+    k: int,
     *,
-    cache_hit: bool | None = None,
-    optimizer_removed: int = 0,
-) -> None:
-    """Append one LaunchRecord to the context's trace sink."""
-    from repro.runtime.trace import LaunchRecord
-    from repro.timing.cycles import kernel_cycle_estimate  # lazy: cycles imports us
+    has_accumulator: bool,
+    api: str = "mmo_tiled",
+) -> "tuple[CompiledMmo, bool]":
+    """Compile (or replay from the plan cache) through the hook pipeline.
 
-    semiring = opcode.semiring
-    cycles = kernel_cycle_estimate(stats, boolean=semiring.is_boolean()).total
-    context.trace.record(
-        LaunchRecord(
-            api=api,
-            backend=context.backend,
-            ring=semiring.name,
-            opcode=opcode.name,
-            shape=(stats.m, stats.n, stats.k),
-            tiles=(stats.tiles_m, stats.tiles_n, stats.tiles_k),
-            wall_time_s=wall_time_s,
-            kernel_stats=stats,
-            cycle_estimate=cycles,
-            cache_hit=cache_hit,
-            optimizer_removed=optimizer_removed,
-        )
+    The single compile seam: :func:`~repro.compile.lower.compile_mmo`
+    bracketed by the pipeline's ``pre_compile``/``post_compile`` hooks.
+    Loop entry points that compile once up front use this too, so compile
+    observers (cache metering, the future autotuner) see every lowering
+    regardless of which entry point requested it.
+    """
+    pipeline = ctx.pipeline
+    pipeline.pre_compile(ctx, api, opcode, m, n, k, has_accumulator)
+    compiled, cache_hit = compile_mmo(
+        impl, opcode, m, n, k, has_accumulator=has_accumulator, context=ctx
     )
+    pipeline.post_compile(ctx, api, compiled, cache_hit)
+    return compiled, cache_hit
 
 
 def _validate_operands(
@@ -225,26 +226,6 @@ def _validate_ring_inputs(
                 )
 
 
-def _fault_begin(context: ExecutionContext, api: str) -> int | None:
-    """Claim a launch ordinal from the context's fault plan, if any.
-
-    Raises :class:`~repro.resilience.faults.InjectedFault` when the plan
-    drops this launch — the loud-fault half of the injection seam.
-    """
-    if context.fault_plan is None:
-        return None
-    return context.fault_plan.begin_launch(context, api)
-
-
-def _fault_corrupt(
-    context: ExecutionContext, api: str, ordinal: int | None, result: np.ndarray
-) -> np.ndarray:
-    """Apply the fault plan's scheduled output corruption, if any."""
-    if ordinal is None or context.fault_plan is None:
-        return result
-    return context.fault_plan.corrupt_output(ordinal, result, context, api)
-
-
 def _degenerate_result(
     semiring: Semiring, m: int, n: int, k: int, c: np.ndarray | None
 ) -> tuple[np.ndarray, KernelStats]:
@@ -275,15 +256,23 @@ def execute_compiled(
     context: ExecutionContext,
     api: str = "mmo_tiled",
     cache_hit: bool | None = True,
+    validate_inputs: bool = True,
 ) -> tuple[np.ndarray, KernelStats]:
     """Replay a compiled artifact against fresh operands.
 
     This is the execute half of the split, used by loop-shaped entry
     points (closure iteration, batched launches, multi-device bands) that
     compile once up front: operands are validated against the artifact's
-    operand-shape spec, the context's backend executes the artifact, and
-    the launch is recorded with ``cache_hit`` (callers pass the compile
-    call's hit flag for the first iteration and ``True`` for replays).
+    operand-shape spec, the context's hook pipeline brackets the backend
+    call (ring-input validation, fault injection, trace recording — the
+    same hooks, in the same order, as :func:`mmo_tiled`), and the launch
+    is recorded with ``cache_hit`` (callers pass the compile call's hit
+    flag for the first iteration and ``True`` for replays).
+
+    ``validate_inputs=False`` opts out of ring-input poison validation,
+    exactly as on :func:`mmo_tiled` — loop entry points that deliberately
+    iterate non-finite state (NaN fixpoints, fault studies) validate once
+    up front, or not at all, and disable the per-replay check.
 
     The context must already be resolved (backend validated); the backend
     must implement ``execute``.
@@ -292,26 +281,27 @@ def execute_compiled(
 
     a, b, c, m, n, k = _validate_operands(a, b, c)
     opcode = compiled.opcode
+    pipeline = context.pipeline
     if m == 0 or n == 0:
+        launch = pipeline.begin_launch(
+            context, api, opcode, a, b, c,
+            validate_inputs=validate_inputs, degenerate=True,
+        )
         empty, stats = _degenerate_result(opcode.semiring, m, n, k, c)
-        if context.trace is not None:
-            _record_launch(context, api, opcode, stats, 0.0)
-        return empty, stats
+        return pipeline.finish_launch(launch, empty, stats, 0.0), stats
     compiled.validate_operands(m, n, k, has_accumulator=c is not None)
     impl = get_backend(context.backend)
 
-    ordinal = _fault_begin(context, api)
+    launch = pipeline.begin_launch(
+        context, api, opcode, a, b, c,
+        validate_inputs=validate_inputs,
+        cache_hit=cache_hit,
+        optimizer_removed=compiled.optimizer_removed,
+    )
     start = time.perf_counter()
     result, stats = impl.execute(compiled, a, b, c, context=context)
     elapsed = time.perf_counter() - start
-    result = _fault_corrupt(context, api, ordinal, result)
-    if context.trace is not None:
-        _record_launch(
-            context, api, opcode, stats, elapsed,
-            cache_hit=cache_hit,
-            optimizer_removed=compiled.optimizer_removed,
-        )
-    return result, stats
+    return pipeline.finish_launch(launch, result, stats, elapsed), stats
 
 
 def mmo_tiled(
@@ -363,8 +353,6 @@ def mmo_tiled(
     opcode = resolve_opcode(ring)
     semiring = opcode.semiring
     a, b, c, m, n, k = _validate_operands(a, b, c)
-    if validate_inputs:
-        _validate_ring_inputs(semiring, a, b, c)
 
     # Resolve + validate the backend once, up front — even for degenerate
     # shapes, so a typo fails identically on every input.
@@ -372,39 +360,39 @@ def mmo_tiled(
     from repro.backends.base import get_backend  # lazy: backends import us
 
     impl = get_backend(ctx.backend)
+    pipeline = ctx.pipeline
 
     if m == 0 or n == 0:
+        launch = pipeline.begin_launch(
+            ctx, api, opcode, a, b, c,
+            validate_inputs=validate_inputs, degenerate=True,
+        )
         empty, stats = _degenerate_result(semiring, m, n, k, c)
-        if ctx.trace is not None:
-            _record_launch(ctx, api, opcode, stats, 0.0)
-        return empty, stats
+        return pipeline.finish_launch(launch, empty, stats, 0.0), stats
 
     if _supports_compile(impl):
-        compiled, hit = compile_mmo(
-            impl, opcode, m, n, k, has_accumulator=c is not None, context=ctx
+        compiled, hit = compile_in_context(
+            ctx, impl, opcode, m, n, k, has_accumulator=c is not None, api=api
         )
-        ordinal = _fault_begin(ctx, api)
+        launch = pipeline.begin_launch(
+            ctx, api, opcode, a, b, c,
+            validate_inputs=validate_inputs,
+            cache_hit=hit,
+            optimizer_removed=compiled.optimizer_removed,
+        )
         start = time.perf_counter()
         result, stats = impl.execute(compiled, a, b, c, context=ctx)
         elapsed = time.perf_counter() - start
-        result = _fault_corrupt(ctx, api, ordinal, result)
-        if ctx.trace is not None:
-            _record_launch(
-                ctx, api, opcode, stats, elapsed,
-                cache_hit=hit,
-                optimizer_removed=compiled.optimizer_removed,
-            )
-        return result, stats
+        return pipeline.finish_launch(launch, result, stats, elapsed), stats
 
     # Legacy single-shot path: backends registered with only run_mmo.
-    ordinal = _fault_begin(ctx, api)
+    launch = pipeline.begin_launch(
+        ctx, api, opcode, a, b, c, validate_inputs=validate_inputs
+    )
     start = time.perf_counter()
     result, stats = impl.run_mmo(opcode, a, b, c, context=ctx)
     elapsed = time.perf_counter() - start
-    result = _fault_corrupt(ctx, api, ordinal, result)
-    if ctx.trace is not None:
-        _record_launch(ctx, api, opcode, stats, elapsed)
-    return result, stats
+    return pipeline.finish_launch(launch, result, stats, elapsed), stats
 
 
 def mmo_tiled_split_k(
@@ -417,6 +405,7 @@ def mmo_tiled_split_k(
     backend: str | None = None,
     device: Simd2Device | None = None,
     context: ExecutionContext | None = None,
+    validate_inputs: bool = True,
 ) -> tuple[np.ndarray, list[KernelStats]]:
     """Split-k scheduling: partition the inner dimension across kernels.
 
@@ -426,7 +415,11 @@ def mmo_tiled_split_k(
     ⊕ is associative and commutative (the same property the reduction tree
     relies on).  The accumulator ``C`` is folded in exactly once, and its
     shape is validated up front so a bad ``C`` fails before any kernel
-    runs (exactly like :func:`mmo_tiled`).
+    runs (exactly like :func:`mmo_tiled`).  Ring-input poison validation
+    likewise runs **once** over the full operands up front (one scan, not
+    one per split) and is disabled on the per-split launches; pass
+    ``validate_inputs=False`` to opt out entirely, as on
+    :func:`mmo_tiled`.
 
     Zero-width partitions (possible when integer bounds repeat, e.g. for
     ``k == 0``) are skipped rather than launched as ``k = 0`` kernels;
@@ -441,6 +434,8 @@ def mmo_tiled_split_k(
     if splits <= 0:
         raise RuntimeError_(f"splits must be positive, got {splits}")
     a, b, c, m, n, k = _validate_operands(a, b, c)
+    if validate_inputs:
+        _validate_ring_inputs(semiring, a, b, c)
     if c is not None:
         c = np.asarray(c, dtype=semiring.output_dtype)
     splits = min(splits, k) if k else 1
@@ -455,7 +450,7 @@ def mmo_tiled_split_k(
             continue
         partial, stats = mmo_tiled(
             opcode, a[:, lo:hi], b[lo:hi, :], None,
-            context=ctx, api="mmo_tiled_split_k",
+            context=ctx, api="mmo_tiled_split_k", validate_inputs=False,
         )
         partials.append(partial)
         stats_list.append(stats)
@@ -463,7 +458,8 @@ def mmo_tiled_split_k(
     if not partials:
         # Every partition was empty (k == 0): one degenerate launch.
         partial, stats = mmo_tiled(
-            opcode, a, b, None, context=ctx, api="mmo_tiled_split_k"
+            opcode, a, b, None,
+            context=ctx, api="mmo_tiled_split_k", validate_inputs=False,
         )
         partials.append(partial)
         stats_list.append(stats)

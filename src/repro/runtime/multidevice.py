@@ -37,16 +37,24 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.compile.artifact import grid_for
-from repro.compile.lower import compile_mmo, resolve_opcode
+from repro.compile.lower import resolve_opcode
 from repro.core.registry import get_semiring
 from repro.core.semiring import Semiring
 from repro.core.tiles import TILE, ceil_div
+from repro.hooks.pipeline import emit_event
 from repro.hw.device import Simd2Device
 from repro.hw.errors import HardwareError
 from repro.isa.opcodes import MmoOpcode
 from repro.runtime.api import RuntimeError_
 from repro.runtime.context import ExecutionContext, resolve_context
-from repro.runtime.kernels import KernelStats, execute_compiled, mmo_tiled
+from repro.runtime.kernels import (
+    KernelStats,
+    _validate_operands,
+    _validate_ring_inputs,
+    compile_in_context,
+    execute_compiled,
+    mmo_tiled,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.policy import RetryPolicy
@@ -66,30 +74,6 @@ class DeviceShare:
     @property
     def rows(self) -> int:
         return self.row_stop - self.row_start
-
-
-def _record_event(
-    ctx: ExecutionContext,
-    *,
-    kind: str,
-    detail: str,
-    attempt: int = 0,
-    device_index: int | None = None,
-) -> None:
-    if ctx.trace is None:
-        return
-    from repro.runtime.trace import ResilienceEvent
-
-    ctx.trace.record_event(
-        ResilienceEvent(
-            kind=kind,
-            api="mmo_tiled_multi_device",
-            backend=ctx.backend,
-            detail=detail,
-            attempt=attempt,
-            device_index=device_index,
-        )
-    )
 
 
 def _run_partition(
@@ -124,9 +108,9 @@ def _run_partition(
     band_rows = min(m, tiles_per_device * TILE)
     if band_rows > 0 and n > 0 and callable(getattr(impl, "compile", None)):
         opcode = resolve_opcode(semiring)
-        compiled, first_hit = compile_mmo(
-            impl, opcode, band_rows, n, k,
-            has_accumulator=c is not None, context=ctx,
+        compiled, first_hit = compile_in_context(
+            ctx, impl, opcode, band_rows, n, k,
+            has_accumulator=c is not None, api="mmo_tiled_multi_device",
         )
 
     if checked or retry is not None:
@@ -178,11 +162,13 @@ def _run_partition(
                         compiled, a_band, b, band_c,
                         context=band_ctx, api="mmo_tiled_multi_device",
                         cache_hit=first_hit if launched == 0 else True,
+                        validate_inputs=False,
                     )
                 else:
                     band, stats = mmo_tiled(
                         semiring, a_band, b, band_c,
                         context=band_ctx, api="mmo_tiled_multi_device",
+                        validate_inputs=False,
                     )
                 if checker is not None and sums is not None:
                     checker.verify(
@@ -199,9 +185,9 @@ def _run_partition(
             except RETRYABLE as exc:
                 if attempt + 1 >= attempts:
                     raise
-                _record_event(
-                    ctx, kind="retry", attempt=attempt + 1,
-                    device_index=index,
+                emit_event(
+                    ctx, kind="retry", api="mmo_tiled_multi_device",
+                    attempt=attempt + 1, device_index=index,
                     detail=f"band [{row_start}:{row_stop}) attempt "
                            f"{attempt + 1} failed: {exc}",
                 )
@@ -236,6 +222,7 @@ def mmo_tiled_multi_device(
     blacklist: set[int] | None = None,
     rtol: float = 1e-4,
     atol: float = 1e-6,
+    validate_inputs: bool = True,
 ) -> tuple[np.ndarray, list[DeviceShare]]:
     """``D = C ⊕ (A ⊗ B)`` partitioned row-wise across devices.
 
@@ -265,6 +252,12 @@ def mmo_tiled_multi_device(
     blacklist:
         Caller-owned set of failed device indices, updated in place —
         share it across calls so dead devices stay blacklisted.
+    validate_inputs:
+        Reject value-poisoned operands (NaN, oppositely-signed inf) once
+        over the full matrices up front, exactly as
+        :func:`~repro.runtime.kernels.mmo_tiled` does; the per-band
+        launches skip re-validation.  ``False`` opts out for
+        deliberately poisoned loops.
     """
     if on_device_failure not in ("abort", "repartition"):
         raise RuntimeError_(
@@ -280,16 +273,13 @@ def mmo_tiled_multi_device(
         semiring = ring.semiring
     else:
         semiring = get_semiring(ring)
-    a = np.asarray(a)
-    b = np.asarray(b)
-    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
-        raise RuntimeError_(f"bad mmo operand shapes A{a.shape} x B{b.shape}")
-    m, _ = a.shape
-    n = b.shape[1]
-    if c is not None:
-        c = np.asarray(c)
-        if c.shape != (m, n):
-            raise RuntimeError_(f"accumulator shape {c.shape} != {(m, n)}")
+    # Shared shape validation: a bad accumulator raises the same
+    # named-operand OperandValidationError (also a ValueError) here as on
+    # every other entry point, instead of a bare RuntimeError_.
+    a, b, c, m, n, _ = _validate_operands(a, b, c)
+    if validate_inputs:
+        # One poison scan over the full operands; bands skip re-checking.
+        _validate_ring_inputs(semiring, a, b, c)
 
     blacklist = blacklist if blacklist is not None else set()
     repartition = on_device_failure == "repartition"
@@ -317,13 +307,13 @@ def mmo_tiled_multi_device(
             if not (repartition and isinstance(exc, DeviceFailure)):
                 raise
             blacklist.add(exc.device_index)
-            _record_event(
-                ctx, kind="device_failure", device_index=exc.device_index,
-                detail=str(exc),
+            emit_event(
+                ctx, kind="device_failure", api="mmo_tiled_multi_device",
+                device_index=exc.device_index, detail=str(exc),
             )
             survivors = len(devices) - len(blacklist)
-            _record_event(
-                ctx, kind="repartition",
+            emit_event(
+                ctx, kind="repartition", api="mmo_tiled_multi_device",
                 detail=f"redistributing {ceil_div(m, TILE)} row tiles "
                        f"across {survivors} surviving device(s) "
                        f"(blacklist {sorted(blacklist)})",

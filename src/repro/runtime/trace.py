@@ -15,6 +15,7 @@ the bench harness reports.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -117,34 +118,49 @@ class Trace:
     every launch under that context records itself here; the resilience
     layer (fault injector, ABFT verifier, recovery policies, watchdog)
     appends :class:`ResilienceEvent`\\ s alongside.
+
+    Appends and reads take an internal lock, so one trace can sink
+    records from concurrent launches (parallel multi-device bands, the
+    kernel tier's worker threads) without losing entries; ``summary``,
+    ``events_of`` and iteration observe a consistent snapshot.
     """
 
     def __init__(self) -> None:
         self.records: list[LaunchRecord] = []
         self.events: list[ResilienceEvent] = []
+        self._lock = threading.Lock()
 
     def record(self, launch: LaunchRecord) -> None:
-        self.records.append(launch)
+        with self._lock:
+            self.records.append(launch)
 
     def record_event(self, event: ResilienceEvent) -> None:
-        self.events.append(event)
+        with self._lock:
+            self.events.append(event)
 
     def events_of(self, kind: str) -> list[ResilienceEvent]:
         """Every recorded event of one ``kind`` (see :class:`ResilienceEvent`)."""
-        return [event for event in self.events if event.kind == kind]
+        with self._lock:
+            return [event for event in self.events if event.kind == kind]
 
     def clear(self) -> None:
-        self.records.clear()
-        self.events.clear()
+        with self._lock:
+            self.records.clear()
+            self.events.clear()
 
     def summary(self) -> "TraceSummary":
-        return TraceSummary.from_records(self.records, self.events)
+        with self._lock:
+            records = list(self.records)
+            events = tuple(self.events)
+        return TraceSummary.from_records(records, events)
 
     def __len__(self) -> int:
-        return len(self.records)
+        with self._lock:
+            return len(self.records)
 
     def __iter__(self) -> Iterator[LaunchRecord]:
-        return iter(self.records)
+        with self._lock:
+            return iter(tuple(self.records))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Trace({len(self.records)} launches)"
