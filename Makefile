@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke check-backends check-resilience tables csv examples all clean
+.PHONY: install test bench bench-smoke check-backends check-resilience check-static check-types tables csv examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -29,6 +29,22 @@ check-backends:
 # unchecked at 512² (writes benchmarks/results/resilience.json).
 check-resilience:
 	PYTHONPATH=src python benchmarks/bench_resilience.py --out benchmarks/results/resilience.json
+
+# Static analysis gate: the repo-wide invariant lint (must be clean with
+# zero suppressions) plus gradual typing.  Runs before the benchmark
+# gates in CI so convention regressions fail fast.
+check-static: check-types
+	python tools/check_invariants.py
+
+# Gradual typing: strict on repro.isa/repro.compile/repro.hooks,
+# permissive elsewhere (config in pyproject.toml).  Skips gracefully
+# when mypy is not installed — the bare container ships without it.
+check-types:
+	@if python -c "import mypy" 2>/dev/null; then \
+		python -m mypy src/repro; \
+	else \
+		echo "mypy not installed; skipping check-types (pip install mypy to enable)"; \
+	fi
 
 tables:
 	python -m repro.bench

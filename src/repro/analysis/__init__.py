@@ -1,0 +1,45 @@
+"""Repo-wide static analysis: source-level invariants the tests can't pin.
+
+The companion of the IR-level verifier (:mod:`repro.isa.verifier`): where
+``verify_program`` proves properties of each lowered warp program, this
+package proves properties of the source tree itself — observability
+writes stay behind the hook pipeline, every dispatch path is
+launch-bracketed, backends never fall back to raw GEMM, lock-protected
+state stays under its lock, and package imports flow one way.
+
+Run it:
+
+- ``python -m repro.analysis`` (or ``tools/check_invariants.py``)
+- ``make check-static`` — the CI gate, zero violations expected.
+
+See :mod:`repro.analysis.invariants` for the rule engine and the
+checklist for adding a rule; :mod:`repro.analysis.layering` for the
+package layer map.
+"""
+
+from repro.analysis.invariants import (
+    LaunchBracketRule,
+    LockDisciplineRule,
+    RawMatmulRule,
+    Rule,
+    TraceWriteRule,
+    Violation,
+    default_rules,
+    lint_file,
+    lint_paths,
+)
+from repro.analysis.layering import LAYERS, ImportLayeringRule
+
+__all__ = [
+    "LAYERS",
+    "ImportLayeringRule",
+    "LaunchBracketRule",
+    "LockDisciplineRule",
+    "RawMatmulRule",
+    "Rule",
+    "TraceWriteRule",
+    "Violation",
+    "default_rules",
+    "lint_file",
+    "lint_paths",
+]

@@ -1,0 +1,68 @@
+"""CLI entry: ``python -m repro.analysis [SRC_ROOT ...]``.
+
+Lints every ``repro`` package found under the given source roots
+(default: the root this installation was imported from) and exits
+non-zero when any invariant is violated.  ``make check-static`` and
+``tools/check_invariants.py`` both funnel through here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.invariants import default_rules, lint_paths
+
+
+def _default_root() -> Path:
+    import repro  # lazy: the repro root re-exports the whole stack
+
+    return Path(repro.__file__).resolve().parent.parent
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Run the repo-wide invariant lint.",
+    )
+    parser.add_argument(
+        "roots",
+        nargs="*",
+        type=Path,
+        help="source roots containing a repro/ package "
+        "(default: the imported repro's parent)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the active rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    roots = args.roots or [_default_root()]
+    violations = []
+    for root in roots:
+        if not (root / "repro").is_dir():
+            print(f"error: no repro/ package under {root}", file=sys.stderr)
+            return 2
+        violations.extend(lint_paths(root, rules))
+
+    for violation in violations:
+        print(violation)
+    checked = ", ".join(str(r) for r in roots)
+    if violations:
+        print(f"\n{len(violations)} invariant violation(s) in {checked}")
+        return 1
+    print(f"invariant lint clean: {len(rules)} rules over {checked}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,155 @@
+"""One-way import layering across the ``repro`` packages.
+
+The architecture is a stack — ``apps → runtime → compile → backends``
+reads the dispatch flow, but the *import* direction is stricter: each
+package may import only from its own layer or below, so the compile
+layer can never grow a module-level dependency on the runtime that
+imports it, and a backend can never reach up into an app.
+
+Layer map (lower number = deeper, imported-by-everything):
+
+====== =====================================================
+layer  packages
+====== =====================================================
+0      ``core``
+1      ``isa``, ``datasets``
+2      ``hw``, ``compile``
+3      ``hooks``, ``runtime``, ``sparse``
+4      ``backends``, ``resilience``, ``timing``, ``hwmodel``
+5      ``apps``
+6      ``bench``, ``analysis``
+====== =====================================================
+
+Equal-layer imports are allowed: ``runtime`` and ``hooks`` form one
+deliberate module-granular cycle (the pipeline lives in hooks, the
+context in runtime), as do ``timing`` and ``hwmodel``.  Only
+module-top-level imports count — ``if TYPE_CHECKING:`` blocks vanish at
+runtime, and imports inside function bodies are the sanctioned way to
+take a lazy upward reference (``# lazy: backends import us``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.invariants import Rule, Violation
+
+__all__ = ["LAYERS", "ImportLayeringRule"]
+
+#: Package → layer.  The bare ``repro`` root (its ``__init__`` re-exports
+#: the public API) sits above everything.
+LAYERS: dict[str, int] = {
+    "core": 0,
+    "isa": 1,
+    "datasets": 1,
+    "hw": 2,
+    "compile": 2,
+    "hooks": 3,
+    "runtime": 3,
+    "sparse": 3,
+    "backends": 4,
+    "resilience": 4,
+    "timing": 4,
+    "hwmodel": 4,
+    "apps": 5,
+    "bench": 6,
+    "analysis": 6,
+}
+
+_ROOT_LAYER = max(LAYERS.values()) + 1
+
+
+def _package_of(relpath: str) -> str | None:
+    """The repro subpackage a source path belongs to (``None`` = root)."""
+    parts = relpath.split("/")
+    if len(parts) < 2 or parts[0] != "repro":
+        return None
+    if len(parts) == 2:  # repro/__init__.py or a root-level module
+        return None
+    return parts[1]
+
+
+def _layer_of(package: str | None) -> int:
+    if package is None:
+        return _ROOT_LAYER
+    return LAYERS.get(package, _ROOT_LAYER)
+
+
+def _target_package(module: str) -> str | None:
+    """The repro subpackage an absolute import target lives in."""
+    parts = module.split(".")
+    if parts[0] != "repro":
+        return None
+    return parts[1] if len(parts) > 1 else None
+
+
+def _is_type_checking_guard(node: ast.If) -> bool:
+    test = node.test
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+class ImportLayeringRule(Rule):
+    """Module-level imports may only point at the same layer or deeper."""
+
+    name = "import-layering"
+    description = (
+        "module-top-level imports respect the one-way package layering "
+        "(core < isa < compile < runtime < backends < apps); TYPE_CHECKING "
+        "and function-local imports are exempt"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("repro/")
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[Violation]:
+        importer_pkg = _package_of(relpath)
+        importer_layer = _layer_of(importer_pkg)
+        for stmt in self._module_level(tree.body):
+            for module, node in self._import_targets(stmt):
+                target_pkg = _target_package(module)
+                if target_pkg is None and not module.startswith("repro"):
+                    continue  # stdlib / third-party
+                target_layer = _layer_of(target_pkg)
+                if target_layer > importer_layer:
+                    yield self.violation(
+                        relpath,
+                        node,
+                        f"repro.{importer_pkg or ''} (layer {importer_layer}) "
+                        f"imports {module} (layer {target_layer}) at module "
+                        f"level — upward imports must be TYPE_CHECKING-only "
+                        f"or function-local",
+                    )
+
+    def _module_level(self, body: list[ast.stmt]) -> Iterator[ast.stmt]:
+        """Statements that execute at import time, minus typing guards."""
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                if _is_type_checking_guard(stmt):
+                    yield from self._module_level(stmt.orelse)
+                else:
+                    yield from self._module_level(stmt.body)
+                    yield from self._module_level(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                yield from self._module_level(stmt.body)
+                for handler in stmt.handlers:
+                    yield from self._module_level(handler.body)
+                yield from self._module_level(stmt.orelse)
+                yield from self._module_level(stmt.finalbody)
+            else:
+                yield stmt
+
+    @staticmethod
+    def _import_targets(stmt: ast.stmt) -> Iterator[tuple[str, ast.stmt]]:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                yield alias.name, stmt
+        elif isinstance(stmt, ast.ImportFrom) and stmt.level == 0:
+            # Relative imports stay inside their own package: same layer,
+            # always legal — only absolute targets are checked.
+            if stmt.module:
+                yield stmt.module, stmt

@@ -39,6 +39,7 @@ from repro.compile.lower import (
     lower_mmo,
     plan_key_for,
     resolve_opcode,
+    verify_lowering,
 )
 
 __all__ = [
@@ -54,4 +55,5 @@ __all__ = [
     "lower_mmo",
     "plan_key_for",
     "resolve_opcode",
+    "verify_lowering",
 ]

@@ -20,6 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.compile.cache import PlanKey
     from repro.isa.opcodes import ElementType, MmoOpcode
     from repro.isa.program import Program
+    from repro.isa.verifier import VerificationReport
 
 __all__ = ["CompileError", "CompiledMmo", "grid_for"]
 
@@ -71,6 +72,14 @@ class CompiledMmo:
         The shared-memory layout: element addresses of the C and D tiles
         in the output element space, the per-tile scratchpad size in
         bytes, and the input/output element formats.
+    verification:
+        The :class:`~repro.isa.verifier.VerificationReport` of the
+        optimised program, produced at lower time with the artifact's
+        layout as the footprint limit.  Always populated by
+        :func:`~repro.compile.lower.lower_mmo` (a failing report raises
+        :class:`CompileError` instead of constructing the artifact), and
+        cached with the plan — replayed launches reuse the report without
+        re-verifying.
     """
 
     opcode: "MmoOpcode"
@@ -87,6 +96,7 @@ class CompiledMmo:
     shared_bytes: int
     in_etype: "ElementType"
     out_etype: "ElementType"
+    verification: "VerificationReport | None" = None
 
     @property
     def grid(self) -> tuple[int, int, int]:

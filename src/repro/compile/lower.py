@@ -12,14 +12,15 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.compile.artifact import CompiledMmo, grid_for
+from repro.compile.artifact import CompileError, CompiledMmo, grid_for
 from repro.compile.cache import PlanCache, PlanKey, default_plan_cache
 from repro.core.registry import get_semiring
 from repro.core.semiring import Semiring
 from repro.core.tiles import TILE, ceil_div
-from repro.isa.opcodes import ElementType, MmoOpcode
+from repro.isa.opcodes import ElementType, IsaError, MmoOpcode
 from repro.isa.optimizer import optimize_program
 from repro.isa.program import Program
+from repro.isa.verifier import VerificationReport, verify_program
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backends.base import Backend
@@ -37,6 +38,7 @@ __all__ = [
     "lower_mmo",
     "plan_key_for",
     "resolve_opcode",
+    "verify_lowering",
 ]
 
 _TILE_ELEMS = TILE * TILE
@@ -86,6 +88,36 @@ def build_tile_mmo_program(
     return builder.build(), c_addr, d_addr
 
 
+def verify_lowering(
+    program: Program,
+    opcode: MmoOpcode,
+    grid: tuple[int, int, int],
+    *,
+    shared_limit: int | None = None,
+    stage: str = "lowering",
+) -> VerificationReport:
+    """Statically verify one lowered program, raising on any diagnostic.
+
+    The compile layer's verification seam: runs
+    :func:`~repro.isa.verifier.verify_program` with the ISA tile geometry
+    and (for the optimised program) the artifact's shared-memory layout as
+    the footprint limit, and turns a failing report into a
+    :class:`~repro.compile.artifact.CompileError` carrying every
+    instruction-indexed diagnostic.  Exposed separately from
+    :func:`lower_mmo` so tests (and alternative backends with their own
+    generators) can subject hand-built programs to exactly the gate every
+    artifact passes through.
+    """
+    report = verify_program(program, tile=TILE, shared_limit=shared_limit)
+    if not report.ok:
+        diagnostics = "; ".join(report.errors)
+        raise CompileError(
+            f"{stage} of mmo.{opcode.mnemonic} for tile grid {grid} produced "
+            f"an invalid program: {diagnostics}"
+        )
+    return report
+
+
 def lower_mmo(
     opcode: MmoOpcode,
     tiles_m: int,
@@ -94,24 +126,44 @@ def lower_mmo(
     *,
     has_accumulator: bool,
 ) -> "CompiledMmo":
-    """Lower one tile grid to an optimised, immutable artifact.
+    """Lower one tile grid to a verified, optimised, immutable artifact.
 
-    Builds the naive Figure-6 program, runs it through
-    :func:`~repro.isa.optimizer.optimize_program` (recording what the
-    optimiser removed), and computes the shared-memory layout every
-    emulated launch of this grid will reuse.
+    Builds the naive Figure-6 program, statically verifies it
+    (:func:`verify_lowering` — type, semiring-legality, liveness and
+    register-budget checks), runs it through
+    :func:`~repro.isa.optimizer.optimize_program` in validated mode (the
+    optimised program must provably preserve the store set and per-store
+    reaching dataflow), then verifies the optimised program against the
+    computed shared-memory layout.  The final
+    :class:`~repro.isa.verifier.VerificationReport` ships inside the
+    artifact, so the :class:`~repro.compile.cache.PlanCache` amortises
+    verification exactly like it amortises lowering.  Any diagnostic
+    surfaces as a :class:`~repro.compile.artifact.CompileError` before an
+    artifact exists.
     """
     boolean = opcode.semiring.is_boolean()
+    grid = (tiles_m, tiles_n, tiles_k)
     program, c_addr, d_addr = build_tile_mmo_program(
         opcode, tiles_k, boolean=boolean
     )
-    optimized = optimize_program(program)
+    verify_lowering(program, opcode, grid)
+    try:
+        optimized = optimize_program(program, validate=True)
+    except IsaError as exc:
+        raise CompileError(
+            f"optimisation of mmo.{opcode.mnemonic} for tile grid {grid} "
+            f"changed observable behaviour: {exc}"
+        ) from exc
     in_etype = ElementType.B8 if boolean else ElementType.F16
     out_etype = ElementType.B8 if boolean else ElementType.F32
     shared_bytes = (
         in_etype.nbytes * 2 * tiles_k * _TILE_ELEMS
         + out_etype.nbytes * 2 * _TILE_ELEMS
     ) + 64
+    report = verify_lowering(
+        optimized.program, opcode, grid,
+        shared_limit=shared_bytes, stage="optimisation",
+    )
     return CompiledMmo(
         opcode=opcode,
         boolean=boolean,
@@ -127,6 +179,7 @@ def lower_mmo(
         shared_bytes=shared_bytes,
         in_etype=in_etype,
         out_etype=out_etype,
+        verification=report,
     )
 
 

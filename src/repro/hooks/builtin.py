@@ -108,10 +108,52 @@ class TraceHook(Hook):
     :class:`~repro.runtime.trace.LaunchRecord` per completed launch, with
     cycle estimate, cache-hit flag and optimiser statistics) and the
     hand-called ``trace.record_event`` sites (events now arrive through
-    the pipeline's ``on_event`` channel).  Runs last in the built-in
-    order so it observes the post-corruption result and never records a
-    launch an earlier hook aborted.
+    the pipeline's ``on_event`` channel).  ``post_compile`` additionally
+    appends one :class:`~repro.runtime.trace.CompileRecord` per compile
+    request, surfacing the artifact's cached
+    :class:`~repro.isa.verifier.VerificationReport` (verification stats
+    ride the trace without the dispatch layer re-verifying anything).
+    Runs last in the built-in order so it observes the post-corruption
+    result and never records a launch an earlier hook aborted.
     """
+
+    def post_compile(
+        self,
+        context: "ExecutionContext",
+        api: str,
+        compiled: "CompiledMmo",
+        cache_hit: bool,
+    ) -> None:
+        trace = context.trace
+        if trace is None:
+            return
+        from repro.runtime.trace import CompileRecord
+
+        report = compiled.verification
+        if report is None:
+            record = CompileRecord(
+                api=api,
+                backend=context.backend,
+                opcode=compiled.opcode.name,
+                tiles=compiled.grid,
+                cache_hit=cache_hit,
+            )
+        else:
+            effects = report.effects
+            record = CompileRecord(
+                api=api,
+                backend=context.backend,
+                opcode=compiled.opcode.name,
+                tiles=compiled.grid,
+                cache_hit=cache_hit,
+                verified=report.ok,
+                verifier_warnings=len(report.warnings),
+                dead_stores=len(report.dead_stores),
+                registers_used=report.register_pressure,
+                shared_memory_bytes=report.shared_memory_bytes,
+                deterministic=None if effects is None else effects.deterministic,
+            )
+        trace.record_compile(record)
 
     def post_execute(self, launch: "Launch") -> None:
         trace = launch.context.trace

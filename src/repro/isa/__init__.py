@@ -19,7 +19,13 @@ from repro.isa.encoding import (
 )
 from repro.isa.assembler import assemble, assemble_line, disassemble
 from repro.isa.program import Program, ProgramStats
-from repro.isa.verifier import VerificationReport, verify_program
+from repro.isa.dataflow import (
+    StoreEffect,
+    TranslationReport,
+    store_effects,
+    validate_translation,
+)
+from repro.isa.verifier import ProgramEffects, VerificationReport, verify_program
 from repro.isa.optimizer import OptimizationResult, optimize_program
 
 __all__ = [
@@ -44,6 +50,11 @@ __all__ = [
     "disassemble",
     "Program",
     "ProgramStats",
+    "ProgramEffects",
+    "StoreEffect",
+    "TranslationReport",
+    "store_effects",
+    "validate_translation",
     "VerificationReport",
     "verify_program",
     "OptimizationResult",

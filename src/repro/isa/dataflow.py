@@ -1,0 +1,199 @@
+"""Symbolic dataflow of warp programs: store effects + translation validation.
+
+A warp program's *observable behaviour* is the sequence of ``store``
+instructions it executes — everything else is internal register traffic.
+This module computes, purely statically, what each surviving store writes:
+a **value term** built from the program's loads, fills and mmos, so two
+programs can be compared for behavioural equivalence without running
+either.  The optimiser's contract ("never changes observable behaviour",
+previously only spot-checked dynamically by property tests) becomes a
+static proof obligation discharged on every lowering:
+
+- :func:`store_effects` — the ordered store set of a program, each store
+  paired with the symbolic term of the value it writes and the ⊕-fold
+  depth of that term;
+- :func:`validate_translation` — check that an optimised program preserves
+  the original's surviving store set and, per store, the reaching
+  dataflow (same address, stride, element type, and value term).
+
+Value terms
+-----------
+Terms are nested tuples, hashable and comparable by value:
+
+- ``("load", addr, ld, etype, mem_version)`` — a fragment fetched from
+  shared memory.  ``mem_version`` counts the stores executed before the
+  load, so a load that could observe an earlier store is distinguished
+  from the same load issued before it (store-to-load dependencies are
+  tracked without modelling memory contents);
+- ``("fill", value_bits, etype)`` — a broadcast immediate, identified by
+  its fp32 bit pattern (so ``-0.0``/``0.0`` and NaN payloads compare
+  exactly);
+- ``("mmo", opcode, a_term, b_term, c_term)`` — ``D = C ⊕ (A ⊗ B)`` over
+  the operand terms.
+
+The optimiser only ever *removes* instructions (stores always survive),
+so term equality per store position is a sound and complete equivalence
+check for it: any removal that changes what a store writes changes that
+store's term.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.isa.instructions import (
+    FillMatrix,
+    Halt,
+    LoadMatrix,
+    Mmo,
+    StoreMatrix,
+)
+from repro.isa.opcodes import ElementType, IsaError
+from repro.isa.program import Program
+
+__all__ = [
+    "StoreEffect",
+    "TranslationReport",
+    "store_effects",
+    "validate_translation",
+]
+
+#: A symbolic value term (see module docstring for the three shapes).
+ValueTerm = tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreEffect:
+    """One surviving ``store``: where it writes and what reaches it.
+
+    ``fold_depth`` is the length of the ⊕-accumulation chain feeding the
+    stored value (the number of mmo links along the term's ``c`` spine) —
+    the quantity that decides whether fold *order* can influence the
+    result on reassociation-sensitive rings.
+    """
+
+    index: int  # instruction index in the program
+    addr: int
+    ld: int
+    etype: ElementType
+    term: ValueTerm
+    fold_depth: int
+
+    @property
+    def signature(self) -> tuple:
+        """What behavioural equivalence compares (position-independent)."""
+        return (self.addr, self.ld, int(self.etype), self.term)
+
+
+def _fill_bits(value: float) -> int:
+    """The fp32 bit pattern of a fill immediate (exact, NaN-safe identity)."""
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def store_effects(program: Program) -> tuple[StoreEffect, ...]:
+    """The ordered store set of ``program`` with per-store reaching terms.
+
+    :class:`~repro.isa.program.Program` construction already guarantees
+    use-before-define, so every register read here has a term.
+    """
+    terms: dict[int, ValueTerm] = {}
+    depths: dict[int, int] = {}
+    effects: list[StoreEffect] = []
+    mem_version = 0
+    for index, instr in enumerate(program):
+        if isinstance(instr, LoadMatrix):
+            terms[instr.dst] = (
+                "load", instr.addr, instr.ld, int(instr.etype), mem_version,
+            )
+            depths[instr.dst] = 0
+        elif isinstance(instr, FillMatrix):
+            terms[instr.dst] = ("fill", _fill_bits(instr.value), int(instr.etype))
+            depths[instr.dst] = 0
+        elif isinstance(instr, Mmo):
+            terms[instr.d] = (
+                "mmo",
+                int(instr.opcode),
+                terms[instr.a],
+                terms[instr.b],
+                terms[instr.c],
+            )
+            depths[instr.d] = depths[instr.c] + 1
+        elif isinstance(instr, StoreMatrix):
+            effects.append(
+                StoreEffect(
+                    index=index,
+                    addr=instr.addr,
+                    ld=instr.ld,
+                    etype=instr.etype,
+                    term=terms[instr.src],
+                    fold_depth=depths[instr.src],
+                )
+            )
+            mem_version += 1
+        elif isinstance(instr, Halt):
+            break
+    return tuple(effects)
+
+
+@dataclasses.dataclass(frozen=True)
+class TranslationReport:
+    """Outcome of validating one program transformation."""
+
+    mismatches: tuple[str, ...]
+    original_stores: int
+    optimized_stores: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def validate_translation(
+    original: Program, optimized: Program, *, check: bool = False
+) -> TranslationReport:
+    """Statically prove ``optimized`` preserves ``original``'s behaviour.
+
+    The surviving store set must match in order and count, and each store
+    must write the same symbolic value to the same ``(addr, ld, etype)``
+    destination.  With ``check=True``, raises
+    :class:`~repro.isa.opcodes.IsaError` on the first mismatch — this is
+    the mode :func:`repro.isa.optimizer.optimize_program` runs in when the
+    compile layer asks for validated optimisation, so a miscompiling
+    rewrite can never ship silently inside an artifact.
+    """
+    before = store_effects(original)
+    after = store_effects(optimized)
+    mismatches: list[str] = []
+
+    def fail(message: str) -> None:
+        if check:
+            raise IsaError(f"translation validation failed: {message}")
+        mismatches.append(message)
+
+    if len(before) != len(after):
+        fail(
+            f"store count changed: {len(before)} stores before optimisation, "
+            f"{len(after)} after"
+        )
+    for position, (pre, post) in enumerate(zip(before, after)):
+        if pre.signature == post.signature:
+            continue
+        if (pre.addr, pre.ld, pre.etype) != (post.addr, post.ld, post.etype):
+            fail(
+                f"store {position}: destination changed from "
+                f"[{pre.addr}] ld={pre.ld} {pre.etype.suffix} to "
+                f"[{post.addr}] ld={post.ld} {post.etype.suffix}"
+            )
+        else:
+            fail(
+                f"store {position} (instruction {post.index}): the value "
+                f"reaching [{post.addr}] is not the value the original "
+                f"program stored (fold depth {pre.fold_depth} -> "
+                f"{post.fold_depth})"
+            )
+    return TranslationReport(
+        mismatches=tuple(mismatches),
+        original_stores=len(before),
+        optimized_stores=len(after),
+    )

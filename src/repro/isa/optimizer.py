@@ -14,13 +14,20 @@ Two classic passes, adapted to the tile ISA:
 
 ``store`` instructions always survive (shared memory is the program's
 observable output).  The optimiser never changes observable behaviour —
-property-tested by executing original and optimised programs side by side.
+property-tested by executing original and optimised programs side by side,
+and **statically proven** per invocation when ``validate=True``: the
+surviving store set and each store's reaching dataflow are compared via
+:func:`repro.isa.dataflow.validate_translation`, so a rewrite that would
+alter what any store writes raises instead of shipping.  The compile
+layer (:func:`repro.compile.lower.lower_mmo`) always optimises in
+validated mode.
 """
 
 from __future__ import annotations
 
 import dataclasses
 
+from repro.isa.dataflow import validate_translation
 from repro.isa.instructions import (
     FillMatrix,
     Halt,
@@ -98,8 +105,15 @@ def _eliminate_dead_writes(body: list[Instruction]) -> tuple[list[Instruction], 
     return body, removed_total
 
 
-def optimize_program(program: Program) -> OptimizationResult:
-    """Apply both passes and return a behaviour-equivalent program."""
+def optimize_program(program: Program, *, validate: bool = False) -> OptimizationResult:
+    """Apply both passes and return a behaviour-equivalent program.
+
+    With ``validate=True``, behavioural equivalence is statically proven
+    before returning — the optimised program must preserve the original's
+    store set and per-store reaching dataflow
+    (:func:`repro.isa.dataflow.validate_translation`), raising
+    :class:`~repro.isa.opcodes.IsaError` on any divergence.
+    """
     body = [instr for instr in program if not isinstance(instr, Halt)]
     body, removed_loads = _eliminate_redundant_loads(body)
     body, removed_writes = _eliminate_dead_writes(body)
@@ -111,8 +125,11 @@ def optimize_program(program: Program) -> OptimizationResult:
         removed_loads += more_loads
         removed_writes += more_writes
         again = bool(more_loads or more_writes)
+    optimized = Program(body, auto_halt=True)
+    if validate:
+        validate_translation(program, optimized, check=True)
     return OptimizationResult(
-        program=Program(body, auto_halt=True),
+        program=optimized,
         removed_loads=removed_loads,
         removed_writes=removed_writes,
     )

@@ -9,33 +9,81 @@ compiler back-end would run before emitting code:
   ports (fp32 into an fp16 ⊗ port, a boolean accumulator under a numeric
   opcode, ...), turning the emulator's *runtime* faults into *static*
   diagnostics;
+- **semiring legality** — fill immediates feeding an mmo are checked
+  against the opcode's ring: NaN accumulator seeds, non-0/1 booleans, and
+  the oppositely-signed infinity that ``⊗ = +`` rings map to NaN against
+  identity padding are all rejected before anything executes;
 - **liveness analysis** — dead stores (a register written and never read
   again) and the set of live-in-free registers, for register-budget
-  reporting;
+  reporting (``register_budget`` turns over-allocation into an error);
 - **shared-memory footprint** — the minimal scratchpad size the program's
-  load/store addresses require.
+  load/store addresses require; when the caller supplies the artifact's
+  layout via ``shared_limit``, accesses past it become instruction-indexed
+  errors;
+- **effect summary** — the program's observable store set (via
+  :func:`repro.isa.dataflow.store_effects`) plus a fold-order/determinism
+  summary: which opcodes run, how deep the ⊕-accumulation chains are, and
+  whether the result is bit-reproducible under fold regrouping.
+
+The fragment geometry is **derived, not hardcoded**: footprints default to
+the ISA's tile size (:data:`repro.core.tiles.TILE`) and callers verifying
+against a specific artifact pass its ``tile`` explicitly, so programs for
+non-16² fragment geometries verify correctly.
 
 ``verify_program`` returns a :class:`VerificationReport`; ``check=True``
-raises on the first error instead.
+raises on the first error instead.  The compile layer
+(:func:`repro.compile.lower.lower_mmo`) runs this on every lowering and
+caches the report inside the :class:`~repro.compile.artifact.CompiledMmo`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 
+import numpy as np
+
+from repro.core.tiles import TILE
+from repro.isa.dataflow import StoreEffect, store_effects
 from repro.isa.instructions import (
+    NUM_MATRIX_REGISTERS,
     FillMatrix,
     Halt,
     LoadMatrix,
     Mmo,
     StoreMatrix,
 )
-from repro.isa.opcodes import ElementType, IsaError
+from repro.isa.opcodes import ElementType, IsaError, MmoOpcode
 from repro.isa.program import Program
 
-__all__ = ["VerificationReport", "verify_program"]
+__all__ = ["ProgramEffects", "VerificationReport", "verify_program"]
 
-_TILE = 16
+
+@dataclasses.dataclass(frozen=True)
+class ProgramEffects:
+    """Fold-order/determinism summary of one program's observable effects.
+
+    ``order_sensitive`` marks programs running at least one opcode whose
+    ⊕ is floating-point addition (plus-mul, plus-norm): regrouping the
+    fold changes the result by rounding.  Idempotent/exact rings (the
+    min/max family, or-and) are order-insensitive bit-for-bit.
+
+    ``sequential_folds`` is true when every ⊕-accumulation chain is a
+    simple left fold — no mmo result feeds the ``c`` port of more than
+    one mmo, so there is exactly one evaluation order and the program is
+    deterministic even on order-sensitive rings.
+    """
+
+    opcodes: tuple[MmoOpcode, ...]
+    store_count: int
+    max_fold_depth: int
+    sequential_folds: bool
+    order_sensitive: bool
+
+    @property
+    def deterministic(self) -> bool:
+        """Bit-reproducible regardless of how the fold could be regrouped."""
+        return self.sequential_folds or not self.order_sensitive
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,10 +95,34 @@ class VerificationReport:
     registers_used: frozenset[int]
     dead_stores: tuple[int, ...]  # instruction indices whose result dies
     shared_memory_bytes: int
+    store_set: tuple[StoreEffect, ...] = ()
+    effects: ProgramEffects | None = None
+    register_budget: int = NUM_MATRIX_REGISTERS
+    tile: int = TILE
 
     @property
     def ok(self) -> bool:
         return not self.errors
+
+    @property
+    def register_pressure(self) -> int:
+        """Registers the program allocates out of ``register_budget``."""
+        return len(self.registers_used)
+
+    @property
+    def registers_free(self) -> int:
+        return self.register_budget - self.register_pressure
+
+    def summary_stats(self) -> dict[str, int]:
+        """Flat counters for observability sinks (trace compile records)."""
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "dead_stores": len(self.dead_stores),
+            "stores": len(self.store_set),
+            "registers_used": self.register_pressure,
+            "shared_memory_bytes": self.shared_memory_bytes,
+        }
 
 
 def _expected_types(instr: Mmo) -> tuple[ElementType, ElementType]:
@@ -60,15 +132,111 @@ def _expected_types(instr: Mmo) -> tuple[ElementType, ElementType]:
     return ElementType.F16, ElementType.F32
 
 
-def verify_program(program: Program, *, check: bool = False) -> VerificationReport:
+def _check_fill_operand(
+    instr: Mmo, port: str, reg: int, value: float, fail
+) -> None:
+    """Semiring legality of a fill immediate feeding an mmo port."""
+    ring = instr.opcode.semiring
+    mnemonic = instr.opcode.mnemonic
+    if math.isnan(value):
+        fail(
+            f"mmo.{mnemonic} {port}=m{reg} holds fill NaN, which poisons "
+            f"every ⊕-selection of the {ring.name} ring"
+        )
+        return
+    if ring.is_boolean():
+        if value not in (0.0, 1.0):
+            fail(
+                f"mmo.{mnemonic} {port}=m{reg} holds fill {value!r}; the "
+                f"boolean {ring.name} ring accepts only 0 or 1"
+            )
+        return
+    identity = ring.oplus_identity
+    if (
+        port in ("a", "b")
+        and ring.otimes is np.add
+        and math.isinf(identity)
+        and value == -identity
+    ):
+        fail(
+            f"mmo.{mnemonic} operand {port}=m{reg} holds fill {value!r}, "
+            f"which maps to NaN against the {ring.name} ring's "
+            f"{identity} padding (⊗ is +)"
+        )
+
+
+def _program_effects(program: Program, stores: tuple[StoreEffect, ...]) -> ProgramEffects:
+    """Derive the fold-order/determinism summary from the store terms."""
+    opcodes: list[MmoOpcode] = []
+    c_uses: dict[int, int] = {}  # id of an mmo term -> times used as a c operand
+    for instr in program:
+        if isinstance(instr, Mmo) and instr.opcode not in opcodes:
+            opcodes.append(instr.opcode)
+
+    def walk(term) -> None:
+        if term[0] != "mmo":
+            return
+        _, _, a_term, b_term, c_term = term
+        if c_term[0] == "mmo":
+            c_uses[id_of(c_term)] = c_uses.get(id_of(c_term), 0) + 1
+        for child in (a_term, b_term, c_term):
+            walk(child)
+
+    seen: dict[tuple, int] = {}
+
+    def id_of(term) -> int:
+        key = seen.setdefault(term, len(seen))
+        return key
+
+    for effect in stores:
+        walk(effect.term)
+    sequential = all(count <= 1 for count in c_uses.values())
+    order_sensitive = any(op.semiring.oplus is np.add for op in opcodes)
+    return ProgramEffects(
+        opcodes=tuple(opcodes),
+        store_count=len(stores),
+        max_fold_depth=max((e.fold_depth for e in stores), default=0),
+        sequential_folds=sequential,
+        order_sensitive=order_sensitive,
+    )
+
+
+def verify_program(
+    program: Program,
+    *,
+    check: bool = False,
+    tile: int | None = None,
+    shared_limit: int | None = None,
+    register_budget: int = NUM_MATRIX_REGISTERS,
+) -> VerificationReport:
     """Statically verify a warp program.
 
-    With ``check=True``, raises :class:`~repro.isa.opcodes.IsaError` on the
-    first type error instead of collecting it.
+    Parameters
+    ----------
+    check:
+        Raise :class:`~repro.isa.opcodes.IsaError` on the first error
+        instead of collecting it.
+    tile:
+        Fragment edge length used for footprint computation.  ``None``
+        derives the ISA default (:data:`repro.core.tiles.TILE`); callers
+        verifying against a compiled artifact pass the artifact's
+        geometry so non-16² fragments are measured correctly.
+    shared_limit:
+        When given (the artifact's ``shared_bytes`` layout), any access
+        whose footprint exceeds it is an instruction-indexed error.
+    register_budget:
+        Size of the register file to report against; allocating more
+        registers than this is an error (the ISA default is
+        :data:`~repro.isa.instructions.NUM_MATRIX_REGISTERS`).
     """
+    if tile is None:
+        tile = TILE
+    if tile <= 0:
+        raise IsaError(f"tile size must be positive, got {tile}")
     errors: list[str] = []
     warnings: list[str] = []
     reg_types: dict[int, ElementType] = {}
+    fill_values: dict[int, float] = {}
     last_write: dict[int, int] = {}
     read_since_write: dict[int, bool] = {}
     footprint = 0
@@ -93,12 +261,21 @@ def verify_program(program: Program, *, check: bool = False) -> VerificationRepo
 
     for index, instr in enumerate(program):
         if isinstance(instr, (LoadMatrix, StoreMatrix)):
-            last = (instr.addr + (_TILE - 1) * instr.ld + _TILE) * instr.etype.nbytes
+            last = (instr.addr + (tile - 1) * instr.ld + tile) * instr.etype.nbytes
             footprint = max(footprint, last)
+            if shared_limit is not None and last > shared_limit:
+                verb = "load" if isinstance(instr, LoadMatrix) else "store"
+                fail(
+                    f"instruction {index}: {verb}.{instr.etype.suffix} at "
+                    f"[{instr.addr}] ld={instr.ld} touches byte {last}, past "
+                    f"the {shared_limit}-byte shared-memory layout"
+                )
         if isinstance(instr, LoadMatrix):
             note_write(instr.dst, instr.etype, index)
+            fill_values.pop(instr.dst, None)
         elif isinstance(instr, FillMatrix):
             note_write(instr.dst, instr.etype, index)
+            fill_values[instr.dst] = instr.value
         elif isinstance(instr, StoreMatrix):
             held = reg_types.get(instr.src)
             if held is not None and held is not instr.etype:
@@ -116,6 +293,11 @@ def verify_program(program: Program, *, check: bool = False) -> VerificationRepo
                         f"instruction {index}: mmo.{instr.opcode.mnemonic} operand "
                         f"{name}=m{reg} holds {held.suffix}, port needs {in_etype.suffix}"
                     )
+                if reg in fill_values:
+                    _check_fill_operand(
+                        instr, name, reg, fill_values[reg],
+                        lambda msg: fail(f"instruction {index}: {msg}"),
+                    )
                 note_read(reg)
             held_c = reg_types.get(instr.c)
             if held_c is not None and held_c is not out_etype:
@@ -123,10 +305,22 @@ def verify_program(program: Program, *, check: bool = False) -> VerificationRepo
                     f"instruction {index}: mmo.{instr.opcode.mnemonic} accumulator "
                     f"c=m{instr.c} holds {held_c.suffix}, port needs {out_etype.suffix}"
                 )
+            if instr.c in fill_values:
+                _check_fill_operand(
+                    instr, "c", instr.c, fill_values[instr.c],
+                    lambda msg: fail(f"instruction {index}: {msg}"),
+                )
             note_read(instr.c)
             note_write(instr.d, out_etype, index)
+            fill_values.pop(instr.d, None)
         elif isinstance(instr, Halt):
             break
+
+    if len(last_write) > register_budget:
+        fail(
+            f"program allocates {len(last_write)} matrix registers, "
+            f"exceeding the budget of {register_budget}"
+        )
 
     dead_stores = tuple(
         last_write[reg] for reg in sorted(last_write) if not read_since_write.get(reg, True)
@@ -138,10 +332,15 @@ def verify_program(program: Program, *, check: bool = False) -> VerificationRepo
                 "read or stored"
             )
 
+    stores = store_effects(program)
     return VerificationReport(
         errors=tuple(errors),
         warnings=tuple(warnings),
         registers_used=frozenset(last_write),
         dead_stores=dead_stores,
         shared_memory_bytes=footprint,
+        store_set=stores,
+        effects=_program_effects(program, stores),
+        register_budget=register_budget,
+        tile=tile,
     )

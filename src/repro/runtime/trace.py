@@ -23,7 +23,33 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.runtime.kernels import KernelStats
     from repro.sparse.spgemm import SpgemmStats
 
-__all__ = ["LaunchRecord", "ResilienceEvent", "Trace", "TraceSummary"]
+__all__ = ["CompileRecord", "LaunchRecord", "ResilienceEvent", "Trace", "TraceSummary"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CompileRecord:
+    """One pass through the compile seam, with its verification stats.
+
+    Appended by the trace hook at ``post_compile`` — one record per
+    compile *request*, whether the plan cache served it (``cache_hit``)
+    or the launch paid for a fresh lowering.  The verification fields are
+    read off the artifact's cached
+    :class:`~repro.isa.verifier.VerificationReport`; ``verified`` is
+    ``None`` for artifacts produced by backends that bypass the verified
+    lowering path.
+    """
+
+    api: str
+    backend: str
+    opcode: str
+    tiles: tuple[int, int, int]  # (tiles_m, tiles_n, tiles_k)
+    cache_hit: bool
+    verified: bool | None = None
+    verifier_warnings: int = 0
+    dead_stores: int = 0
+    registers_used: int = 0
+    shared_memory_bytes: int = 0
+    deterministic: bool | None = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -128,6 +154,7 @@ class Trace:
     def __init__(self) -> None:
         self.records: list[LaunchRecord] = []
         self.events: list[ResilienceEvent] = []
+        self.compiles: list[CompileRecord] = []
         self._lock = threading.Lock()
 
     def record(self, launch: LaunchRecord) -> None:
@@ -138,6 +165,10 @@ class Trace:
         with self._lock:
             self.events.append(event)
 
+    def record_compile(self, compile_record: CompileRecord) -> None:
+        with self._lock:
+            self.compiles.append(compile_record)
+
     def events_of(self, kind: str) -> list[ResilienceEvent]:
         """Every recorded event of one ``kind`` (see :class:`ResilienceEvent`)."""
         with self._lock:
@@ -147,12 +178,14 @@ class Trace:
         with self._lock:
             self.records.clear()
             self.events.clear()
+            self.compiles.clear()
 
     def summary(self) -> "TraceSummary":
         with self._lock:
             records = list(self.records)
             events = tuple(self.events)
-        return TraceSummary.from_records(records, events)
+            compiles = tuple(self.compiles)
+        return TraceSummary.from_records(records, events, compiles)
 
     def __len__(self) -> int:
         with self._lock:
@@ -163,7 +196,7 @@ class Trace:
             return iter(tuple(self.records))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Trace({len(self.records)} launches)"
+        return f"Trace({len(self)} launches)"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -184,6 +217,11 @@ class TraceSummary:
     optimizer_removed: int = 0
     #: Resilience-event counts by kind (``faults_injected`` etc. read it).
     by_event: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Compile-seam traffic: requests observed, how many carried a passing
+    #: verification report, and the verifier warnings across them.
+    compile_requests: int = 0
+    programs_verified: int = 0
+    verifier_warnings: int = 0
 
     @property
     def resilience_events(self) -> int:
@@ -234,6 +272,7 @@ class TraceSummary:
         cls,
         records: list[LaunchRecord],
         events: "list[ResilienceEvent] | tuple[ResilienceEvent, ...]" = (),
+        compiles: "list[CompileRecord] | tuple[CompileRecord, ...]" = (),
     ) -> "TraceSummary":
         by_backend: dict[str, int] = {}
         by_ring: dict[str, int] = {}
@@ -258,6 +297,8 @@ class TraceSummary:
         by_event: dict[str, int] = {}
         for event in events:
             by_event[event.kind] = by_event.get(event.kind, 0) + 1
+        verified = sum(1 for comp in compiles if comp.verified)
+        verifier_warnings = sum(comp.verifier_warnings for comp in compiles)
         return cls(
             launches=len(records),
             by_backend=by_backend,
@@ -272,6 +313,9 @@ class TraceSummary:
             cache_misses=misses,
             optimizer_removed=removed,
             by_event=by_event,
+            compile_requests=len(compiles),
+            programs_verified=verified,
+            verifier_warnings=verifier_warnings,
         )
 
     def as_row(self) -> dict[str, object]:
@@ -288,6 +332,7 @@ class TraceSummary:
             "cache_misses": self.cache_misses,
             "optimizer_removed": self.optimizer_removed,
             "resilience_events": self.resilience_events,
+            "programs_verified": self.programs_verified,
             "wall_time_s": self.wall_time_s,
             "cycle_estimate": self.cycle_estimate,
         }

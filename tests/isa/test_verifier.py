@@ -119,6 +119,168 @@ class TestTypeErrors:
             verify_program(program, check=True)
 
 
+class TestFootprintAndGeometry:
+    def test_tile_parameter_scales_footprint(self):
+        program = Program(
+            [
+                LoadMatrix(dst=0, addr=0, ld=16, etype=ElementType.F32),
+                StoreMatrix(src=0, addr=0, ld=16),
+            ],
+            auto_halt=True,
+        )
+        default = verify_program(program)
+        small = verify_program(program, tile=8)
+        assert default.tile == 16 and small.tile == 8
+        assert default.shared_memory_bytes == (15 * 16 + 16) * 4
+        assert small.shared_memory_bytes == (7 * 16 + 8) * 4
+
+    def test_nonpositive_tile_rejected(self):
+        with pytest.raises(IsaError, match="tile size must be positive"):
+            verify_program(_valid_program(), tile=0)
+
+    def test_shared_limit_violation_is_instruction_indexed(self):
+        report = verify_program(_valid_program(), shared_limit=1024)
+        assert not report.ok
+        # The deepest access is the store at instruction index 4.
+        assert any(
+            e.startswith("instruction 4:") and "shared-memory layout" in e
+            for e in report.errors
+        )
+
+    def test_generous_limit_passes(self):
+        footprint = verify_program(_valid_program()).shared_memory_bytes
+        assert verify_program(_valid_program(), shared_limit=footprint).ok
+
+    def test_register_budget_overflow(self):
+        report = verify_program(_valid_program(), register_budget=3)
+        assert not report.ok
+        assert any("exceeding the budget of 3" in e for e in report.errors)
+        assert report.register_budget == 3
+        assert report.register_pressure == 4
+
+    def test_register_accounting(self):
+        report = verify_program(_valid_program())
+        assert report.register_pressure == 4
+        assert report.registers_free == report.register_budget - 4
+
+
+class TestSemiringLegality:
+    def test_nan_fill_rejected_on_selection_ring(self):
+        program = Program(
+            [
+                FillMatrix(dst=0, value=float("nan"), etype=ElementType.F16),
+                LoadMatrix(dst=1, addr=0, ld=16),
+                FillMatrix(dst=2, value=0.0),
+                Mmo(MmoOpcode.MINPLUS, 3, 0, 1, 2),
+                StoreMatrix(src=3, addr=512, ld=16),
+            ],
+            auto_halt=True,
+        )
+        report = verify_program(program)
+        assert any("NaN" in e and "poisons" in e for e in report.errors)
+
+    def test_opposite_infinity_fill_rejected_on_plus_ring(self):
+        # min-plus ⊕ identity is +inf; a -inf operand maps to NaN vs padding.
+        program = Program(
+            [
+                FillMatrix(dst=0, value=float("-inf"), etype=ElementType.F16),
+                LoadMatrix(dst=1, addr=0, ld=16),
+                FillMatrix(dst=2, value=0.0),
+                Mmo(MmoOpcode.MINPLUS, 3, 0, 1, 2),
+                StoreMatrix(src=3, addr=512, ld=16),
+            ],
+            auto_halt=True,
+        )
+        report = verify_program(program)
+        assert any("maps to NaN" in e for e in report.errors)
+
+    def test_identity_infinity_fill_is_legal_padding(self):
+        program = Program(
+            [
+                FillMatrix(dst=0, value=float("inf"), etype=ElementType.F16),
+                LoadMatrix(dst=1, addr=0, ld=16),
+                FillMatrix(dst=2, value=0.0),
+                Mmo(MmoOpcode.MINPLUS, 3, 0, 1, 2),
+                StoreMatrix(src=3, addr=512, ld=16),
+            ],
+            auto_halt=True,
+        )
+        assert verify_program(program).ok
+
+    def test_non_binary_boolean_fill_rejected(self):
+        program = Program(
+            [
+                FillMatrix(dst=0, value=0.5, etype=ElementType.B8),
+                LoadMatrix(dst=1, addr=0, ld=16, etype=ElementType.B8),
+                FillMatrix(dst=2, value=0.0, etype=ElementType.B8),
+                Mmo(MmoOpcode.ORAND, 3, 0, 1, 2),
+                StoreMatrix(src=3, addr=512, ld=16, etype=ElementType.B8),
+            ],
+            auto_halt=True,
+        )
+        report = verify_program(program)
+        assert any("accepts only 0 or 1" in e for e in report.errors)
+
+    def test_overwritten_fill_not_checked(self):
+        # The poisonous fill is overwritten by a load before the mmo reads
+        # the register, so no diagnostic applies.
+        program = Program(
+            [
+                FillMatrix(dst=0, value=float("nan"), etype=ElementType.F16),
+                LoadMatrix(dst=0, addr=0, ld=16),
+                LoadMatrix(dst=1, addr=0, ld=16),
+                FillMatrix(dst=2, value=0.0),
+                Mmo(MmoOpcode.MINPLUS, 3, 0, 1, 2),
+                StoreMatrix(src=3, addr=512, ld=16),
+            ],
+            auto_halt=True,
+        )
+        report = verify_program(program)
+        assert report.ok, report.errors
+
+
+class TestProgramEffects:
+    def test_generated_kernel_effects(self):
+        for opcode in MmoOpcode:
+            program, _, _ = build_tile_mmo_program(
+                opcode, tiles_k=3, boolean=opcode.semiring.is_boolean()
+            )
+            report = verify_program(program)
+            effects = report.effects
+            assert effects is not None
+            assert effects.opcodes == (opcode,)
+            assert effects.store_count == 1
+            assert effects.max_fold_depth == 3
+            assert effects.sequential_folds
+            assert effects.deterministic  # left-fold chains always are
+
+    def test_order_sensitivity_tracks_fp_add(self):
+        import numpy as np
+
+        for opcode in MmoOpcode:
+            program, _, _ = build_tile_mmo_program(
+                opcode, tiles_k=2, boolean=opcode.semiring.is_boolean()
+            )
+            effects = verify_program(program).effects
+            assert effects.order_sensitive == (opcode.semiring.oplus is np.add)
+
+    def test_store_set_on_report(self):
+        report = verify_program(_valid_program())
+        assert len(report.store_set) == 1
+        assert report.store_set[0].addr == 512
+
+    def test_summary_stats_shape(self):
+        stats = verify_program(_valid_program()).summary_stats()
+        assert stats == {
+            "errors": 0,
+            "warnings": 0,
+            "dead_stores": 0,
+            "stores": 1,
+            "registers_used": 4,
+            "shared_memory_bytes": (512 + 15 * 16 + 16) * 4,
+        }
+
+
 class TestLiveness:
     def test_dead_store_warning(self):
         program = Program(

@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Run the repo-wide invariant lint (thin wrapper over ``repro.analysis``).
+
+Usable without installing the package — inserts ``src/`` on ``sys.path``
+and delegates to ``python -m repro.analysis``.  Exit status: 0 clean,
+1 violations, 2 usage error.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC_ROOT))
+
+from repro.analysis.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    argv = sys.argv[1:] or [str(SRC_ROOT)]
+    raise SystemExit(main(argv))
