@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke check-backends check-resilience check-static check-types tables csv examples all clean
+.PHONY: install test bench bench-smoke check-autotune check-backends check-resilience check-static check-types tables csv examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,6 +21,14 @@ bench-smoke:
 # benchmarks/results/dispatch.json).
 check-backends:
 	PYTHONPATH=src python benchmarks/bench_dispatch.py --out benchmarks/results/dispatch.json
+
+# Adaptive-dispatch health: sweep the Fig-14 density grid with
+# backend="auto" against every static backend; at every point a cold
+# planner must land within 1.05x of the best static backend, and a
+# warmed AutotuneTable must shift at least one crossover-region choice
+# (writes benchmarks/results/autotune.json).
+check-autotune:
+	PYTHONPATH=src python benchmarks/bench_autotune.py --out benchmarks/results/autotune.json
 
 # Resilience health: a seeded fault plan (corrupted tiles + a killed
 # device) on a checked multi-device closure must be detected (zero false

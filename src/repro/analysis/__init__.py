@@ -18,6 +18,7 @@ package layer map.
 """
 
 from repro.analysis.invariants import (
+    BackendResolutionRule,
     LaunchBracketRule,
     LockDisciplineRule,
     RawMatmulRule,
@@ -32,6 +33,7 @@ from repro.analysis.layering import LAYERS, ImportLayeringRule
 
 __all__ = [
     "LAYERS",
+    "BackendResolutionRule",
     "ImportLayeringRule",
     "LaunchBracketRule",
     "LockDisciplineRule",

@@ -16,10 +16,16 @@ unit test pins down because they are conventions spanning many files:
   matrix products (``@``, ``np.dot``, ``np.matmul``, ``np.einsum``):
   every product must flow through a semiring fold so non-(+,×) rings
   cannot silently fall back to GEMM semantics;
-- **lock-discipline** — the attributes :class:`PlanCache` and
-  :class:`Trace` document as lock-protected are touched only inside
-  ``with self._lock:`` (``__init__``, which runs before the object is
-  shared, is exempt);
+- **lock-discipline** — the attributes :class:`PlanCache`,
+  :class:`Trace` and :class:`~repro.plan.autotune.AutotuneTable`
+  document as lock-protected are touched only inside ``with
+  self._lock:`` (``__init__``, which runs before the object is shared,
+  is exempt);
+- **backend-resolution** — runtime and resilience dispatch sites resolve
+  backends through the context/planner/registry, never by string
+  literal: no ``get_backend("<name>")`` calls and no ``.backend ==
+  "<name>"`` dispatch comparisons outside :mod:`repro.plan` — hardcoded
+  names at dispatch sites are exactly what adaptive dispatch replaced;
 - **import-layering** — see :mod:`repro.analysis.layering`.
 
 Each rule is a :class:`Rule` subclass; :func:`lint_paths` applies every
@@ -44,6 +50,7 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 __all__ = [
+    "BackendResolutionRule",
     "LaunchBracketRule",
     "LockDisciplineRule",
     "RawMatmulRule",
@@ -121,7 +128,9 @@ class TraceWriteRule(Rule):
         "repro/hooks/ (the pipeline) and repro/runtime/trace.py"
     )
 
-    _WRITERS = frozenset({"record", "record_event", "record_compile"})
+    _WRITERS = frozenset(
+        {"record", "record_event", "record_compile", "record_plan"}
+    )
     _ALLOWED_PREFIXES = ("repro/hooks/",)
     _ALLOWED_FILES = frozenset({"repro/runtime/trace.py"})
 
@@ -278,7 +287,10 @@ class LockDisciplineRule(Rule):
             {"_entries", "_hits", "_misses", "_evictions"}
         ),
         ("repro/runtime/trace.py", "Trace"): frozenset(
-            {"records", "events", "compiles"}
+            {"records", "events", "compiles", "plans"}
+        ),
+        ("repro/plan/autotune.py", "AutotuneTable"): frozenset(
+            {"_entries", "_plans", "_version"}
         ),
     }
 
@@ -348,6 +360,84 @@ class LockDisciplineRule(Rule):
             )
 
 
+class BackendResolutionRule(Rule):
+    """Dispatch sites resolve backends via the planner/registry, not names.
+
+    With the planning stage in place, a runtime or resilience code path
+    that looks up a backend by string literal — ``get_backend("sparse")``
+    or ``if ctx.backend == "emulate":`` — is re-growing exactly the
+    hardcoded dispatch the planner replaced: the choice stops flowing
+    through capabilities, cost ranking and the autotune table.  Backend
+    names as *configuration defaults* (dataclass field defaults,
+    ``ExecutionContext(backend=...)`` construction) stay legal; only
+    resolution (`get_backend`) and equality dispatch on ``.backend`` are
+    flagged.
+    """
+
+    name = "backend-resolution"
+    description = (
+        "no get_backend(<string literal>) calls and no `.backend == "
+        "<literal>` dispatch comparisons under repro/runtime/ or "
+        "repro/resilience/ — backend choice flows through the "
+        "context/planner/registry"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith(("repro/runtime/", "repro/resilience/"))
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                fname = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute) else None
+                )
+                if (
+                    fname == "get_backend"
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    yield self.violation(
+                        relpath,
+                        node,
+                        f"get_backend({node.args[0].value!r}) hardcodes a "
+                        f"backend at a dispatch site; resolve through the "
+                        f"context or the planner instead",
+                    )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                names_backend = any(
+                    isinstance(o, ast.Attribute) and o.attr == "backend"
+                    for o in operands
+                )
+                literal = next(
+                    (
+                        o.value
+                        for o in operands
+                        if isinstance(o, ast.Constant)
+                        and isinstance(o.value, str)
+                    ),
+                    None,
+                )
+                if (
+                    names_backend
+                    and literal is not None
+                    and all(
+                        isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+                    )
+                ):
+                    yield self.violation(
+                        relpath,
+                        node,
+                        f"comparing .backend against {literal!r} dispatches "
+                        f"on a hardcoded name; use capabilities or the "
+                        f"planner's ranking instead",
+                    )
+
+
 def default_rules() -> tuple[Rule, ...]:
     """Every invariant the repository enforces, in reporting order."""
     from repro.analysis.layering import ImportLayeringRule
@@ -357,6 +447,7 @@ def default_rules() -> tuple[Rule, ...]:
         LaunchBracketRule(),
         RawMatmulRule(),
         LockDisciplineRule(),
+        BackendResolutionRule(),
         ImportLayeringRule(),
     )
 

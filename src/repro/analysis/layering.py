@@ -15,7 +15,7 @@ layer  packages
 1      ``isa``, ``datasets``
 2      ``hw``, ``compile``
 3      ``hooks``, ``runtime``, ``sparse``
-4      ``backends``, ``resilience``, ``timing``, ``hwmodel``
+4      ``backends``, ``plan``, ``resilience``, ``timing``, ``hwmodel``
 5      ``apps``
 6      ``bench``, ``analysis``
 ====== =====================================================
@@ -49,6 +49,7 @@ LAYERS: dict[str, int] = {
     "runtime": 3,
     "sparse": 3,
     "backends": 4,
+    "plan": 4,
     "resilience": 4,
     "timing": 4,
     "hwmodel": 4,

@@ -9,7 +9,14 @@ and hands the artifact plus validated operands to the backend's
 
 - ``"vectorized"`` — NumPy semiring arithmetic (the CUDA-core analogue),
 - ``"emulate"``    — per-tile warp programs on the Simd2Device emulator,
-- ``"sparse"``     — Gustavson spGEMM over CSR operands.
+- ``"sparse"``     — Gustavson spGEMM over CSR operands,
+- ``"auto"``       — the planning stage (:mod:`repro.plan`): ranks the
+  capable backends per launch and dispatches to the winner.
+
+Each backend declares :class:`BackendCapabilities` (which rings it can
+run, whether it accepts an accumulator, its density preference); the
+dispatch seam rejects capability-violating explicit requests up front
+and the planner filters candidates by the same declarations.
 
 Register your own with :func:`register_backend`; every entry point and
 the registry-driven parity suite pick it up automatically.
@@ -17,8 +24,12 @@ the registry-driven parity suite pick it up automatically.
 
 from repro.backends.base import (
     Backend,
+    BackendCapabilities,
     BackendError,
     MmoBackend,
+    capabilities_of,
+    capable_backends,
+    check_backend_capability,
     get_backend,
     list_backends,
     register_backend,
@@ -26,8 +37,12 @@ from repro.backends.base import (
 
 __all__ = [
     "Backend",
+    "BackendCapabilities",
     "BackendError",
     "MmoBackend",
+    "capabilities_of",
+    "capable_backends",
+    "check_backend_capability",
     "get_backend",
     "list_backends",
     "register_backend",

@@ -23,6 +23,7 @@ reverse at module level).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.runtime.api import RuntimeError_
@@ -31,14 +32,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
 
     from repro.compile.artifact import CompiledMmo
+    from repro.core.semiring import Semiring
     from repro.isa.opcodes import MmoOpcode
     from repro.runtime.context import ExecutionContext
     from repro.runtime.kernels import KernelStats
 
 __all__ = [
     "Backend",
+    "BackendCapabilities",
     "BackendError",
     "MmoBackend",
+    "capabilities_of",
+    "capable_backends",
+    "check_backend_capability",
     "get_backend",
     "list_backends",
     "register_backend",
@@ -47,6 +53,100 @@ __all__ = [
 
 class BackendError(RuntimeError_):
     """Unknown or conflicting backend registration/lookup."""
+
+
+@dataclasses.dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend declares it can run, checked *before* dispatch.
+
+    Replaces the scattered execute-time probing backends used to do
+    (the sparse backend raised — or silently degraded — deep inside
+    ``execute`` on rings whose ⊕ identity is not ⊗-absorbing).  The
+    planner filters candidates by these declarations, and the dispatch
+    seam rejects capability-violating explicit requests up front with a
+    :class:`BackendError` naming the capable backends.
+
+    ``rings`` is the frozen set of supported semiring names, or ``None``
+    for "every ring" (the permissive default legacy backends get).
+    ``accumulator`` says whether ``C ⊕`` launches are supported.
+    ``density_preference`` is advisory metadata for the planner:
+    ``"sparse"`` backends expect to win on mostly-identity operands,
+    ``"dense"`` ones on full operands, ``"any"`` claims no preference.
+    """
+
+    rings: frozenset[str] | None = None
+    accumulator: bool = True
+    density_preference: str = "any"
+
+    def __post_init__(self) -> None:
+        if self.density_preference not in ("dense", "sparse", "any"):
+            raise BackendError(
+                "density_preference must be 'dense', 'sparse' or 'any', "
+                f"got {self.density_preference!r}"
+            )
+        if self.rings is not None:
+            object.__setattr__(self, "rings", frozenset(self.rings))
+
+    def supports_ring(self, ring_name: str) -> bool:
+        return self.rings is None or ring_name in self.rings
+
+    def supports(self, ring_name: str, *, has_accumulator: bool = False) -> bool:
+        if has_accumulator and not self.accumulator:
+            return False
+        return self.supports_ring(ring_name)
+
+
+#: What a backend without a ``capabilities`` attribute claims: anything.
+#: Legacy backends (registered before capabilities existed) keep
+#: dispatching exactly as before.
+PERMISSIVE_CAPABILITIES = BackendCapabilities()
+
+
+def capabilities_of(backend: "Backend") -> BackendCapabilities:
+    """The backend's declared capabilities (permissive when undeclared)."""
+    caps = getattr(backend, "capabilities", None)
+    return caps if isinstance(caps, BackendCapabilities) else PERMISSIVE_CAPABILITIES
+
+
+def capable_backends(
+    ring: "Semiring | str", *, has_accumulator: bool = False
+) -> tuple[str, ...]:
+    """Sorted names of registered backends that can run this launch."""
+    ring_name = ring if isinstance(ring, str) else ring.name
+    _ensure_builtins()
+    return tuple(
+        sorted(
+            name
+            for name, backend in _REGISTRY.items()
+            if capabilities_of(backend).supports(
+                ring_name, has_accumulator=has_accumulator
+            )
+        )
+    )
+
+
+def check_backend_capability(
+    backend: "Backend", ring: "Semiring | str", *, has_accumulator: bool = False
+) -> None:
+    """Reject a launch the backend declared itself unable to run.
+
+    Raises :class:`BackendError` naming the backends that *can* run the
+    ring — the clear early error the sparse backend's execute-time
+    probing never gave.
+    """
+    ring_name = ring if isinstance(ring, str) else ring.name
+    if capabilities_of(backend).supports(ring_name, has_accumulator=has_accumulator):
+        return
+    capable = ", ".join(
+        capable_backends(ring_name, has_accumulator=has_accumulator)
+    ) or "none"
+    what = f"the {ring_name} ring"
+    if has_accumulator:
+        what += " with an accumulator"
+    raise BackendError(
+        f"backend {backend.name!r} does not support {what}; "
+        f"capable backends: {capable}"
+    )
 
 
 @runtime_checkable
@@ -174,6 +274,7 @@ def _ensure_builtins() -> None:
         return
     _BUILTINS_LOADED = True
     from repro.backends import emulate, sparse, vectorized  # noqa: F401
+    from repro.plan import backend as _auto  # noqa: F401 - registers "auto"
 
 
 def register_backend(backend: Backend, *, replace: bool = False) -> Backend:

@@ -21,7 +21,7 @@ import dataclasses
 
 import numpy as np
 
-from repro.backends.base import MmoBackend, register_backend
+from repro.backends.base import BackendCapabilities, MmoBackend, register_backend
 from repro.backends.tiling import plan_mmo
 from repro.compile.artifact import CompiledMmo
 from repro.core.tiles import TILE, crop
@@ -62,6 +62,7 @@ class EmulateBackend(MmoBackend):
     """Whole-matrix mmo through per-tile warp programs on emulated SMs."""
 
     name = "emulate"
+    capabilities = BackendCapabilities(density_preference="dense")
 
     def __init__(self) -> None:
         # Default devices, one per `parallel` flavour, created lazily on

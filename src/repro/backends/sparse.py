@@ -13,18 +13,21 @@ with no call-site changes anywhere.
 Compressing away the ⊕ identity is only sound when the identity is
 ⊗-absorbing (``identity ⊗ x == identity``), which holds for six of the
 nine rings (e.g. ``0·x = 0`` for plus-mul, ``inf+x = inf`` for min-plus).
-For the rings where it fails — plus-norm (``(0-x)² = x²``), min-mul and
-max-mul (``±inf`` times a negative flips sign) — every entry is kept
-explicit, trading compression for correctness.  The check is a numeric
-probe of the ring's operators, so newly registered rings classify
-themselves.
+The rings where it fails — plus-norm (``(0-x)² = x²``), min-mul and
+max-mul (``±inf`` times a negative flips sign) — are declared *out* of
+this backend's :class:`~repro.backends.base.BackendCapabilities`, so the
+dispatch seam rejects them up front naming the capable backends instead
+of the old execute-time degradation (keeping every entry explicit, which
+was just the dense computation with CSR overhead on top).  The check is
+a numeric probe of the ring's operators, so newly registered rings
+classify themselves.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.backends.base import MmoBackend, register_backend
+from repro.backends.base import BackendCapabilities, MmoBackend, register_backend
 from repro.compile.artifact import CompiledMmo
 from repro.core.precision import quantize_input, quantize_output
 from repro.core.semiring import Semiring
@@ -33,7 +36,7 @@ from repro.runtime.kernels import KernelStats
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.spgemm import spgemm
 
-__all__ = ["SparseBackend", "identity_absorbs"]
+__all__ = ["SparseBackend", "absorbing_rings", "identity_absorbs"]
 
 #: Probe values for the absorption check: a couple of ordinary magnitudes,
 #: a negative (catches ``±inf`` sign flips in min-mul/max-mul) and zero
@@ -63,6 +66,25 @@ def identity_absorbs(ring: Semiring) -> bool:
     )
 
 
+#: Memoised probe results by ring name (the capabilities property is read
+#: on the dispatch hot path; probing costs a handful of tiny array ops).
+_ABSORB_CACHE: dict[str, bool] = {}
+
+
+def absorbing_rings() -> frozenset[str]:
+    """Names of every registered ring whose ⊕ identity is ⊗-absorbing."""
+    from repro.core.registry import SEMIRINGS
+
+    names = []
+    for name, ring in SEMIRINGS.items():
+        cached = _ABSORB_CACHE.get(name)
+        if cached is None:
+            cached = _ABSORB_CACHE[name] = identity_absorbs(ring)
+        if cached:
+            names.append(name)
+    return frozenset(names)
+
+
 class SparseBackend(MmoBackend):
     """Whole-matrix mmo as CSR × CSR spGEMM plus a dense ⊕ with C.
 
@@ -72,6 +94,14 @@ class SparseBackend(MmoBackend):
     """
 
     name = "sparse"
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        # Recomputed per read (memoised per ring) so rings registered
+        # after import classify themselves, exactly like the old probe.
+        return BackendCapabilities(
+            rings=absorbing_rings(), density_preference="sparse"
+        )
 
     def execute(
         self,
@@ -96,12 +126,9 @@ class SparseBackend(MmoBackend):
             else quantize_output(np.asarray(c), semiring)
         )
 
-        if identity_absorbs(semiring):
-            implicit: float | bool = semiring.oplus_identity
-        else:
-            # Keep every entry explicit: nothing equals NaN, so from_dense
-            # compresses nothing and spGEMM sees the full operand.
-            implicit = float("nan")
+        # Non-absorbing rings are excluded by `capabilities`, so the ⊕
+        # identity is always safe to store implicitly here.
+        implicit: float | bool = semiring.oplus_identity
         a_csr = CsrMatrix.from_dense(aq, implicit=implicit)
         b_csr = CsrMatrix.from_dense(bq, implicit=implicit)
         product, sp_stats = spgemm(semiring, a_csr, b_csr)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.backends.base import MmoBackend, register_backend
+from repro.backends.base import BackendCapabilities, MmoBackend, register_backend
 from repro.backends.tiling import plan_mmo
 from repro.compile.artifact import CompiledMmo
 from repro.core import ops as core_ops
@@ -29,6 +29,7 @@ class VectorizedBackend(MmoBackend):
     """Whole-matrix mmo on the padded plan via :func:`repro.core.ops.mmo`."""
 
     name = "vectorized"
+    capabilities = BackendCapabilities(density_preference="dense")
 
     def execute(
         self,

@@ -34,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.compile.artifact import CompiledMmo
     from repro.hooks.pipeline import Launch
     from repro.runtime.context import ExecutionContext
-    from repro.runtime.trace import ResilienceEvent
+    from repro.runtime.trace import PlanRecord, ResilienceEvent
 
 __all__ = [
     "CacheStatsHook",
@@ -186,6 +186,11 @@ class TraceHook(Hook):
         trace = context.trace
         if trace is not None:
             trace.record_event(event)
+
+    def on_plan(self, context: "ExecutionContext", plan: "PlanRecord") -> None:
+        trace = context.trace
+        if trace is not None:
+            trace.record_plan(plan)
 
 
 @register_hook(name="cache-stats")

@@ -19,7 +19,10 @@ hooks invoked at four fixed lifecycle points plus an event channel:
   trace recording; a hook may replace ``launch.result``);
 - ``on_event``     — the out-of-band channel resilience occurrences
   (retries, fallbacks, watchdog trips, checksum failures) flow through
-  instead of hand-calling ``trace.record_event``.
+  instead of hand-calling ``trace.record_event``;
+- ``on_plan``      — the adaptive-dispatch channel: when the dispatch
+  seam consults the planner (``backend="auto"``), the decision flows
+  through here as a :class:`~repro.runtime.trace.PlanRecord`.
 
 Hooks at each point fire in **registration order** (for the built-in
 assembly: validation → fault → trace → custom hooks), and the same order
@@ -46,9 +49,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     from repro.compile.artifact import CompiledMmo
     from repro.isa.opcodes import MmoOpcode
+    from repro.plan.planner import DispatchPlan
     from repro.runtime.context import ExecutionContext
     from repro.runtime.kernels import KernelStats
-    from repro.runtime.trace import ResilienceEvent
+    from repro.runtime.trace import PlanRecord, ResilienceEvent
 
 __all__ = [
     "Hook",
@@ -117,6 +121,9 @@ class Hook:
 
     def on_event(self, context: "ExecutionContext", event: "ResilienceEvent") -> None:
         """An out-of-band resilience occurrence under this context."""
+
+    def on_plan(self, context: "ExecutionContext", plan: "PlanRecord") -> None:
+        """An adaptive-dispatch decision made at the dispatch seam."""
 
 
 class Launch:
@@ -213,6 +220,7 @@ class HookPipeline:
         "_pre_execute",
         "_post_execute",
         "_on_event",
+        "_on_plan",
         "_launchless",
     )
 
@@ -223,6 +231,7 @@ class HookPipeline:
         self._pre_execute = _overriders(self.hooks, "pre_execute")
         self._post_execute = _overriders(self.hooks, "post_execute")
         self._on_event = _overriders(self.hooks, "on_event")
+        self._on_plan = _overriders(self.hooks, "on_plan")
         # Allocation-free fast path: usable only when no hook needs the
         # Launch carrier (see Hook.launchless_pre).
         launchless = tuple(h.launchless_pre for h in self._pre_execute)
@@ -336,6 +345,15 @@ class HookPipeline:
         for hook in self._on_event:
             hook.on_event(context, event)
 
+    @property
+    def wants_plans(self) -> bool:
+        """Whether anything listens on ``on_plan`` (guards record building)."""
+        return bool(self._on_plan)
+
+    def emit_plan(self, context: "ExecutionContext", plan: "PlanRecord") -> None:
+        for hook in self._on_plan:
+            hook.on_plan(context, plan)
+
     # ------------------------------------------------------------------
     def __bool__(self) -> bool:
         return bool(self.hooks)
@@ -357,8 +375,11 @@ def build_pipeline(context: "ExecutionContext") -> HookPipeline:
 
     Built-in order (also the firing order at every point): validation →
     fault (only when ``context.fault_plan`` is set) → trace (only when
-    ``context.trace`` is set) → the context's custom ``hooks`` (instances
-    or registry names, see :func:`repro.hooks.register_hook`).
+    ``context.trace`` is set) → autotune (only for adaptive contexts:
+    ``backend="auto"`` or an explicit ``autotune=`` table, so plain
+    static contexts keep the allocation-free fast path) → the context's
+    custom ``hooks`` (instances or registry names, see
+    :func:`repro.hooks.register_hook`).
     """
     from repro.hooks.builtin import FAULT_HOOK, TRACE_HOOK, VALIDATION_HOOK
     from repro.hooks.registry import resolve_hook
@@ -368,9 +389,25 @@ def build_pipeline(context: "ExecutionContext") -> HookPipeline:
         hooks.append(FAULT_HOOK)
     if context.trace is not None:
         hooks.append(TRACE_HOOK)
+    if getattr(context, "autotune", None) is not None or _is_adaptive(context):
+        # Lazy: repro.plan sits above repro.hooks in the layering.
+        from repro.plan.autotune import AutotuneHook
+
+        hooks.append(AutotuneHook())
     for spec in getattr(context, "hooks", ()):
         hooks.append(resolve_hook(spec))
     return HookPipeline(hooks)
+
+
+def _is_adaptive(context: "ExecutionContext") -> bool:
+    """Whether the context's backend is a planning backend (``"auto"``)."""
+    from repro.backends.base import BackendError, get_backend
+
+    try:
+        impl = get_backend(context.backend)
+    except BackendError:
+        return False  # resolve_context will raise the canonical error
+    return getattr(impl, "select_backend", None) is not None
 
 
 def emit_event(

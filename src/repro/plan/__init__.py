@@ -1,0 +1,58 @@
+"""Adaptive dispatch: backend choice as an explicit planning stage.
+
+Callers used to pick an execution substrate by hand (``backend=
+"sparse"``); this package inverts that into the layered form the serving
+tier needs — *request → planner → plan → executor*:
+
+- :class:`~repro.plan.planner.Planner` ranks every capable registered
+  backend for a concrete ``(opcode, shape, ring, density)`` launch into
+  a :class:`~repro.plan.planner.DispatchPlan`, seeded from the
+  substrate-calibrated cost model (:mod:`repro.timing.backend_cost`) and
+  refined from observed launch wall times;
+- :class:`~repro.plan.autotune.AutotuneTable` is the thread-safe,
+  JSON-persistable store of those observations, filled by
+  :class:`~repro.plan.autotune.AutotuneHook` at the ``post_execute``
+  lifecycle point;
+- :class:`~repro.plan.backend.AutoBackend` registers the whole stage as
+  ``backend="auto"``, so every runtime entry point (``mmo_tiled``,
+  closure, batched, split-k, multi-device) routes through the planner
+  with no signature changes — loop entry points re-plan per iteration,
+  which is what lets closure launches migrate from sparse to dense as
+  the iterated operand densifies past the predicted crossover.
+"""
+
+from repro.plan.autotune import (
+    REPROBE_OBSERVATIONS,
+    AutotuneEntry,
+    AutotuneHook,
+    AutotuneKey,
+    AutotuneTable,
+    default_autotune_table,
+)
+from repro.plan.planner import (
+    MODEL_ERROR_BAND,
+    DispatchPlan,
+    PlanCandidate,
+    PlanError,
+    Planner,
+    crossover_density,
+    planner_order,
+)
+from repro.plan.backend import AutoBackend
+
+__all__ = [
+    "AutoBackend",
+    "AutotuneEntry",
+    "AutotuneHook",
+    "AutotuneKey",
+    "AutotuneTable",
+    "DispatchPlan",
+    "MODEL_ERROR_BAND",
+    "PlanCandidate",
+    "PlanError",
+    "Planner",
+    "REPROBE_OBSERVATIONS",
+    "crossover_density",
+    "default_autotune_table",
+    "planner_order",
+]

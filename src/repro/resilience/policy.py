@@ -107,15 +107,42 @@ class FallbackChain:
     already tried are skipped, so ``FallbackChain(("vectorized",
     "emulate"))`` under a vectorized context degrades straight to the
     emulator.
+
+    ``backends=None`` (the default) consumes the planner's ranked order
+    for the launch (:func:`repro.plan.planner.planner_order`): fallback
+    degrades cheapest-capable-first, density-aware when the launch
+    operands are known, instead of walking a hard-coded pair — so a
+    sparse launch falls back through ``sparse`` before the emulator, and
+    rings the sparse backend cannot run never route through it at all.
     """
 
-    backends: tuple[str, ...] = ("vectorized", "emulate")
+    backends: tuple[str, ...] | None = None
     fallback_on: tuple[type[BaseException], ...] = FALLBACK_ON
 
-    def plan(self, first: str) -> tuple[str, ...]:
-        """The full backend order for a launch starting at ``first``."""
+    def plan(
+        self,
+        first: str,
+        *,
+        ring: "Semiring | str | MmoOpcode | None" = None,
+        a: np.ndarray | None = None,
+        b: np.ndarray | None = None,
+        c: np.ndarray | None = None,
+    ) -> tuple[str, ...]:
+        """The full backend order for a launch starting at ``first``.
+
+        With an explicit ``backends`` tuple the keywords are ignored;
+        otherwise they parameterise the planner's ranking (ring-only
+        calls get a capability-filtered static order, full operands a
+        density-aware one).
+        """
+        if self.backends is not None:
+            chain: tuple[str, ...] = self.backends
+        else:
+            from repro.plan.planner import planner_order  # lazy: peer layer
+
+            chain = planner_order(ring, a, b, c)
         order = [first]
-        for name in self.backends:
+        for name in chain:
             if name not in order:
                 order.append(name)
         return tuple(order)
@@ -165,7 +192,7 @@ def resilient_mmo(
     )
 
     causes: list[tuple[str, BaseException]] = []
-    for backend_name in fallback.plan(ctx.backend):
+    for backend_name in fallback.plan(ctx.backend, ring=opcode, a=a, b=b, c=c):
         attempt_ctx = ctx.replace(backend=backend_name)
         if backend_name != ctx.backend:
             emit_event(

@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.compile.cache import PlanCache
     from repro.hooks.pipeline import Hook, HookPipeline
     from repro.hw.device import Simd2Device
+    from repro.plan.autotune import AutotuneTable
     from repro.resilience.faults import FaultPlan
     from repro.runtime.trace import Trace
 
@@ -81,6 +82,15 @@ class ExecutionContext:
         built-in pipeline.  The built-in trace/fault/validation hooks are
         implied by the ``trace``/``fault_plan`` fields and need not be
         listed here.
+    autotune:
+        :class:`~repro.plan.autotune.AutotuneTable` the planner refines
+        its rankings from, filled by the autotune hook at the execute
+        seam.  ``None`` (the default) means the process-wide shared table
+        (:func:`repro.plan.autotune.default_autotune_table`) *when the
+        context is adaptive* (``backend="auto"``); pass a private table
+        to isolate a workload's observations.  Setting the field on a
+        static-backend context opts that context's launches into feeding
+        the table too.
     """
 
     backend: str = "vectorized"
@@ -90,6 +100,7 @@ class ExecutionContext:
     plan_cache: "PlanCache | None" = None
     fault_plan: "FaultPlan | None" = None
     hooks: "tuple[Hook | str, ...]" = ()
+    autotune: "AutotuneTable | None" = None
 
     def replace(self, **overrides) -> "ExecutionContext":
         """A copy with the given fields replaced (context is immutable)."""
@@ -146,6 +157,7 @@ def resolve_context(
     plan_cache: "PlanCache | None" = None,
     fault_plan: "FaultPlan | None" = None,
     hooks: "tuple[Hook | str, ...] | None" = None,
+    autotune: "AutotuneTable | None" = None,
 ) -> ExecutionContext:
     """Fold legacy keywords over a base context and validate the backend.
 
@@ -170,6 +182,8 @@ def resolve_context(
         overrides["fault_plan"] = fault_plan
     if hooks is not None:
         overrides["hooks"] = tuple(hooks)
+    if autotune is not None:
+        overrides["autotune"] = autotune
     if overrides:
         resolved = dataclasses.replace(resolved, **overrides)
     _validate_backend(resolved.backend)

@@ -60,6 +60,7 @@ from repro.runtime.context import ExecutionContext, resolve_context
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backends.base import Backend
     from repro.compile.artifact import CompiledMmo
+    from repro.hooks.pipeline import Launch
     from repro.sparse.spgemm import SpgemmStats
 
 __all__ = [
@@ -247,6 +248,92 @@ def _supports_compile(impl: "Backend") -> bool:
     )
 
 
+def _apply_selection(
+    ctx: ExecutionContext,
+    impl: "Backend",
+    opcode: MmoOpcode,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None,
+    *,
+    api: str,
+) -> "tuple[ExecutionContext, Backend, tuple[float, float]]":
+    """Run a planning backend's selection stage at the dispatch seam.
+
+    A backend exposing ``select_backend`` (the ``"auto"`` backend, see
+    :mod:`repro.plan.backend`) is a *planning stage*, not an executor:
+    it ranks the capable concrete backends for these operands, the
+    decision is surfaced through the pipeline's ``on_plan`` channel, and
+    the context is rewritten to the chosen backend — so the launch
+    records, fault ordinals and autotune observations all name the
+    backend that actually ran.  The rewritten context always carries an
+    autotune table (the context's own or the process-wide default), so
+    the selected launch's wall time feeds back into the next plan.
+
+    Returns the plan's operand density estimates alongside so the caller
+    can hand them to the launch carrier (``AutotuneHook`` then buckets
+    the observation without re-estimating).  The rewritten context is
+    memoised on the base context per chosen backend — a stable workload
+    replans every launch but rebuilds its context (and hook pipeline)
+    only on a backend change.
+    """
+    chosen, plan = impl.select_backend(  # type: ignore[attr-defined]
+        opcode, a, b, c, context=ctx
+    )
+    pipeline = ctx.pipeline
+    if pipeline.wants_plans:
+        from repro.runtime.trace import PlanRecord
+
+        pipeline.emit_plan(
+            ctx,
+            PlanRecord(
+                api=api,
+                backend=chosen,
+                ring=plan.ring,
+                opcode=plan.opcode,
+                shape=plan.shape,
+                density_a=plan.density_a,
+                density_b=plan.density_b,
+                candidates=plan.candidates,
+                refined=plan.refined,
+                probe=plan.probe,
+            ),
+        )
+    cache: dict[str, ExecutionContext] | None = ctx.__dict__.get(
+        "_selection_cache"
+    )
+    if cache is None:
+        cache = {}
+        object.__setattr__(ctx, "_selection_cache", cache)
+    selected = cache.get(chosen)
+    if selected is None:
+        overrides: dict[str, object] = {"backend": chosen}
+        if ctx.autotune is None:
+            from repro.plan.autotune import default_autotune_table  # lazy: plan sits above runtime
+
+            overrides["autotune"] = default_autotune_table()
+        selected = ctx.replace(**overrides)
+        cache[chosen] = selected
+    from repro.backends.base import get_backend  # lazy: backends import us
+
+    return selected, get_backend(chosen), (plan.density_a, plan.density_b)
+
+
+def _note_plan_densities(
+    launch: "Launch | None", densities: tuple[float, float] | None
+) -> None:
+    """Hand the plan's density estimates to the launch carrier.
+
+    ``AutotuneHook`` buckets its observation with these instead of
+    re-estimating both operands at ``post_execute``.
+    """
+    if launch is None or densities is None:
+        return
+    if launch.notes is None:
+        launch.notes = {}
+    launch.notes["plan_densities"] = densities
+
+
 def execute_compiled(
     compiled: "CompiledMmo",
     a: np.ndarray,
@@ -277,7 +364,10 @@ def execute_compiled(
     The context must already be resolved (backend validated); the backend
     must implement ``execute``.
     """
-    from repro.backends.base import get_backend  # lazy: backends import us
+    from repro.backends.base import (  # lazy: backends import us
+        check_backend_capability,
+        get_backend,
+    )
 
     a, b, c, m, n, k = _validate_operands(a, b, c)
     opcode = compiled.opcode
@@ -291,6 +381,19 @@ def execute_compiled(
         return pipeline.finish_launch(launch, empty, stats, 0.0), stats
     compiled.validate_operands(m, n, k, has_accumulator=c is not None)
     impl = get_backend(context.backend)
+    densities = None
+    if callable(getattr(impl, "select_backend", None)):
+        # Re-select per replay: loop entry points that compiled once under
+        # backend="auto" re-plan every iteration, so closure loops migrate
+        # backends as the iterate's density drifts across the crossover.
+        context, impl, densities = _apply_selection(
+            context, impl, opcode, a, b, c, api=api
+        )
+        pipeline = context.pipeline
+    else:
+        check_backend_capability(
+            impl, opcode.semiring, has_accumulator=c is not None
+        )
 
     launch = pipeline.begin_launch(
         context, api, opcode, a, b, c,
@@ -298,6 +401,7 @@ def execute_compiled(
         cache_hit=cache_hit,
         optimizer_removed=compiled.optimizer_removed,
     )
+    _note_plan_densities(launch, densities)
     start = time.perf_counter()
     result, stats = impl.execute(compiled, a, b, c, context=context)
     elapsed = time.perf_counter() - start
@@ -355,11 +459,18 @@ def mmo_tiled(
     a, b, c, m, n, k = _validate_operands(a, b, c)
 
     # Resolve + validate the backend once, up front — even for degenerate
-    # shapes, so a typo fails identically on every input.
+    # shapes, so a typo (or a capability violation) fails identically on
+    # every input.
     ctx = resolve_context(context, backend=backend, device=device)
-    from repro.backends.base import get_backend  # lazy: backends import us
+    from repro.backends.base import (  # lazy: backends import us
+        check_backend_capability,
+        get_backend,
+    )
 
     impl = get_backend(ctx.backend)
+    planning = callable(getattr(impl, "select_backend", None))
+    if not planning:
+        check_backend_capability(impl, semiring, has_accumulator=c is not None)
     pipeline = ctx.pipeline
 
     if m == 0 or n == 0:
@@ -369,6 +480,13 @@ def mmo_tiled(
         )
         empty, stats = _degenerate_result(semiring, m, n, k, c)
         return pipeline.finish_launch(launch, empty, stats, 0.0), stats
+
+    densities = None
+    if planning:
+        # Planning backends select per launch; the empty-output path above
+        # never reaches here (nothing runs, so there is nothing to plan).
+        ctx, impl, densities = _apply_selection(ctx, impl, opcode, a, b, c, api=api)
+        pipeline = ctx.pipeline
 
     if _supports_compile(impl):
         compiled, hit = compile_in_context(
@@ -380,6 +498,7 @@ def mmo_tiled(
             cache_hit=hit,
             optimizer_removed=compiled.optimizer_removed,
         )
+        _note_plan_densities(launch, densities)
         start = time.perf_counter()
         result, stats = impl.execute(compiled, a, b, c, context=ctx)
         elapsed = time.perf_counter() - start
@@ -389,6 +508,7 @@ def mmo_tiled(
     launch = pipeline.begin_launch(
         ctx, api, opcode, a, b, c, validate_inputs=validate_inputs
     )
+    _note_plan_densities(launch, densities)
     start = time.perf_counter()
     result, stats = impl.run_mmo(opcode, a, b, c, context=ctx)
     elapsed = time.perf_counter() - start

@@ -20,10 +20,18 @@ from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.hw.warp import ExecutionStats
+    from repro.plan.planner import PlanCandidate
     from repro.runtime.kernels import KernelStats
     from repro.sparse.spgemm import SpgemmStats
 
-__all__ = ["CompileRecord", "LaunchRecord", "ResilienceEvent", "Trace", "TraceSummary"]
+__all__ = [
+    "CompileRecord",
+    "LaunchRecord",
+    "PlanRecord",
+    "ResilienceEvent",
+    "Trace",
+    "TraceSummary",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -79,6 +87,31 @@ class ResilienceEvent:
     attempt: int = 0
     device_index: int | None = None
     launch_ordinal: int | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanRecord:
+    """One adaptive-dispatch decision, as surfaced through ``on_plan``.
+
+    Appended by the trace hook whenever the dispatch seam consulted the
+    planner (``backend="auto"``): ``backend`` is the concrete choice the
+    launch ran on, ``candidates`` the full ranked
+    :class:`~repro.plan.planner.PlanCandidate` tuple behind it.
+    ``refined`` says at least one candidate was priced from autotune
+    observations rather than the cold cost model; ``probe`` marks a
+    bounded exploration pick (see :data:`repro.plan.MODEL_ERROR_BAND`).
+    """
+
+    api: str
+    backend: str
+    ring: str
+    opcode: str
+    shape: tuple[int, int, int]  # (m, n, k)
+    density_a: float
+    density_b: float
+    candidates: "tuple[PlanCandidate, ...]"
+    refined: bool = False
+    probe: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -155,6 +188,7 @@ class Trace:
         self.records: list[LaunchRecord] = []
         self.events: list[ResilienceEvent] = []
         self.compiles: list[CompileRecord] = []
+        self.plans: list[PlanRecord] = []
         self._lock = threading.Lock()
 
     def record(self, launch: LaunchRecord) -> None:
@@ -169,6 +203,10 @@ class Trace:
         with self._lock:
             self.compiles.append(compile_record)
 
+    def record_plan(self, plan_record: PlanRecord) -> None:
+        with self._lock:
+            self.plans.append(plan_record)
+
     def events_of(self, kind: str) -> list[ResilienceEvent]:
         """Every recorded event of one ``kind`` (see :class:`ResilienceEvent`)."""
         with self._lock:
@@ -179,13 +217,15 @@ class Trace:
             self.records.clear()
             self.events.clear()
             self.compiles.clear()
+            self.plans.clear()
 
     def summary(self) -> "TraceSummary":
         with self._lock:
             records = list(self.records)
             events = tuple(self.events)
             compiles = tuple(self.compiles)
-        return TraceSummary.from_records(records, events, compiles)
+            plans = tuple(self.plans)
+        return TraceSummary.from_records(records, events, compiles, plans)
 
     def __len__(self) -> int:
         with self._lock:
@@ -222,6 +262,12 @@ class TraceSummary:
     compile_requests: int = 0
     programs_verified: int = 0
     verifier_warnings: int = 0
+    #: Adaptive-dispatch traffic: planner decisions observed, how many
+    #: were priced from autotune observations, how many were exploration
+    #: probes.
+    plan_decisions: int = 0
+    plans_refined: int = 0
+    plan_probes: int = 0
 
     @property
     def resilience_events(self) -> int:
@@ -273,6 +319,7 @@ class TraceSummary:
         records: list[LaunchRecord],
         events: "list[ResilienceEvent] | tuple[ResilienceEvent, ...]" = (),
         compiles: "list[CompileRecord] | tuple[CompileRecord, ...]" = (),
+        plans: "list[PlanRecord] | tuple[PlanRecord, ...]" = (),
     ) -> "TraceSummary":
         by_backend: dict[str, int] = {}
         by_ring: dict[str, int] = {}
@@ -316,6 +363,9 @@ class TraceSummary:
             compile_requests=len(compiles),
             programs_verified=verified,
             verifier_warnings=verifier_warnings,
+            plan_decisions=len(plans),
+            plans_refined=sum(1 for plan in plans if plan.refined),
+            plan_probes=sum(1 for plan in plans if plan.probe),
         )
 
     def as_row(self) -> dict[str, object]:
@@ -332,6 +382,7 @@ class TraceSummary:
             "cache_misses": self.cache_misses,
             "optimizer_removed": self.optimizer_removed,
             "resilience_events": self.resilience_events,
+            "plan_decisions": self.plan_decisions,
             "programs_verified": self.programs_verified,
             "wall_time_s": self.wall_time_s,
             "cycle_estimate": self.cycle_estimate,

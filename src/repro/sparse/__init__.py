@@ -12,6 +12,7 @@ from repro.sparse.structured import (
 from repro.sparse.memory import RTX3080_MEMORY_BYTES, MemoryModel
 from repro.sparse.closure import SparseClosureResult, elementwise_oplus, sparse_closure
 from repro.sparse.bitmatrix import BitMatrix
+from repro.sparse.density import EXACT_THRESHOLD, estimate_density
 
 __all__ = [
     "CsrMatrix",
@@ -30,4 +31,6 @@ __all__ = [
     "elementwise_oplus",
     "sparse_closure",
     "BitMatrix",
+    "EXACT_THRESHOLD",
+    "estimate_density",
 ]

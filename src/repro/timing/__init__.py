@@ -31,6 +31,13 @@ from repro.timing.cycles import (
     kernel_cycle_estimate,
     stats_to_cycles,
 )
+from repro.timing.backend_cost import (
+    CostModelError,
+    LaunchSpec,
+    estimate,
+    has_estimator,
+    register_estimator,
+)
 
 __all__ = [
     "GpuSpec",
@@ -67,4 +74,9 @@ __all__ = [
     "DesignPoint",
     "design_point",
     "design_space",
+    "CostModelError",
+    "LaunchSpec",
+    "estimate",
+    "has_estimator",
+    "register_estimator",
 ]

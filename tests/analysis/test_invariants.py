@@ -7,6 +7,7 @@ import textwrap
 from pathlib import Path
 
 from repro.analysis import (
+    BackendResolutionRule,
     ImportLayeringRule,
     LaunchBracketRule,
     LockDisciplineRule,
@@ -28,13 +29,14 @@ class TestTreeIsClean:
         violations = lint_paths(SRC_ROOT)
         assert violations == [], "\n".join(str(v) for v in violations)
 
-    def test_default_rules_cover_all_five_invariants(self):
+    def test_default_rules_cover_all_six_invariants(self):
         names = {rule.name for rule in default_rules()}
         assert names == {
             "trace-writes",
             "launch-bracketing",
             "raw-matmul",
             "lock-discipline",
+            "backend-resolution",
             "import-layering",
         }
 
@@ -213,6 +215,73 @@ class TestLockDisciplineRule:
             "repro/compile/cache.py",
         )
         assert violations == []
+
+
+class TestBackendResolutionRule:
+    def test_literal_get_backend_flagged(self):
+        violations = _check(
+            BackendResolutionRule(),
+            """
+            def dispatch(ctx):
+                impl = get_backend("sparse")
+                return impl
+            """,
+            "repro/runtime/kernels.py",
+        )
+        assert len(violations) == 1
+        assert "hardcodes a backend" in violations[0].message
+
+    def test_literal_backend_comparison_flagged(self):
+        violations = _check(
+            BackendResolutionRule(),
+            """
+            def route(ctx):
+                if ctx.backend == "emulate":
+                    return slow_path()
+                if ctx.backend != "vectorized":
+                    return other_path()
+            """,
+            "repro/resilience/policy.py",
+        )
+        assert len(violations) == 2
+
+    def test_variable_resolution_clean(self):
+        violations = _check(
+            BackendResolutionRule(),
+            """
+            def dispatch(ctx, chosen):
+                impl = get_backend(chosen)
+                return get_backend(ctx.backend)
+            """,
+            "repro/runtime/kernels.py",
+        )
+        assert violations == []
+
+    def test_configuration_defaults_clean(self):
+        # Backend names as *configuration* stay legal: constructor
+        # keywords and dataclass field defaults are not dispatch.
+        violations = _check(
+            BackendResolutionRule(),
+            """
+            import dataclasses
+
+            @dataclasses.dataclass
+            class Policy:
+                backend: str = "vectorized"
+
+            def make_context():
+                return ExecutionContext(backend="sparse")
+            """,
+            "repro/resilience/policy.py",
+        )
+        assert violations == []
+
+    def test_scope_is_runtime_and_resilience(self):
+        rule = BackendResolutionRule()
+        assert rule.applies_to("repro/runtime/kernels.py")
+        assert rule.applies_to("repro/resilience/policy.py")
+        assert not rule.applies_to("repro/backends/base.py")
+        assert not rule.applies_to("repro/plan/planner.py")
 
 
 class TestImportLayeringRule:

@@ -47,10 +47,16 @@ class TestCompileExecuteParity:
         m, k, n = 20, 33, 17
         a, b, c = make_ring_inputs(ring, m, k, n, rng)
         expected = mmo(ring, a, b, c)
+        from repro.backends import capabilities_of
+
         for name in list_backends():
             impl = get_backend(name)
             if not callable(getattr(impl, "compile", None)):
                 continue
+            if not capabilities_of(impl).supports(
+                ring.name, has_accumulator=True
+            ):
+                continue  # declared incapability (e.g. sparse × plus-norm)
             ctx = resolve_context(None, backend=name)
             compiled = impl.compile(
                 opcode, m, n, k, has_accumulator=True, context=ctx

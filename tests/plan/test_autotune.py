@@ -1,0 +1,214 @@
+"""Tests for the AutotuneTable: bucketing, thread safety, persistence,
+and the AutotuneHook feedback seam."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.plan import AutotuneKey, AutotuneTable, default_autotune_table
+from repro.plan.autotune import _density_bin, _dim_bucket
+from repro.runtime.context import ExecutionContext
+from repro.runtime.kernels import mmo_tiled
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xA07)
+
+
+class TestBucketing:
+    def test_nearby_dims_share_a_bucket(self):
+        assert _dim_bucket(120) == _dim_bucket(128)
+        assert _dim_bucket(128) != _dim_bucket(256)
+
+    def test_zero_dim_gets_its_own_bucket(self):
+        assert _dim_bucket(0) == -1
+        assert _dim_bucket(0) != _dim_bucket(1)
+
+    def test_density_bins_resolve_the_crossover(self):
+        # One side of a Fig-14 crossover must not share a bin with the
+        # other: 0.01 vs 0.1 vs 1.0 are distinct regimes.
+        assert _density_bin(0.01) != _density_bin(0.1)
+        assert _density_bin(0.1) != _density_bin(1.0)
+
+    def test_densities_below_floor_share_the_sparsest_bin(self):
+        assert _density_bin(1e-9) == _density_bin(1e-4)
+
+    def test_key_bucket_is_stable(self):
+        key = AutotuneKey.bucket("vectorized", "MINPLUS", m=128, n=128, k=128)
+        assert key == AutotuneKey.bucket(
+            "vectorized", "MINPLUS", m=130, n=126, k=128
+        )
+
+
+class TestRecordObserve:
+    def test_cold_bucket_reads_none(self):
+        table = AutotuneTable()
+        assert table.observed("vectorized", "MINPLUS", m=64, n=64, k=64) is None
+
+    def test_best_of_observations_wins(self):
+        table = AutotuneTable()
+        for t in (3e-3, 1e-3, 2e-3):
+            table.record("vectorized", "MINPLUS", m=64, n=64, k=64, wall_time_s=t)
+        assert table.observed("vectorized", "MINPLUS", m=64, n=64, k=64) == 1e-3
+        assert table.observation_count("vectorized", "MINPLUS", m=64, n=64, k=64) == 3
+
+    def test_negative_wall_times_ignored(self):
+        table = AutotuneTable()
+        table.record("vectorized", "MINPLUS", m=64, n=64, k=64, wall_time_s=-1.0)
+        assert len(table) == 0
+
+    def test_clear_empties_the_table(self):
+        table = AutotuneTable()
+        table.record("vectorized", "MINPLUS", m=64, n=64, k=64, wall_time_s=1e-3)
+        table.clear()
+        assert len(table) == 0
+
+    def test_snapshot_is_a_deep_copy(self):
+        table = AutotuneTable()
+        table.record("vectorized", "MINPLUS", m=64, n=64, k=64, wall_time_s=1e-3)
+        snap = table.snapshot()
+        next(iter(snap.values())).observe(1e-9)
+        assert table.observed("vectorized", "MINPLUS", m=64, n=64, k=64) == 1e-3
+
+
+class TestConcurrency:
+    def test_parallel_records_lose_nothing(self):
+        table = AutotuneTable()
+        per_thread, threads = 200, 8
+
+        def work(i: int) -> None:
+            for j in range(per_thread):
+                table.record(
+                    "vectorized", "MINPLUS",
+                    m=64 * (1 + i % 3), n=64, k=64,
+                    wall_time_s=1e-3 + j * 1e-6,
+                )
+
+        ts = [threading.Thread(target=work, args=(i,)) for i in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        total = sum(e.count for e in table.snapshot().values())
+        assert total == per_thread * threads
+
+    def test_parallel_readers_and_writers(self):
+        table = AutotuneTable()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer() -> None:
+            j = 0
+            while not stop.is_set():
+                table.record("sparse", "MINPLUS", m=128, n=128, k=128,
+                             wall_time_s=1e-3 + j * 1e-7)
+                j += 1
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    got = table.observed("sparse", "MINPLUS", m=128, n=128, k=128)
+                    assert got is None or got >= 1e-3
+                    table.snapshot()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        ts = [threading.Thread(target=writer) for _ in range(3)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in ts:
+            t.start()
+        stop.wait(0.2)
+        stop.set()
+        for t in ts:
+            t.join()
+        assert errors == []
+
+
+class TestPersistence:
+    def test_json_round_trip(self, tmp_path):
+        table = AutotuneTable()
+        table.record("vectorized", "MINPLUS", m=128, n=128, k=128,
+                     density_a=0.5, density_b=0.25, wall_time_s=2e-3)
+        table.record("sparse", "PLUSMUL", m=256, n=256, k=256,
+                     density_a=0.01, density_b=0.01, wall_time_s=4e-4)
+        table.record("sparse", "PLUSMUL", m=256, n=256, k=256,
+                     density_a=0.01, density_b=0.01, wall_time_s=3e-4)
+        path = tmp_path / "autotune.json"
+        table.save(str(path))
+        loaded = AutotuneTable.load(str(path))
+        assert loaded.snapshot() == table.snapshot()
+        assert loaded.observed(
+            "sparse", "PLUSMUL", m=256, n=256, k=256,
+            density_a=0.01, density_b=0.01,
+        ) == 3e-4
+
+    def test_payload_is_versioned_and_sorted(self):
+        table = AutotuneTable()
+        table.record("b", "OP", m=1, n=1, k=1, wall_time_s=1.0)
+        table.record("a", "OP", m=1, n=1, k=1, wall_time_s=1.0)
+        payload = table.to_json()
+        assert payload["version"] == 1
+        backends = [e["backend"] for e in payload["entries"]]
+        assert backends == sorted(backends)
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(ValueError, match="entries"):
+            AutotuneTable.from_json({"version": 1, "entries": "nope"})
+
+
+class TestAutotuneHookIntegration:
+    def test_adaptive_launch_feeds_the_context_table(self, rng):
+        table = AutotuneTable()
+        a = rng.random((64, 64))
+        ctx = ExecutionContext(backend="auto", autotune=table)
+        mmo_tiled("min-plus", a, a, context=ctx)
+        snap = table.snapshot()
+        assert len(snap) == 1
+        (key,) = snap
+        assert key.backend != "auto"  # concrete delegate, never the planner
+        assert next(iter(snap.values())).best_s > 0.0
+
+    def test_static_context_with_explicit_table_opts_in(self, rng):
+        table = AutotuneTable()
+        a = rng.random((32, 32))
+        ctx = ExecutionContext(backend="vectorized", autotune=table)
+        mmo_tiled("plus-mul", a, a, context=ctx)
+        snap = table.snapshot()
+        assert {k.backend for k in snap} == {"vectorized"}
+
+    def test_plain_static_context_feeds_nothing(self, rng):
+        before = len(default_autotune_table())
+        a = rng.random((32, 32))
+        mmo_tiled("plus-mul", a, a, backend="vectorized")
+        assert len(default_autotune_table()) == before
+
+    def test_degenerate_launches_record_nothing(self):
+        table = AutotuneTable()
+        a = np.zeros((0, 8))
+        b = np.zeros((8, 4))
+        ctx = ExecutionContext(backend="auto", autotune=table)
+        mmo_tiled("min-plus", a, b, context=ctx)
+        assert len(table) == 0
+
+    def test_observation_lands_in_the_planned_bucket(self, rng):
+        # The bucket the hook writes must be the bucket the planner reads:
+        # same dims, same estimated densities.
+        table = AutotuneTable()
+        a = np.where(rng.random((128, 128)) < 0.3, 1.0, np.inf)
+        ctx = ExecutionContext(backend="auto", autotune=table)
+        mmo_tiled("min-plus", a, a, context=ctx)
+        from repro.sparse import estimate_density
+
+        d = estimate_density(a, "min-plus")
+        (key,) = table.snapshot()
+        observed = table.observed(
+            key.backend, "MINPLUS", m=128, n=128, k=128,
+            density_a=d, density_b=d,
+        )
+        assert observed is not None and math.isfinite(observed)

@@ -1,0 +1,230 @@
+"""Tests for the Planner: cold cost-model choices, capability filtering,
+bounded exploration, and the Fig-14 crossover predictions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plan import (
+    MODEL_ERROR_BAND,
+    REPROBE_OBSERVATIONS,
+    AutotuneTable,
+    DispatchPlan,
+    PlanError,
+    Planner,
+    crossover_density,
+    planner_order,
+)
+
+
+@pytest.fixture
+def planner():
+    return Planner(AutotuneTable())  # isolated table: always cold
+
+
+class TestColdChoices:
+    """Cost-model-seeded picks pinned at the calibrated operating points."""
+
+    def test_dense_launches_pick_vectorized(self, planner):
+        for n in (128, 256):
+            plan = planner.plan("min-plus", n, n, n, density_a=1.0, density_b=1.0)
+            assert plan.best.backend == "vectorized"
+            assert plan.best.source == "model"
+
+    def test_very_sparse_large_launches_pick_sparse(self, planner):
+        for n in (128, 256):
+            plan = planner.plan(
+                "min-plus", n, n, n, density_a=0.005, density_b=0.005
+            )
+            assert plan.best.backend == "sparse"
+
+    def test_small_launches_stay_vectorized_even_when_sparse(self, planner):
+        # At n=64 the spGEMM per-row overheads dominate at every density
+        # on this substrate (measured: no crossover exists).
+        plan = planner.plan("min-plus", 64, 64, 64, density_a=0.01, density_b=0.01)
+        assert plan.best.backend == "vectorized"
+
+    def test_emulate_ranks_last_among_builtins(self, planner):
+        plan = planner.plan("plus-mul", 128, 128, 128)
+        order = [c.backend for c in plan.candidates]
+        assert order.index("emulate") > order.index("vectorized")
+
+    def test_plan_is_shape_and_ring_stamped(self, planner):
+        plan = planner.plan("max-plus", 32, 48, 16, density_a=0.5, density_b=0.5)
+        assert isinstance(plan, DispatchPlan)
+        assert plan.ring == "max-plus"
+        assert plan.shape == (32, 48, 16)
+        assert plan.density_a == 0.5
+        assert not plan.refined and not plan.probe
+
+
+class TestCapabilityFiltering:
+    def test_non_absorbing_rings_exclude_sparse(self, planner):
+        for ring in ("plus-norm", "min-mul", "max-mul"):
+            plan = planner.plan(ring, 128, 128, 128, density_a=0.01, density_b=0.01)
+            assert "sparse" not in plan.order
+
+    def test_planning_backends_never_self_nominate(self, planner):
+        plan = planner.plan("min-plus", 64, 64, 64)
+        assert "auto" not in plan.order
+
+    def test_no_capable_backend_raises(self, planner, monkeypatch):
+        import repro.backends.base as base
+
+        monkeypatch.setattr(base, "_REGISTRY", {})
+        monkeypatch.setattr(base, "_BUILTINS_LOADED", True)
+        with pytest.raises(PlanError, match="no capable backend"):
+            planner.plan("min-plus", 16, 16, 16)
+
+
+class TestRefinement:
+    def test_observation_beats_model(self):
+        table = AutotuneTable()
+        # Claim sparse is (implausibly) fast on a dense 128³ launch; with
+        # vectorized also observed often enough to be trusted, the
+        # empirical ranking must flip.
+        table.record("sparse", "MINPLUS", m=128, n=128, k=128,
+                     density_a=1.0, density_b=1.0, wall_time_s=1e-6)
+        for _ in range(REPROBE_OBSERVATIONS):
+            table.record("vectorized", "MINPLUS", m=128, n=128, k=128,
+                         density_a=1.0, density_b=1.0, wall_time_s=1e-3)
+        plan = Planner(table).plan("min-plus", 128, 128, 128)
+        assert plan.best.backend == "sparse"
+        assert plan.best.source == "observed"
+        assert plan.refined
+
+    def test_probe_promotes_unobserved_near_tie(self):
+        table = AutotuneTable()
+        # Observe only vectorized; sparse's model estimate at this point
+        # sits within the error band, so the planner spends one probe.
+        plan_cold = Planner(AutotuneTable()).plan(
+            "min-plus", 192, 192, 192, density_a=0.05, density_b=0.05
+        )
+        costs = {c.backend: c.cost_s for c in plan_cold.candidates}
+        assert costs["sparse"] <= MODEL_ERROR_BAND * costs["vectorized"]
+        table.record("vectorized", "MINPLUS", m=192, n=192, k=192,
+                     density_a=0.05, density_b=0.05,
+                     wall_time_s=costs["vectorized"])
+        plan = Planner(table).plan(
+            "min-plus", 192, 192, 192, density_a=0.05, density_b=0.05
+        )
+        assert plan.probe
+        assert plan.best.backend == "sparse"
+        assert plan.best.source == "model"
+
+    def test_no_probe_outside_the_band(self):
+        table = AutotuneTable()
+        # Fully dense at 128³: sparse's model price is far beyond the
+        # band, so no probe is spent.
+        table.record("vectorized", "MINPLUS", m=128, n=128, k=128,
+                     density_a=1.0, density_b=1.0, wall_time_s=2e-4)
+        plan = Planner(table).plan("min-plus", 128, 128, 128)
+        assert not plan.probe
+        assert plan.best.backend == "vectorized"
+
+    def test_probe_fires_at_most_once_per_bucket(self):
+        table = AutotuneTable()
+        # Observe vectorized at its own model price, so sparse's model
+        # estimate stays inside the exploration band.
+        table.record("vectorized", "MINPLUS", m=192, n=192, k=192,
+                     density_a=0.05, density_b=0.05, wall_time_s=0.0118)
+        p = Planner(table)
+        first = p.plan("min-plus", 192, 192, 192, density_a=0.05, density_b=0.05)
+        assert first.probe
+        # Once the probed backend has its own observation the ranking is
+        # purely empirical: no further probes in this bucket.
+        table.record(first.best.backend, "MINPLUS", m=192, n=192, k=192,
+                     density_a=0.05, density_b=0.05, wall_time_s=0.05)
+        second = p.plan("min-plus", 192, 192, 192, density_a=0.05, density_b=0.05)
+        assert not second.probe
+        assert second.best.backend == "vectorized"
+
+    def test_reprobe_recovers_a_poisoned_observation(self):
+        table = AutotuneTable()
+        # A scheduling burst lands an 18x-slow sample in vectorized's
+        # fresh bucket at dense 256³, after which emulate's honest time
+        # wins the empirical ranking.  The model prefers vectorized far
+        # beyond the band, so the planner spends a re-probe on it instead
+        # of exploiting the poisoned table forever.
+        table.record("vectorized", "MINPLUS", m=256, n=256, k=256,
+                     density_a=1.0, density_b=1.0, wall_time_s=0.72)
+        table.record("emulate", "MINPLUS", m=256, n=256, k=256,
+                     density_a=1.0, density_b=1.0, wall_time_s=0.46)
+        p = Planner(table)
+        plan = p.plan("min-plus", 256, 256, 256)
+        assert plan.probe
+        assert plan.best.backend == "vectorized"
+        assert plan.best.source == "observed"
+        # The re-probe's honest measurement clears the poison.
+        table.record("vectorized", "MINPLUS", m=256, n=256, k=256,
+                     density_a=1.0, density_b=1.0, wall_time_s=0.04)
+        healed = p.plan("min-plus", 256, 256, 256)
+        assert healed.best.backend == "vectorized"
+
+    def test_reprobe_suspicion_extinguishes_at_the_cap(self):
+        table = AutotuneTable()
+        # The model is simply wrong here: vectorized genuinely lost.
+        # After REPROBE_OBSERVATIONS consistent samples the loss is
+        # trusted and the planner stops paying for re-measurement.
+        table.record("emulate", "MINPLUS", m=256, n=256, k=256,
+                     density_a=1.0, density_b=1.0, wall_time_s=0.46)
+        p = Planner(table)
+        for _ in range(REPROBE_OBSERVATIONS):
+            plan = p.plan("min-plus", 256, 256, 256)
+            table.record(plan.best.backend, "MINPLUS", m=256, n=256, k=256,
+                         density_a=1.0, density_b=1.0, wall_time_s=0.72)
+        settled = p.plan("min-plus", 256, 256, 256)
+        assert not settled.probe
+        assert settled.best.backend == "emulate"
+
+    def test_margin_one_disables_probing(self):
+        table = AutotuneTable()
+        table.record("vectorized", "MINPLUS", m=192, n=192, k=192,
+                     density_a=0.05, density_b=0.05, wall_time_s=1e-3)
+        plan = Planner(table, margin=1.0).plan(
+            "min-plus", 192, 192, 192, density_a=0.05, density_b=0.05
+        )
+        assert not plan.probe
+
+    def test_bad_margin_rejected(self):
+        with pytest.raises(PlanError, match="margin"):
+            Planner(AutotuneTable(), margin=0.5)
+
+
+class TestCrossoverDensity:
+    def test_no_crossover_at_small_n(self):
+        assert crossover_density(64) == 0.0
+
+    def test_crossover_monotone_in_n(self):
+        points = [crossover_density(n) for n in (128, 192, 256, 384)]
+        assert all(0.0 < d < 1.0 for d in points)
+        assert points == sorted(points)
+
+    def test_crossover_region_matches_substrate_measurements(self):
+        # Measured on the development container: d* ≈ 0.02 at n=128,
+        # ≈ 0.07 at n=256 (see repro/timing/backend_cost.py).
+        assert 0.005 < crossover_density(128) < 0.06
+        assert 0.03 < crossover_density(256) < 0.15
+
+
+class TestPlannerOrder:
+    def test_full_operands_give_density_aware_order(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        a = np.where(rng.random((256, 256)) < 0.005, 1.0, np.inf)
+        order = planner_order("min-plus", a, a, table=AutotuneTable())
+        assert order[0] == "sparse"
+
+    def test_ring_only_order_is_capability_filtered(self):
+        order = planner_order("plus-norm", table=AutotuneTable())
+        assert "sparse" not in order
+        assert "auto" not in order
+        assert order[0] == "vectorized"
+
+    def test_nominal_order_covers_every_concrete_backend(self):
+        from repro.backends import list_backends
+
+        order = planner_order(table=AutotuneTable())
+        concrete = set(list_backends()) - {"auto"}
+        assert set(order) == concrete

@@ -52,6 +52,33 @@ class TestFallbackChain:
         assert chain.should_fall_back(InjectedFault("x"))
         assert not chain.should_fall_back(ValueError("x"))
 
+    def test_default_chain_uses_planner_order(self):
+        chain = FallbackChain()  # backends=None -> planner-ranked
+        order = chain.plan("emulate", ring="min-plus")
+        assert order[0] == "emulate"
+        assert set(order) == {"emulate", "vectorized", "sparse"}
+        assert "auto" not in order  # planning backends never self-nominate
+
+    def test_default_chain_capability_filters(self):
+        # The sparse backend cannot run plus-norm (its ⊕ identity is not
+        # ⊗-absorbing), so the planner-ordered chain never routes there.
+        order = FallbackChain().plan("vectorized", ring="plus-norm")
+        assert order[0] == "vectorized"
+        assert "sparse" not in order
+
+    def test_default_chain_is_density_aware(self, rng):
+        sr = SEMIRINGS["min-plus"]
+        dense = rng.random((128, 128))
+        sparse_op = np.full((128, 128), np.inf)
+        idx = rng.integers(0, 128, 60)
+        sparse_op[idx, rng.integers(0, 128, 60)] = 1.0
+        chain = FallbackChain()
+        dense_order = chain.plan("emulate", ring=sr, a=dense, b=dense)
+        sparse_order = chain.plan("emulate", ring=sr, a=sparse_op, b=sparse_op)
+        # Near-empty operands rank the sparse backend ahead of where it
+        # lands for full operands.
+        assert sparse_order.index("sparse") <= dense_order.index("sparse")
+
 
 class TestResilientMmo:
     def test_clean_run_parity(self, ring, rng):
@@ -95,7 +122,10 @@ class TestResilientMmo:
             with pytest.raises(ResilienceExhausted) as excinfo:
                 resilient_mmo("min-plus", a, b, context=ctx)
         names = [name for name, _ in excinfo.value.causes]
-        assert names == ["vectorized", "emulate"]
+        # Planner-ordered chain: the context's backend first, then every
+        # other capable backend in ranked (cheapest-first) order.
+        assert names[0] == "vectorized"
+        assert set(names) == {"vectorized", "sparse", "emulate"}
         assert all(isinstance(exc, InjectedFault) for _, exc in excinfo.value.causes)
 
     def test_non_recoverable_errors_propagate_immediately(self, rng):
@@ -114,5 +144,6 @@ class TestResilientMmo:
         with use_context(backend="vectorized", fault_plan=plan) as ctx:
             with pytest.raises(ResilienceExhausted):
                 resilient_mmo("min-plus", a, b, context=ctx, retry=policy)
-        # one attempt per backend, no retries
-        assert plan.launches_seen == 2
+        # one attempt per backend in the planner-ordered chain, no retries
+        chain = FallbackChain().plan("vectorized", ring="min-plus", a=a, b=b)
+        assert plan.launches_seen == len(chain)

@@ -169,13 +169,23 @@ class TestLaunchRecords:
         )
 
     def test_every_backend_records(self, rng):
+        from repro.backends import get_backend
+
         a = rng.integers(0, 5, (9, 8)).astype(float)
         b = rng.integers(0, 5, (8, 7)).astype(float)
         for backend in list_backends():
             trace = Trace()
             with use_context(backend=backend, trace=trace):
                 _, stats = mmo_tiled("min-plus", a, b)
-            assert [rec.backend for rec in trace] == [backend]
+            planning = getattr(get_backend(backend), "select_backend", None)
+            if planning is not None:
+                # Planning backends record the concrete delegate, plus one
+                # PlanRecord for the decision itself.
+                assert [rec.backend for rec in trace] != [backend]
+                assert len(trace.plans) == 1
+                assert trace.plans[0].backend == trace.records[0].backend
+            else:
+                assert [rec.backend for rec in trace] == [backend]
             assert trace.records[0].kernel_stats is stats
 
     def test_split_k_and_batched_and_multidevice_record_api(self):

@@ -1,0 +1,82 @@
+"""Tests for the shared operand-density estimator (repro.sparse.density)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SEMIRINGS
+from repro.sparse import EXACT_THRESHOLD, estimate_density
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xD59)
+
+
+class TestExactPath:
+    """Operands at or below EXACT_THRESHOLD elements are counted exactly."""
+
+    def test_full_matrix_is_density_one(self):
+        assert estimate_density(np.ones((16, 16)), "min-plus") == 1.0
+
+    def test_all_identity_is_density_zero(self):
+        inf = np.full((16, 16), np.inf)
+        assert estimate_density(inf, "min-plus") == 0.0
+
+    def test_exact_fraction(self):
+        a = np.full((10, 10), np.inf)
+        a[:3, :5] = 2.0  # 15 explicit entries
+        assert estimate_density(a, "min-plus") == pytest.approx(0.15)
+
+    def test_identity_depends_on_ring(self):
+        zeros = np.zeros((8, 8))
+        # 0 is plus-mul's ⊕ identity, but explicit data under min-plus.
+        assert estimate_density(zeros, "plus-mul") == 0.0
+        assert estimate_density(zeros, "min-plus") == 1.0
+
+    def test_accepts_semiring_objects(self):
+        sr = SEMIRINGS["max-plus"]
+        a = np.full((8, 8), sr.oplus_identity)
+        assert estimate_density(a, sr) == 0.0
+
+    def test_boolean_ring_counts_true_entries(self):
+        a = np.zeros((8, 8), dtype=bool)
+        a[0, :4] = True
+        assert estimate_density(a, "or-and") == pytest.approx(4 / 64)
+
+    def test_nan_counts_as_explicit(self):
+        a = np.full((8, 8), np.inf)
+        a[0, 0] = np.nan
+        assert estimate_density(a, "min-plus") == pytest.approx(1 / 64)
+
+    def test_empty_operand_is_zero(self):
+        assert estimate_density(np.zeros((0, 5)), "min-plus") == 0.0
+
+
+class TestSampledPath:
+    """Large operands are sampled deterministically."""
+
+    def test_large_operand_uses_sampling(self, rng):
+        n = 256  # 65536 elements > EXACT_THRESHOLD
+        assert n * n > EXACT_THRESHOLD
+        a = np.full((n, n), np.inf)
+        mask = rng.random((n, n)) < 0.1
+        a[mask] = 1.0
+        est = estimate_density(a, "min-plus")
+        true = mask.mean()
+        assert abs(est - true) < 0.03  # 2048 samples: ±3σ ≈ 0.02
+
+    def test_sampling_is_deterministic(self, rng):
+        a = np.where(rng.random((300, 300)) < 0.05, 1.0, np.inf)
+        assert estimate_density(a, "min-plus") == estimate_density(a, "min-plus")
+
+    def test_extremes_survive_sampling(self):
+        n = 256
+        assert estimate_density(np.full((n, n), np.inf), "min-plus") == 0.0
+        assert estimate_density(np.ones((n, n)), "min-plus") == 1.0
+
+    def test_result_is_a_probability(self, rng):
+        a = np.where(rng.random((200, 200)) < 0.5, 2.0, 0.0)
+        d = estimate_density(a, "plus-mul")
+        assert 0.0 <= d <= 1.0

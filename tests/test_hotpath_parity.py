@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.backends import list_backends
+from repro.backends import capabilities_of, get_backend, list_backends
 from repro.core import SEMIRINGS
 from repro.hw.device import Simd2Device
 from repro.runtime.kernels import mmo_tiled, mmo_tiled_split_k
@@ -79,7 +79,17 @@ class TestRegistryBackendParity:
     the idempotent-⊕ rings (min/max/or selections commute with any fold
     order), allclose for the plus-based rings (float ⊕ reassociates
     across backends' different reduction orders).
+
+    Backends declare which rings they can run
+    (:class:`~repro.backends.BackendCapabilities`); combinations a
+    backend excludes — e.g. sparse × the non-⊗-absorbing rings — are
+    skipped here and rejected with a :class:`BackendError` at dispatch.
     """
+
+    def _skip_if_incapable(self, backend, name, *, has_accumulator=False):
+        caps = capabilities_of(get_backend(backend))
+        if not caps.supports(name, has_accumulator=has_accumulator):
+            pytest.skip(f"backend {backend!r} declares no support for {name}")
 
     def _operands(self, ring, m, k, n, seed):
         rng = np.random.default_rng(seed)
@@ -108,6 +118,7 @@ class TestRegistryBackendParity:
             np.testing.assert_array_equal(got, expected)
 
     def test_matches_vectorized_reference(self, name, backend):
+        self._skip_if_incapable(backend, name, has_accumulator=True)
         ring = SEMIRINGS[name]
         a, b, c = self._operands(ring, 23, 37, 19, seed=0xA11CE)
         expected, ref_stats = mmo_tiled(name, a, b, c, backend="vectorized")
@@ -121,6 +132,7 @@ class TestRegistryBackendParity:
         assert stats.mmo_instructions == ref_stats.mmo_instructions
 
     def test_no_accumulator(self, name, backend):
+        self._skip_if_incapable(backend, name)
         ring = SEMIRINGS[name]
         a, b, _ = self._operands(ring, 16, 16, 16, seed=0xBEE)
         expected, _ = mmo_tiled(name, a, b, backend="vectorized")
@@ -128,6 +140,7 @@ class TestRegistryBackendParity:
         self._assert_agrees(ring, got, expected)
 
     def test_degenerate_inner_dimension(self, name, backend):
+        self._skip_if_incapable(backend, name)
         ring = SEMIRINGS[name]
         a = np.zeros((5, 0), dtype=ring.output_dtype)
         b = np.zeros((0, 4), dtype=ring.output_dtype)
