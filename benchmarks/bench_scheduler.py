@@ -1,0 +1,264 @@
+"""Scheduler health check: graph overhead, bit-identity, threaded speedup.
+
+Standalone script (not a pytest benchmark), wired to ``make check-scheduler``
+and CI.  Three gates:
+
+1. **Graph overhead** — lowering a *single-launch* mmo onto a LaunchGraph
+   and running it through the serial scheduler (the default path every
+   entry point now takes) must stay within 5 % of the pre-graph dispatch
+   on a 512² mmo.  The scheduler refactor is supposed to be free for the
+   loops it replaced; this keeps it that way.
+2. **Bit-identity** — a banded min-plus closure iteration under the
+   4-worker :class:`~repro.sched.ThreadPoolExecutor` must be *byte*
+   identical to the serial run (dtype included).  Runs unconditionally,
+   at a size every machine can afford.
+3. **Threaded speedup** — a 2048² min-plus closure iteration split into
+   4 row bands must run ≥1.8× faster on 4 workers than serially.
+   Skipped (and recorded as skipped in the artifact) on machines with
+   fewer than 4 CPUs, where the hardware cannot express the parallelism.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler.py
+    PYTHONPATH=src python benchmarks/bench_scheduler.py \
+        --out benchmarks/results/scheduler.json         # artifact
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.backends import list_backends
+from repro.core import SEMIRINGS
+from repro.runtime import mmo_tiled, use_context
+from repro.runtime.closure import closure
+from repro.runtime.kernels import mmo_tiled_split_k
+from repro.sched import ThreadPoolExecutor
+
+DISPATCH_N = 512
+DISPATCH_REPEATS = 5
+TINY_REPEATS = 300
+MAX_OVERHEAD_RATIO = 1.05
+
+SPEEDUP_N = 2048
+SPEEDUP_BANDS = 4
+SPEEDUP_WORKERS = 4
+MIN_SPEEDUP = 1.8
+IDENTITY_N = 512
+
+
+def _operands(ring, m, k, n, seed=0):
+    rng = np.random.default_rng(seed)
+    if ring.is_boolean():
+        return rng.random((m, k)) < 0.4, rng.random((k, n)) < 0.4
+    # [0.5, 8.5): continuous (fold order matters) and never colliding
+    # with any ring's ⊕ identity, so banding changes nothing silently.
+    return rng.uniform(0.5, 8.5, (m, k)), rng.uniform(0.5, 8.5, (k, n))
+
+
+def _adjacency(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    adj = rng.uniform(1.0, 9.0, (n, n))
+    adj[rng.random((n, n)) < 0.5] = np.inf
+    np.fill_diagonal(adj, 0.0)
+    return adj
+
+
+def _interleaved_mins(fn_a, fn_b, repeats: int) -> tuple[float, float]:
+    """min-of-repeats for two fns, alternating so drift hits both alike."""
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - t0)
+    return best_a, best_b
+
+
+def graph_overhead(records: list[dict]) -> None:
+    """Single-launch graph cost over direct dispatch on a 512² mmo.
+
+    Building a GraphBuilder, reserving the node, and walking one node
+    through the serial scheduler is a per-call cost of tens of µs,
+    independent of operand size; a 512² kernel runs for hundreds of ms
+    with several percent of machine noise.  So, as in
+    ``bench_dispatch.py``: isolate the per-call overhead on a 16² mmo
+    (min-of-many is stable to sub-µs), then hold it against the measured
+    512² kernel — the graph path must price in at ≤ 5 % of the kernel it
+    orchestrates.
+    """
+    ring = SEMIRINGS["plus-mul"]
+
+    # (1) Per-call graph overhead, measured where it is measurable.
+    # splits=1 lowers to a one-launch graph: build + schedule + resolve,
+    # no reduce node — the minimal scheduler round trip.
+    ta, tb = _operands(ring, 16, 16, 16, seed=5)
+    mmo_tiled("plus-mul", ta, tb)  # warm lazy imports
+    mmo_tiled_split_k("plus-mul", ta, tb, splits=1)
+    tiny_direct, tiny_graph = _interleaved_mins(
+        lambda: mmo_tiled("plus-mul", ta, tb),
+        lambda: mmo_tiled_split_k("plus-mul", ta, tb, splits=1),
+        TINY_REPEATS,
+    )
+    overhead = max(0.0, tiny_graph - tiny_direct)
+
+    # (2) The kernel the overhead budget is expressed against.
+    n = DISPATCH_N
+    a, b = _operands(ring, n, n, n, seed=17)
+    direct, graphed = _interleaved_mins(
+        lambda: mmo_tiled("plus-mul", a, b),
+        lambda: mmo_tiled_split_k("plus-mul", a, b, splits=1),
+        DISPATCH_REPEATS,
+    )
+    ratio = (direct + overhead) / direct
+    records.append(
+        {
+            "case": "graph_overhead", "n": n,
+            "tiny_direct_seconds": tiny_direct,
+            "tiny_graph_seconds": tiny_graph,
+            "overhead_seconds_per_call": overhead,
+            "direct_seconds": direct, "graph_seconds": graphed,
+            "ratio": round(ratio, 6), "max_ratio": MAX_OVERHEAD_RATIO,
+        }
+    )
+    print(f"graph   per-call overhead {overhead * 1e6:6.1f}us  "
+          f"(tiny {tiny_direct * 1e6:.1f}us -> {tiny_graph * 1e6:.1f}us)")
+    print(f"graph   {n}²  direct {direct * 1e3:7.2f}ms  "
+          f"graph {graphed * 1e3:7.2f}ms  overhead ratio {ratio:.6f}")
+    if ratio > MAX_OVERHEAD_RATIO:
+        raise SystemExit(
+            f"graph overhead {ratio:.3f}x exceeds the "
+            f"{MAX_OVERHEAD_RATIO}x budget"
+        )
+
+
+def _one_closure_iteration(adj: np.ndarray, scheduler) -> np.ndarray:
+    with use_context(scheduler=scheduler) as ctx:
+        return closure(
+            "min-plus", adj, bands=SPEEDUP_BANDS, max_iterations=1,
+            convergence_check=False, context=ctx,
+        ).matrix
+
+
+def banded_identity(records: list[dict]) -> None:
+    """Threaded banded closure == serial, byte for byte.  Always runs."""
+    adj = _adjacency(IDENTITY_N, seed=3)
+    serial = _one_closure_iteration(adj, None)
+    threaded = _one_closure_iteration(
+        adj, ThreadPoolExecutor(max_workers=SPEEDUP_WORKERS)
+    )
+    identical = (
+        serial.dtype == threaded.dtype
+        and bool(np.array_equal(serial, threaded, equal_nan=True))
+    )
+    records.append(
+        {
+            "case": "banded_identity", "n": IDENTITY_N,
+            "bands": SPEEDUP_BANDS, "workers": SPEEDUP_WORKERS,
+            "identical": identical,
+        }
+    )
+    print(f"identity {IDENTITY_N}² bands={SPEEDUP_BANDS} "
+          f"workers={SPEEDUP_WORKERS}  identical={identical}")
+    if not identical:
+        raise SystemExit(
+            "identity: threaded banded closure diverged from serial — "
+            "the scheduler must be bit-identical on every graph"
+        )
+
+
+def threaded_speedup(records: list[dict]) -> None:
+    """4-band 2048² min-plus closure: 4 workers vs serial, ≥1.8×.
+
+    The row bands are independent launch nodes over GIL-releasing NumPy
+    kernels, so a 4-worker pool on ≥4 cores must show real parallelism.
+    Machines with fewer cores cannot express it — the gate is recorded
+    as skipped there rather than measuring thrash.
+    """
+    cores = os.cpu_count() or 1
+    if cores < SPEEDUP_WORKERS:
+        records.append(
+            {
+                "case": "threaded_speedup", "n": SPEEDUP_N,
+                "bands": SPEEDUP_BANDS, "workers": SPEEDUP_WORKERS,
+                "skipped": True, "cpu_count": cores,
+                "min_speedup": MIN_SPEEDUP,
+            }
+        )
+        print(f"speedup {SPEEDUP_N}²  SKIPPED "
+              f"({cores} CPU(s) < {SPEEDUP_WORKERS} workers)")
+        return
+
+    adj = _adjacency(SPEEDUP_N, seed=7)
+    threaded_pool = ThreadPoolExecutor(max_workers=SPEEDUP_WORKERS)
+    # Warm at a smaller size: lazy imports, compile path, pool spin-up.
+    warm = _adjacency(256, seed=1)
+    _one_closure_iteration(warm, None)
+    _one_closure_iteration(warm, threaded_pool)
+
+    serial, threaded = _interleaved_mins(
+        lambda: _one_closure_iteration(adj, None),
+        lambda: _one_closure_iteration(adj, threaded_pool),
+        2,
+    )
+    speedup = serial / threaded
+    records.append(
+        {
+            "case": "threaded_speedup", "n": SPEEDUP_N,
+            "bands": SPEEDUP_BANDS, "workers": SPEEDUP_WORKERS,
+            "skipped": False, "cpu_count": cores,
+            "serial_seconds": serial, "threaded_seconds": threaded,
+            "speedup": round(speedup, 6), "min_speedup": MIN_SPEEDUP,
+        }
+    )
+    print(f"speedup {SPEEDUP_N}² bands={SPEEDUP_BANDS}  "
+          f"serial {serial:6.2f}s  threaded {threaded:6.2f}s  "
+          f"speedup {speedup:.2f}x (need >= {MIN_SPEEDUP}x)")
+    if speedup < MIN_SPEEDUP:
+        raise SystemExit(
+            f"speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor on "
+            f"{cores} CPUs — banded launches are not running concurrently"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the JSON artifact here (default: print to stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    records: list[dict] = []
+    graph_overhead(records)
+    banded_identity(records)
+    threaded_speedup(records)
+
+    artifact = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "backends": list(list_backends()),
+        "records": records,
+    }
+    payload = json.dumps(artifact, indent=2)
+    if args.out:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(payload + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,8 @@ The companion of the IR-level verifier (:mod:`repro.isa.verifier`): where
 package proves properties of the source tree itself — observability
 writes stay behind the hook pipeline, every dispatch path is
 launch-bracketed, backends never fall back to raw GEMM, lock-protected
-state stays under its lock, and package imports flow one way.
+state stays under its lock, loop-shaped launch replay goes through the
+:mod:`repro.sched` scheduler, and package imports flow one way.
 
 Run it:
 
@@ -23,6 +24,7 @@ from repro.analysis.invariants import (
     LockDisciplineRule,
     RawMatmulRule,
     Rule,
+    SchedulerLoopRule,
     TraceWriteRule,
     Violation,
     default_rules,
@@ -39,6 +41,7 @@ __all__ = [
     "LockDisciplineRule",
     "RawMatmulRule",
     "Rule",
+    "SchedulerLoopRule",
     "TraceWriteRule",
     "Violation",
     "default_rules",

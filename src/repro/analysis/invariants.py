@@ -26,6 +26,11 @@ unit test pins down because they are conventions spanning many files:
   literal: no ``get_backend("<name>")`` calls and no ``.backend ==
   "<name>"`` dispatch comparisons outside :mod:`repro.plan` — hardcoded
   names at dispatch sites are exactly what adaptive dispatch replaced;
+- **scheduler-loops** — outside :mod:`repro.sched`, no raw loops over
+  ``execute_compiled``: loop-shaped entry points lower onto a
+  :class:`~repro.sched.graph.LaunchGraph` so every replay flows through
+  the scheduler (backend locks, deterministic ordering, per-node
+  resilience) instead of a hand-rolled ``for`` loop;
 - **import-layering** — see :mod:`repro.analysis.layering`.
 
 Each rule is a :class:`Rule` subclass; :func:`lint_paths` applies every
@@ -55,6 +60,7 @@ __all__ = [
     "LockDisciplineRule",
     "RawMatmulRule",
     "Rule",
+    "SchedulerLoopRule",
     "TraceWriteRule",
     "Violation",
     "default_rules",
@@ -438,6 +444,60 @@ class BackendResolutionRule(Rule):
                     )
 
 
+class SchedulerLoopRule(Rule):
+    """Loop-shaped launch replay goes through the LaunchGraph scheduler.
+
+    A ``for``/``while`` loop that calls ``execute_compiled`` per
+    iteration is a hand-rolled scheduler: it re-grows exactly the five
+    divergent orchestration loops the :mod:`repro.sched` refactor
+    collapsed — no deterministic node ordinals, no backend thread-safety
+    locks, no per-node resilience policy.  Outside :mod:`repro.sched`
+    (the one place allowed to drive the seam, including its retry loop),
+    replays must be expressed as launch nodes on a
+    :class:`~repro.sched.graph.LaunchGraph` and handed to the context's
+    scheduler.
+    """
+
+    name = "scheduler-loops"
+    description = (
+        "no execute_compiled calls inside for/while loops outside "
+        "repro/sched/ — loop-shaped entry points orchestrate via a "
+        "LaunchGraph run by the scheduler"
+    )
+
+    _LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+    def applies_to(self, relpath: str) -> bool:
+        if relpath.startswith("repro/sched/"):
+            return False
+        return relpath.startswith("repro/")
+
+    @staticmethod
+    def _is_execute_compiled(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "execute_compiled"
+        return isinstance(func, ast.Attribute) and func.attr == "execute_compiled"
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, self._LOOPS):
+                continue
+            # Only the loop body/else replay per iteration; the iterable
+            # expression evaluates once and walks separately anyway.
+            for sub in ast.walk(node):
+                if self._is_execute_compiled(sub):
+                    yield self.violation(
+                        relpath,
+                        sub,
+                        "execute_compiled called inside a loop — lower "
+                        "the iteration onto a LaunchGraph and run it "
+                        "through the scheduler (repro.sched) instead",
+                    )
+
+
 def default_rules() -> tuple[Rule, ...]:
     """Every invariant the repository enforces, in reporting order."""
     from repro.analysis.layering import ImportLayeringRule
@@ -448,6 +508,7 @@ def default_rules() -> tuple[Rule, ...]:
         RawMatmulRule(),
         LockDisciplineRule(),
         BackendResolutionRule(),
+        SchedulerLoopRule(),
         ImportLayeringRule(),
     )
 

@@ -14,7 +14,7 @@ layer  packages
 0      ``core``
 1      ``isa``, ``datasets``
 2      ``hw``, ``compile``
-3      ``hooks``, ``runtime``, ``sparse``
+3      ``hooks``, ``runtime``, ``sched``, ``sparse``
 4      ``backends``, ``plan``, ``resilience``, ``timing``, ``hwmodel``
 5      ``apps``
 6      ``bench``, ``analysis``
@@ -47,6 +47,7 @@ LAYERS: dict[str, int] = {
     "compile": 2,
     "hooks": 3,
     "runtime": 3,
+    "sched": 3,
     "sparse": 3,
     "backends": 4,
     "plan": 4,

@@ -72,11 +72,17 @@ class BackendCapabilities:
     ``density_preference`` is advisory metadata for the planner:
     ``"sparse"`` backends expect to win on mostly-identity operands,
     ``"dense"`` ones on full operands, ``"any"`` claims no preference.
+    ``thread_safe`` declares whether concurrent ``execute`` calls on one
+    backend instance are safe; the :mod:`repro.sched` thread-pool
+    executor serialises launches on backends that say ``False`` (the
+    emulate backend stages operands through a shared device's memory)
+    unless each launch carries its own device.
     """
 
     rings: frozenset[str] | None = None
     accumulator: bool = True
     density_preference: str = "any"
+    thread_safe: bool = True
 
     def __post_init__(self) -> None:
         if self.density_preference not in ("dense", "sparse", "any"):

@@ -62,7 +62,10 @@ class EmulateBackend(MmoBackend):
     """Whole-matrix mmo through per-tile warp programs on emulated SMs."""
 
     name = "emulate"
-    capabilities = BackendCapabilities(density_preference="dense")
+    # Not thread_safe: launches without an explicit device share the
+    # lazily-created default Simd2Device, whose staged shared memory is
+    # per-instance state.
+    capabilities = BackendCapabilities(density_preference="dense", thread_safe=False)
 
     def __init__(self) -> None:
         # Default devices, one per `parallel` flavour, created lazily on

@@ -19,10 +19,10 @@ import numpy as np
 from repro.compile.artifact import grid_for
 from repro.compile.lower import resolve_opcode
 from repro.core.semiring import Semiring
-from repro.core.tiles import TILE, pad_to_tiles
+from repro.core.tiles import TILE, ceil_div, pad_to_tiles
 from repro.runtime.kernels import KernelStats
 
-__all__ = ["TilePlan", "grid_for", "plan_mmo", "resolve_opcode"]
+__all__ = ["TilePlan", "grid_for", "partition_bands", "plan_mmo", "resolve_opcode"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -82,6 +82,27 @@ def plan_mmo(
     tiles_n = b_pad.shape[1] // TILE
     stats = KernelStats(m, n, k, tiles_m, tiles_n, tiles_k)
     return TilePlan(a_pad=a_pad, b_pad=b_pad, c_pad=c_pad, stats=stats)
+
+
+def partition_bands(
+    extent: int, parts: int, *, tile: int = 1
+) -> list[tuple[int, int]]:
+    """Split ``[0, extent)`` into ``parts`` contiguous half-open bands.
+
+    The one banding policy every partitioned dispatch shares: split-k
+    partitions the inner dimension (``tile=1``) and the multi-device /
+    banded-closure paths partition output rows on 16-row tile boundaries
+    (``tile=TILE``).  Bands are floor-balanced — sizes differ by at most
+    one ``tile`` unit — and returned in order, covering the extent
+    exactly.  Bands may be empty (``start == stop``) when ``parts``
+    exceeds the number of ``tile`` units; callers skip those rather than
+    launching zero-width kernels.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    units = ceil_div(extent, tile) if extent else 0
+    bounds = [min(extent, (i * units // parts) * tile) for i in range(parts + 1)]
+    return [(bounds[i], bounds[i + 1]) for i in range(parts)]
 
 
 # grid_for and resolve_opcode moved to repro.compile (the cache key and

@@ -82,14 +82,18 @@ class FaultHook(Hook):
     :class:`~repro.resilience.faults.InjectedFault` on scheduled drops);
     ``post_execute`` applies any scheduled output corruption.  Degenerate
     launches never ran a kernel, so they claim no ordinal — fault
-    schedules address real launches only.
+    schedules address real launches only.  A launch arriving with a
+    pre-reserved ordinal (a :mod:`repro.sched` graph node, numbered at
+    build time) keeps it: only drop admission happens here.
     """
 
     def pre_execute(self, launch: "Launch") -> None:
         plan = launch.context.fault_plan
         if plan is None or launch.degenerate:
             return
-        launch.fault_ordinal = plan.begin_launch(launch.context, launch.api)
+        if launch.fault_ordinal is None:
+            launch.fault_ordinal = plan.reserve()
+        plan.admit(launch.fault_ordinal, launch.context, launch.api)
 
     def post_execute(self, launch: "Launch") -> None:
         plan = launch.context.fault_plan

@@ -174,6 +174,7 @@ class Launch:
         degenerate: bool = False,
         cache_hit: bool | None = None,
         optimizer_removed: int = 0,
+        fault_ordinal: int | None = None,
     ):
         self.context = context
         self.api = api
@@ -188,7 +189,7 @@ class Launch:
         self.result: "np.ndarray | None" = None
         self.stats: "KernelStats | None" = None
         self.wall_time_s: float = 0.0
-        self.fault_ordinal: int | None = None
+        self.fault_ordinal: int | None = fault_ordinal
         self.notes: dict | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -283,6 +284,7 @@ class HookPipeline:
         degenerate: bool = False,
         cache_hit: bool | None = None,
         optimizer_removed: int = 0,
+        fault_ordinal: int | None = None,
     ) -> "Launch | None":
         """Open one launch: fire ``pre_execute`` and return the carrier.
 
@@ -310,6 +312,7 @@ class HookPipeline:
             degenerate=degenerate,
             cache_hit=cache_hit,
             optimizer_removed=optimizer_removed,
+            fault_ordinal=fault_ordinal,
         )
         for hook in self._pre_execute:
             hook.pre_execute(launch)

@@ -59,7 +59,9 @@ class AutoBackend(MmoBackend):
     """
 
     name = "auto"
-    capabilities = BackendCapabilities()
+    # Conservatively not thread_safe: selection may route any launch to
+    # the emulate backend's shared default device.
+    capabilities = BackendCapabilities(thread_safe=False)
 
     def select_backend(
         self,

@@ -19,7 +19,14 @@ backend ran — so the same plan corrupts all three backends identically:
 Launches are numbered by one monotone ordinal per plan (the plan is
 mutable even though the context is frozen), so "corrupt launch 3" means
 the same launch on every run — and a retry, which advances the ordinal,
-deterministically escapes a transient fault.  Every injection emits a
+deterministically escapes a transient fault.  Ordinal assignment and
+drop admission are two separate steps (:meth:`FaultPlan.reserve` /
+:meth:`FaultPlan.admit`): the scheduler's graph builders reserve
+ordinals at *graph-build* time, in node order, so a threaded executor
+injects exactly the faults a serial run would — launch numbering never
+depends on thread interleaving.  Ad-hoc launches (``mmo_tiled`` outside
+a graph) still claim both in one step via :meth:`FaultPlan.begin_launch`.
+Every injection emits a
 :class:`~repro.runtime.trace.ResilienceEvent` through the context hook
 pipeline's ``on_event`` channel (landing on the trace via ``TraceHook``).
 """
@@ -144,11 +151,24 @@ class FaultPlan:
     # ------------------------------------------------------------------
     # the seam API used by the dispatch layer
     # ------------------------------------------------------------------
-    def begin_launch(self, context: "ExecutionContext", api: str) -> int:
-        """Claim the next launch ordinal; raise if this launch is dropped."""
+    def reserve(self, count: int = 1) -> int:
+        """Claim ``count`` consecutive launch ordinals; return the first.
+
+        Graph builders call this at *build* time (one ordinal per launch
+        node, in node order), which pins the fault schedule before any
+        executor — serial or threaded — touches a kernel.  Reserved
+        ordinals are spent even if the launch never runs (an aborted
+        banding burns its ordinals rather than renumbering later ones).
+        """
+        if count <= 0:
+            raise ResilienceError(f"reserve needs a positive count, got {count}")
         with self._lock:
             ordinal = self._next_ordinal
-            self._next_ordinal += 1
+            self._next_ordinal += count
+        return ordinal
+
+    def admit(self, ordinal: int, context: "ExecutionContext", api: str) -> int:
+        """Admit a reserved ordinal for execution; raise if it is dropped."""
         if ordinal in self.drop:
             self.injected_drops += 1
             emit_event(
@@ -157,6 +177,10 @@ class FaultPlan:
             )
             raise InjectedFault(f"fault plan dropped launch {ordinal}")
         return ordinal
+
+    def begin_launch(self, context: "ExecutionContext", api: str) -> int:
+        """Claim the next launch ordinal; raise if this launch is dropped."""
+        return self.admit(self.reserve(), context, api)
 
     def corrupt_output(
         self, ordinal: int, result: np.ndarray, context: "ExecutionContext", api: str

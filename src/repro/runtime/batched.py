@@ -21,13 +21,7 @@ from repro.hw.device import Simd2Device
 from repro.isa.opcodes import MmoOpcode
 from repro.runtime.api import RuntimeError_
 from repro.runtime.context import ExecutionContext, resolve_context
-from repro.runtime.kernels import (
-    KernelStats,
-    _validate_ring_inputs,
-    compile_in_context,
-    execute_compiled,
-    mmo_tiled,
-)
+from repro.runtime.kernels import KernelStats, _validate_ring_inputs
 
 __all__ = ["BatchStats", "batched_mmo"]
 
@@ -125,49 +119,17 @@ def batched_mmo(
     if validate_inputs:
         _validate_ring_inputs(ring, a3, b3, c3)
 
-    def pick(stack: np.ndarray, index: int) -> np.ndarray:
-        return stack[0] if stack.shape[0] == 1 else stack[index]
-
     # Every batch item has the same (m, n, k) — stacks are uniform — so one
-    # compiled artifact serves the whole batch.  Precompile only when the
-    # operand shapes are consistent and non-degenerate; otherwise fall back
-    # to per-item mmo_tiled, which raises (or fast-paths) identically to the
-    # unbatched call.
-    from repro.backends.base import get_backend  # lazy: backends import us
+    # compiled artifact serves the whole batch (the graph builder's
+    # ArtifactPool compiles it once and replays it per node).  The items
+    # are independent launch nodes, so a thread-pool scheduler on the
+    # context runs them concurrently with bit-identical results.
+    # Lazy: repro.sched orchestrates this module's loops.
+    from repro.sched.builders import batched_graph
+    from repro.sched.executor import resolve_scheduler
 
-    impl = get_backend(ctx.backend)
-    compiled = None
-    first_hit: bool | None = None
-    m, k = a3.shape[1], a3.shape[2]
-    n = b3.shape[2]
-    shapes_ok = (
-        b3.shape[1] == k
-        and (c3 is None or (c3.shape[1] == m and c3.shape[2] == n))
-    )
-    if shapes_ok and m > 0 and n > 0 and callable(getattr(impl, "compile", None)):
-        opcode = resolve_opcode(ring)
-        compiled, first_hit = compile_in_context(
-            ctx, impl, opcode, m, n, k,
-            has_accumulator=c3 is not None, api="batched_mmo",
-        )
-
-    outputs = []
-    stats_list = []
-    for index in range(batch):
-        c_item = None if c3 is None else pick(c3, index)
-        if compiled is not None:
-            result, stats = execute_compiled(
-                compiled, pick(a3, index), pick(b3, index), c_item,
-                context=ctx, api="batched_mmo",
-                cache_hit=first_hit if index == 0 else True,
-                validate_inputs=False,
-            )
-        else:
-            result, stats = mmo_tiled(
-                ring, pick(a3, index), pick(b3, index), c_item,
-                context=ctx, api="batched_mmo", validate_inputs=False,
-            )
-        outputs.append(result)
-        stats_list.append(stats)
-
+    graph, launch_refs = batched_graph(ctx, resolve_opcode(ring), a3, b3, c3, batch)
+    result = resolve_scheduler(ctx).run(graph, context=ctx)
+    outputs = [np.asarray(result[ref]) for ref in launch_refs]
+    stats_list = [result.stats_of(ref) for ref in launch_refs]
     return np.stack(outputs), BatchStats(batch=batch, per_item=tuple(stats_list))

@@ -32,12 +32,7 @@ from repro.core.semiring import Semiring, SemiringError
 from repro.hooks.pipeline import emit_event
 from repro.hw.device import Simd2Device
 from repro.runtime.context import ExecutionContext, resolve_context
-from repro.runtime.kernels import (
-    KernelStats,
-    compile_in_context,
-    execute_compiled,
-    mmo_tiled,
-)
+from repro.runtime.kernels import KernelStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.watchdog import ClosureDiagnostics, ClosureWatchdog
@@ -106,6 +101,7 @@ def closure(
     context: ExecutionContext | None = None,
     watchdog: "bool | ClosureWatchdog" = False,
     validate_inputs: bool = False,
+    bands: int = 1,
 ) -> ClosureResult:
     """Iterate ``D ← D ⊕ (D ⊗ X)`` to a fixpoint under ``ring``.
 
@@ -147,6 +143,13 @@ def closure(
         (the watchdog is the in-loop poison detector).  Pass ``True`` to
         reject a NaN / oppositely-signed-inf *initial* adjacency on the
         first launch before iterating.
+    bands:
+        Partition each iteration's output rows into this many
+        tile-aligned bands — independent launch nodes in the iteration's
+        :class:`~repro.sched.graph.LaunchGraph`, which a thread-pool
+        scheduler on the context runs concurrently.  Results are
+        bit-identical for any band count (bands write disjoint rows).
+        The default ``1`` keeps one whole-matrix launch per iteration.
 
     Returns
     -------
@@ -171,6 +174,8 @@ def closure(
         raise SemiringError(f"max_iterations must be positive, got {limit}")
     if method not in ("leyzorek", "bellman-ford"):
         raise SemiringError(f"unknown closure method {method!r}")
+    if bands <= 0:
+        raise SemiringError(f"bands must be positive, got {bands}")
 
     guard: "ClosureWatchdog | None" = None
     if watchdog:
@@ -189,20 +194,19 @@ def closure(
     diagnostics: "ClosureDiagnostics | None" = None
     all_stats: list[KernelStats] = []
 
-    # Every iteration launches the same (n, n, n)-with-accumulator shape, so
-    # compile once up front and replay the artifact per iteration.  The first
-    # launch reports the compile call's hit flag (a miss on a cold cache),
-    # every replay a hit — the one-miss-then-hits signature of the split.
-    from repro.backends.base import get_backend  # lazy: backends import us
+    # Each iteration lowers onto a LaunchGraph (band launches + optional
+    # convergence-check node) run by the context's scheduler.  The
+    # ArtifactPool persists across iterations, so the first launch of
+    # each band shape reports the compile call's hit flag (a miss on a
+    # cold cache) and every replay a hit — the one-miss-then-hits
+    # signature of the compile/execute split.
+    # Lazy: repro.sched orchestrates this module's loops.
+    from repro.sched.builders import ArtifactPool, closure_step_graph
+    from repro.sched.executor import resolve_scheduler
 
-    impl = get_backend(ctx.backend)
-    compiled = None
-    first_hit: bool | None = None
-    if n > 0 and callable(getattr(impl, "compile", None)):
-        opcode = resolve_opcode(ring)
-        compiled, first_hit = compile_in_context(
-            ctx, impl, opcode, n, n, n, has_accumulator=True, api="closure"
-        )
+    opcode = resolve_opcode(ring)
+    pool = ArtifactPool(ctx, "closure")
+    scheduler = resolve_scheduler(ctx)
 
     for _ in range(limit):
         operand = current if method == "leyzorek" else base
@@ -210,19 +214,15 @@ def closure(
         # replays iterate whatever the ring produced (NaN fixpoints and
         # injected faults included — the watchdog owns in-loop detection).
         validate = validate_inputs and iterations == 0
-        if compiled is not None:
-            updated, stats = execute_compiled(
-                compiled, current, operand, current,
-                context=ctx, api="closure",
-                cache_hit=first_hit if iterations == 0 else True,
-                validate_inputs=validate,
-            )
-        else:
-            updated, stats = mmo_tiled(
-                ring, current, operand, current,
-                context=ctx, api="closure", validate_inputs=validate,
-            )
-        all_stats.append(stats)
+        graph, out_ref, check_ref, launch_refs = closure_step_graph(
+            ctx, pool, opcode, current, operand,
+            bands=bands, convergence_check=convergence_check,
+            validate_inputs=validate,
+        )
+        step = scheduler.run(graph, context=ctx)
+        updated = np.asarray(step[out_ref])
+        for ref in launch_refs:
+            all_stats.append(step.stats_of(ref))
         iterations += 1
         if guard is not None:
             diagnostics = guard.observe(updated, current, iterations)
@@ -239,7 +239,7 @@ def closure(
             checks += 1
             # NaN-safe: a NaN fixpoint is still a fixpoint (NaN != NaN
             # under np.array_equal would spin to the iteration cap).
-            if matrices_equal(updated, current):
+            if check_ref is not None and bool(step[check_ref]):
                 current = updated
                 converged = True
                 break

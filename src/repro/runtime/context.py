@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.plan.autotune import AutotuneTable
     from repro.resilience.faults import FaultPlan
     from repro.runtime.trace import Trace
+    from repro.sched.executor import Scheduler
 
 __all__ = [
     "ExecutionContext",
@@ -91,6 +92,16 @@ class ExecutionContext:
         to isolate a workload's observations.  Setting the field on a
         static-backend context opts that context's launches into feeding
         the table too.
+    scheduler:
+        :class:`~repro.sched.executor.Scheduler` that runs the launch
+        graphs the loop-shaped entry points build (closure iterations,
+        batch items, split-k partials, multi-device bands).  ``None``
+        (the default) means the serial executor — node-at-a-time in
+        build order, bit-identical to the pre-graph dispatch; pass
+        :class:`~repro.sched.executor.ThreadPoolExecutor` to run
+        independent nodes concurrently (results stay bit-identical:
+        fold orders are pinned in the graph and fault ordinals are
+        assigned at build time).
     """
 
     backend: str = "vectorized"
@@ -101,6 +112,7 @@ class ExecutionContext:
     fault_plan: "FaultPlan | None" = None
     hooks: "tuple[Hook | str, ...]" = ()
     autotune: "AutotuneTable | None" = None
+    scheduler: "Scheduler | None" = None
 
     def replace(self, **overrides) -> "ExecutionContext":
         """A copy with the given fields replaced (context is immutable)."""
@@ -158,6 +170,7 @@ def resolve_context(
     fault_plan: "FaultPlan | None" = None,
     hooks: "tuple[Hook | str, ...] | None" = None,
     autotune: "AutotuneTable | None" = None,
+    scheduler: "Scheduler | None" = None,
 ) -> ExecutionContext:
     """Fold legacy keywords over a base context and validate the backend.
 
@@ -184,6 +197,8 @@ def resolve_context(
         overrides["hooks"] = tuple(hooks)
     if autotune is not None:
         overrides["autotune"] = autotune
+    if scheduler is not None:
+        overrides["scheduler"] = scheduler
     if overrides:
         resolved = dataclasses.replace(resolved, **overrides)
     _validate_backend(resolved.backend)

@@ -22,12 +22,7 @@ from repro.core.semiring import Semiring, SemiringError
 from repro.hw.device import Simd2Device
 from repro.runtime.closure import max_iterations_for
 from repro.runtime.context import ExecutionContext, resolve_context
-from repro.runtime.kernels import (
-    KernelStats,
-    compile_in_context,
-    execute_compiled,
-    mmo_tiled,
-)
+from repro.runtime.kernels import KernelStats, mmo_tiled
 
 __all__ = ["HostEvent", "HostClosureOutcome", "HostRuntime"]
 
@@ -160,40 +155,36 @@ class HostRuntime:
         all_stats: list[KernelStats] = []
 
         # Figure 7 compiles the kernel once, then the host loop only
-        # launches: compile the (n, n, n)-with-accumulator artifact up
-        # front and replay it per iteration.
-        from repro.backends.base import get_backend  # lazy: backends import us
+        # launches: each iteration is lowered onto a LaunchGraph (launch
+        # plus device-side convergence check) run by the context's
+        # scheduler; the shared ArtifactPool compiles the
+        # (n, n, n)-with-accumulator artifact once up front.
+        # Lazy: repro.sched orchestrates this module's loops.
+        from repro.sched.builders import ArtifactPool, closure_step_graph
+        from repro.sched.executor import resolve_scheduler
 
-        impl = get_backend(self.context.backend)
-        compiled = None
-        first_hit: bool | None = None
-        if n > 0 and callable(getattr(impl, "compile", None)):
-            compiled, first_hit = compile_in_context(
-                self.context, impl, resolve_opcode(ring), n, n, n,
-                has_accumulator=True, api="closure",
-            )
+        opcode = resolve_opcode(ring)
+        pool = ArtifactPool(self.context, "closure")
+        scheduler = resolve_scheduler(self.context)
 
         for _ in range(limit):
             operand = dist if method == "leyzorek" else base
             # Closure iterates non-finite state legitimately (see
             # repro.runtime.closure): per-iteration validation stays off.
-            if compiled is not None:
-                delta, stats = execute_compiled(
-                    compiled, dist, operand, dist,
-                    context=self.context, api="closure",
-                    cache_hit=first_hit if iterations == 0 else True,
-                    validate_inputs=False,
-                )
-            else:
-                delta, stats = mmo_tiled(
-                    ring, dist, operand, dist,
-                    context=self.context, api="closure", validate_inputs=False,
-                )
-            all_stats.append(stats)
+            # equal_nan=False keeps the host's plain np.array_equal check.
+            graph, out_ref, check_ref, launch_refs = closure_step_graph(
+                self.context, pool, opcode, dist, operand,
+                convergence_check=convergence_check,
+                validate_inputs=False, equal_nan=False,
+            )
+            step = scheduler.run(graph, context=self.context)
+            delta = np.asarray(step[out_ref])
+            for ref in launch_refs:
+                all_stats.append(step.stats_of(ref))
             self._log("mmo_launch", f"{ring.name} closure step {iterations}")
             iterations += 1
             if convergence_check:
-                same = bool(np.array_equal(delta, dist))
+                same = check_ref is not None and bool(step[check_ref])
                 self._log("check", f"convergence after step {iterations}")
                 dist[...] = delta
                 if same:

@@ -344,6 +344,7 @@ def execute_compiled(
     api: str = "mmo_tiled",
     cache_hit: bool | None = True,
     validate_inputs: bool = True,
+    fault_ordinal: int | None = None,
 ) -> tuple[np.ndarray, KernelStats]:
     """Replay a compiled artifact against fresh operands.
 
@@ -360,6 +361,11 @@ def execute_compiled(
     exactly as on :func:`mmo_tiled` — loop entry points that deliberately
     iterate non-finite state (NaN fixpoints, fault studies) validate once
     up front, or not at all, and disable the per-replay check.
+
+    ``fault_ordinal`` hands the launch a pre-reserved fault-plan ordinal
+    (a :mod:`repro.sched` graph node numbered at build time); ``None``
+    keeps today's claim-at-execute numbering.  Degenerate launches ignore
+    it — they never claim an ordinal.
 
     The context must already be resolved (backend validated); the backend
     must implement ``execute``.
@@ -400,6 +406,7 @@ def execute_compiled(
         validate_inputs=validate_inputs,
         cache_hit=cache_hit,
         optimizer_removed=compiled.optimizer_removed,
+        fault_ordinal=fault_ordinal,
     )
     _note_plan_densities(launch, densities)
     start = time.perf_counter()
@@ -419,6 +426,7 @@ def mmo_tiled(
     context: ExecutionContext | None = None,
     api: str = "mmo_tiled",
     validate_inputs: bool = True,
+    fault_ordinal: int | None = None,
 ) -> tuple[np.ndarray, KernelStats]:
     """Whole-matrix ``D = C ⊕ (A ⊗ B)`` with implicit 16×16 tiling.
 
@@ -446,6 +454,10 @@ def mmo_tiled(
         min-plus/max-plus) with a :class:`OperandValidationError` before
         launching — see :func:`_validate_ring_inputs`.  Loop entry points
         that deliberately iterate non-finite state may disable it.
+    fault_ordinal:
+        Pre-reserved fault-plan ordinal for this launch (graph nodes are
+        numbered at build time by :mod:`repro.sched`); ``None`` claims
+        the next ordinal at execute time as before.
 
     Returns
     -------
@@ -497,6 +509,7 @@ def mmo_tiled(
             validate_inputs=validate_inputs,
             cache_hit=hit,
             optimizer_removed=compiled.optimizer_removed,
+            fault_ordinal=fault_ordinal,
         )
         _note_plan_densities(launch, densities)
         start = time.perf_counter()
@@ -506,7 +519,9 @@ def mmo_tiled(
 
     # Legacy single-shot path: backends registered with only run_mmo.
     launch = pipeline.begin_launch(
-        ctx, api, opcode, a, b, c, validate_inputs=validate_inputs
+        ctx, api, opcode, a, b, c,
+        validate_inputs=validate_inputs,
+        fault_ordinal=fault_ordinal,
     )
     _note_plan_densities(launch, densities)
     start = time.perf_counter()
@@ -541,11 +556,16 @@ def mmo_tiled_split_k(
     ``validate_inputs=False`` to opt out entirely, as on
     :func:`mmo_tiled`.
 
-    Zero-width partitions (possible when integer bounds repeat, e.g. for
-    ``k == 0``) are skipped rather than launched as ``k = 0`` kernels;
-    when every partition is empty the whole call degenerates to a single
-    ``k = 0`` launch.  Equal-width partitions share one compiled artifact
-    through the context's plan cache.
+    Zero-width partitions (possible when ``splits`` exceeds ``k``, e.g.
+    for ``k == 0``) are skipped rather than launched as ``k = 0``
+    kernels; when every partition is empty the whole call degenerates to
+    a single ``k = 0`` launch.  Equal-width partitions share one
+    compiled artifact through the context's plan cache.
+
+    The partial launches and the pinned ⊕ fold are built as a
+    :class:`~repro.sched.graph.LaunchGraph` and run by the context's
+    scheduler — the partials are independent nodes, so a thread-pool
+    scheduler runs them concurrently with bit-identical results.
 
     Returns the combined result and per-split kernel statistics.
     """
@@ -561,36 +581,14 @@ def mmo_tiled_split_k(
     splits = min(splits, k) if k else 1
     ctx = resolve_context(context, backend=backend, device=device)
 
-    bounds = np.linspace(0, k, splits + 1, dtype=int)
-    partials: list[np.ndarray] = []
-    stats_list: list[KernelStats] = []
-    for s in range(splits):
-        lo, hi = int(bounds[s]), int(bounds[s + 1])
-        if hi <= lo:
-            continue
-        partial, stats = mmo_tiled(
-            opcode, a[:, lo:hi], b[lo:hi, :], None,
-            context=ctx, api="mmo_tiled_split_k", validate_inputs=False,
-        )
-        partials.append(partial)
-        stats_list.append(stats)
+    # Lazy: repro.sched orchestrates this module's kernels.
+    from repro.sched.builders import split_k_graph
+    from repro.sched.executor import resolve_scheduler
 
-    if not partials:
-        # Every partition was empty (k == 0): one degenerate launch.
-        partial, stats = mmo_tiled(
-            opcode, a, b, None,
-            context=ctx, api="mmo_tiled_split_k", validate_inputs=False,
-        )
-        partials.append(partial)
-        stats_list.append(stats)
-
-    combined = partials[0]
-    for partial in partials[1:]:
-        combined = np.asarray(
-            semiring.oplus(combined, partial), dtype=semiring.output_dtype
-        )
-    if c is not None:
-        combined = np.asarray(
-            semiring.oplus(combined, c), dtype=semiring.output_dtype
-        )
+    graph, out_ref, launch_refs = split_k_graph(
+        ctx, opcode, a, b, c, splits=splits
+    )
+    result = resolve_scheduler(ctx).run(graph, context=ctx)
+    stats_list = [result.stats_of(ref) for ref in launch_refs]
+    combined = np.asarray(result[out_ref])
     return combined, stats_list

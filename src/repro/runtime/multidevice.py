@@ -36,14 +36,11 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.compile.artifact import grid_for
-from repro.compile.lower import resolve_opcode
 from repro.core.registry import get_semiring
 from repro.core.semiring import Semiring
 from repro.core.tiles import TILE, ceil_div
 from repro.hooks.pipeline import emit_event
 from repro.hw.device import Simd2Device
-from repro.hw.errors import HardwareError
 from repro.isa.opcodes import MmoOpcode
 from repro.runtime.api import RuntimeError_
 from repro.runtime.context import ExecutionContext, resolve_context
@@ -51,9 +48,6 @@ from repro.runtime.kernels import (
     KernelStats,
     _validate_operands,
     _validate_ring_inputs,
-    compile_in_context,
-    execute_compiled,
-    mmo_tiled,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -90,121 +84,47 @@ def _run_partition(
     rtol: float,
     atol: float,
 ) -> tuple[np.ndarray, list[DeviceShare]]:
-    """Run one banding of the rows over ``roster``; raise DeviceFailure on loss."""
+    """Run one banding of the rows over ``roster``; raise DeviceFailure on loss.
+
+    The banding is lowered onto a :class:`~repro.sched.graph.LaunchGraph`
+    — one launch node per device band carrying the device and the
+    resilience policy (ABFT checking, retries, hardware-error wrapping),
+    plus a gather node with pinned row windows — and run by the
+    context's scheduler.  Band nodes are independent, so a thread-pool
+    scheduler runs devices concurrently with bit-identical results.
+    A device the fault plan hard-fails raises at *build* time, in band
+    order, so the ordinals of bands built before it are preserved across
+    the repartition rebuild.
+    """
     m, k = a.shape
     n = b.shape[1]
-    row_tiles = ceil_div(m, TILE) if m else 0
-    tiles_per_device = ceil_div(row_tiles, len(roster)) if row_tiles else 0
-
-    # All bands except possibly the last share one tile-aligned height, so a
-    # single compiled artifact covers them; compile it once for the common
-    # band shape and replay it per device.  A shorter tail band (and any
-    # backend without the compile/execute split) falls back to mmo_tiled.
-    from repro.backends.base import get_backend  # lazy: backends import us
-
-    impl = get_backend(ctx.backend)
-    compiled = None
-    first_hit: bool | None = None
-    band_rows = min(m, tiles_per_device * TILE)
-    if band_rows > 0 and n > 0 and callable(getattr(impl, "compile", None)):
-        opcode = resolve_opcode(semiring)
-        compiled, first_hit = compile_in_context(
-            ctx, impl, opcode, band_rows, n, k,
-            has_accumulator=c is not None, api="mmo_tiled_multi_device",
-        )
-
-    if checked or retry is not None:
-        # Lazy: repro.resilience imports this package.
-        from repro.resilience.checksum import CheckedLaunch, mmo_checksums
-        from repro.resilience.policy import RETRYABLE, RetryPolicy
-
-        policy = retry if retry is not None else RetryPolicy()
-        checker = CheckedLaunch(rtol=rtol, atol=atol) if checked else None
-    else:
-        RETRYABLE = ()  # noqa: N806 - mirrors the imported constant
-        policy = None
-        checker = None
-
-    out = np.empty((m, n), dtype=semiring.output_dtype)
-    shares: list[DeviceShare] = []
-    launched = 0
-    for position, (index, device) in enumerate(roster):
-        start_tile = position * tiles_per_device
-        stop_tile = min(row_tiles, (position + 1) * tiles_per_device)
-        row_start = min(m, start_tile * TILE)
-        row_stop = min(m, stop_tile * TILE)
-        if row_stop <= row_start:
-            continue
-        plan = ctx.fault_plan
-        if plan is not None and plan.device_should_fail(index):
-            from repro.resilience.faults import DeviceFailure
-
-            plan.record_device_failure(ctx, "mmo_tiled_multi_device", index)
-            raise DeviceFailure(index, "injected hard failure")
-        a_band = a[row_start:row_stop]
-        band_c = None if c is None else c[row_start:row_stop]
-        band_ctx = ctx.replace(device=device)
-        sums = (
-            mmo_checksums(semiring, a_band, b, band_c, rtol=rtol, atol=atol)
-            if checker is not None
-            else None
-        )
-
-        attempts = policy.max_attempts if policy is not None else 1
-        band = stats = None
-        for attempt in range(attempts):
-            try:
-                if (
-                    compiled is not None
-                    and grid_for(row_stop - row_start, n, k) == compiled.grid
-                ):
-                    band, stats = execute_compiled(
-                        compiled, a_band, b, band_c,
-                        context=band_ctx, api="mmo_tiled_multi_device",
-                        cache_hit=first_hit if launched == 0 else True,
-                        validate_inputs=False,
-                    )
-                else:
-                    band, stats = mmo_tiled(
-                        semiring, a_band, b, band_c,
-                        context=band_ctx, api="mmo_tiled_multi_device",
-                        validate_inputs=False,
-                    )
-                if checker is not None and sums is not None:
-                    checker.verify(
-                        sums, band, context=band_ctx,
-                        api="mmo_tiled_multi_device",
-                    )
-                break
-            except HardwareError as exc:
-                if not wrap_hw_errors:
-                    raise
-                from repro.resilience.faults import DeviceFailure
-
-                raise DeviceFailure(index, str(exc)) from exc
-            except RETRYABLE as exc:
-                if attempt + 1 >= attempts:
-                    raise
-                emit_event(
-                    ctx, kind="retry", api="mmo_tiled_multi_device",
-                    attempt=attempt + 1, device_index=index,
-                    detail=f"band [{row_start}:{row_stop}) attempt "
-                           f"{attempt + 1} failed: {exc}",
-                )
-        assert band is not None and stats is not None
-        launched += 1
-        out[row_start:row_stop] = band
-        shares.append(
-            DeviceShare(
-                device_index=index,
-                row_start=row_start,
-                row_stop=row_stop,
-                stats=stats,
-            )
-        )
     if m == 0:
-        out = semiring.full((m, n)) if c is None else np.asarray(c, semiring.output_dtype)
-    return out, shares
+        out = (
+            semiring.full((m, n)) if c is None
+            else np.asarray(c, semiring.output_dtype)
+        )
+        return out, []
+
+    # Lazy: repro.sched orchestrates this module's loops.
+    from repro.sched.builders import multidevice_graph
+    from repro.sched.executor import resolve_scheduler
+
+    graph, out_ref, bands = multidevice_graph(
+        roster, semiring, a, b, c, ctx,
+        checked=checked, retry=retry, wrap_hw_errors=wrap_hw_errors,
+        rtol=rtol, atol=atol,
+    )
+    result = resolve_scheduler(ctx).run(graph, context=ctx)
+    shares = [
+        DeviceShare(
+            device_index=index,
+            row_start=row_start,
+            row_stop=row_stop,
+            stats=result.stats_of(ref),
+        )
+        for index, row_start, row_stop, ref in bands
+    ]
+    return np.asarray(result[out_ref]), shares
 
 
 def mmo_tiled_multi_device(
@@ -226,9 +146,10 @@ def mmo_tiled_multi_device(
 ) -> tuple[np.ndarray, list[DeviceShare]]:
     """``D = C ⊕ (A ⊗ B)`` partitioned row-wise across devices.
 
-    Rows are split into tile-aligned bands (multiples of 16) so no tile
-    straddles a device boundary; devices at the tail may receive nothing
-    when there are fewer row tiles than devices.
+    Rows are split into floor-balanced tile-aligned bands (multiples of
+    16, via :func:`~repro.backends.tiling.partition_bands`) so no tile
+    straddles a device boundary; some devices may receive nothing when
+    there are fewer row tiles than devices.
 
     This is a device-centric API, so the default backend is ``"emulate"``
     unless an explicit ``backend`` or ``context`` overrides it; each band

@@ -12,6 +12,7 @@ from repro.analysis import (
     LaunchBracketRule,
     LockDisciplineRule,
     RawMatmulRule,
+    SchedulerLoopRule,
     TraceWriteRule,
     default_rules,
     lint_paths,
@@ -29,7 +30,7 @@ class TestTreeIsClean:
         violations = lint_paths(SRC_ROOT)
         assert violations == [], "\n".join(str(v) for v in violations)
 
-    def test_default_rules_cover_all_six_invariants(self):
+    def test_default_rules_cover_all_seven_invariants(self):
         names = {rule.name for rule in default_rules()}
         assert names == {
             "trace-writes",
@@ -37,6 +38,7 @@ class TestTreeIsClean:
             "raw-matmul",
             "lock-discipline",
             "backend-resolution",
+            "scheduler-loops",
             "import-layering",
         }
 
@@ -282,6 +284,54 @@ class TestBackendResolutionRule:
         assert rule.applies_to("repro/resilience/policy.py")
         assert not rule.applies_to("repro/backends/base.py")
         assert not rule.applies_to("repro/plan/planner.py")
+
+
+class TestSchedulerLoopRule:
+    def test_loop_over_execute_compiled_flagged(self):
+        violations = _check(
+            SchedulerLoopRule(),
+            """
+            def replay(compiled, chunks, ctx):
+                outs = []
+                for a, b in chunks:
+                    out, _ = execute_compiled(compiled, a, b, context=ctx)
+                    outs.append(out)
+                return outs
+            """,
+            "repro/runtime/kernels.py",
+        )
+        assert len(violations) == 1
+        assert "LaunchGraph" in violations[0].message
+
+    def test_while_loop_and_method_call_flagged(self):
+        violations = _check(
+            SchedulerLoopRule(),
+            """
+            def iterate(kernels, compiled, a, b, ctx):
+                while not done(a):
+                    a, _ = kernels.execute_compiled(compiled, a, b, context=ctx)
+                return a
+            """,
+            "repro/runtime/closure.py",
+        )
+        assert len(violations) == 1
+
+    def test_single_shot_call_clean(self):
+        violations = _check(
+            SchedulerLoopRule(),
+            """
+            def once(compiled, a, b, ctx):
+                return execute_compiled(compiled, a, b, context=ctx)
+            """,
+            "repro/runtime/kernels.py",
+        )
+        assert violations == []
+
+    def test_sched_package_exempt(self):
+        rule = SchedulerLoopRule()
+        assert not rule.applies_to("repro/sched/executor.py")
+        assert rule.applies_to("repro/runtime/kernels.py")
+        assert rule.applies_to("repro/resilience/policy.py")
 
 
 class TestImportLayeringRule:
