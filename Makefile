@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke check-autotune check-backends check-resilience check-scheduler check-static check-types tables csv examples all clean
+.PHONY: install test bench bench-smoke check-autotune check-backends check-chaos check-resilience check-scheduler check-static check-types tables csv examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -37,6 +37,16 @@ check-autotune:
 # unchecked at 512² (writes benchmarks/results/resilience.json).
 check-resilience:
 	PYTHONPATH=src python benchmarks/bench_resilience.py --out benchmarks/results/resilience.json
+
+# Chaos soak: >=50 seeded randomized fault schedules (tight deadlines,
+# backoff, cancellation, breakers, brownout closures, threaded faults)
+# through the full stack; every run must terminate with a bit-correct
+# result or a typed error, every seed must replay byte-identically on a
+# virtual clock, and a hard-failing backend must stop being dispatched
+# once its breaker trips and recover via the half-open probe (writes
+# benchmarks/results/chaos.json).
+check-chaos:
+	PYTHONPATH=src python benchmarks/bench_chaos.py --out benchmarks/results/chaos.json
 
 # Scheduler health: lowering a single launch onto a LaunchGraph stays
 # within 1.05x of direct dispatch; a 4-worker threaded banded closure is

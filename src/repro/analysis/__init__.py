@@ -6,7 +6,8 @@ package proves properties of the source tree itself — observability
 writes stay behind the hook pipeline, every dispatch path is
 launch-bracketed, backends never fall back to raw GEMM, lock-protected
 state stays under its lock, loop-shaped launch replay goes through the
-:mod:`repro.sched` scheduler, and package imports flow one way.
+:mod:`repro.sched` scheduler, wall time flows through the injectable
+clock, and package imports flow one way.
 
 Run it:
 
@@ -20,6 +21,7 @@ package layer map.
 
 from repro.analysis.invariants import (
     BackendResolutionRule,
+    ClockDisciplineRule,
     LaunchBracketRule,
     LockDisciplineRule,
     RawMatmulRule,
@@ -36,6 +38,7 @@ from repro.analysis.layering import LAYERS, ImportLayeringRule
 __all__ = [
     "LAYERS",
     "BackendResolutionRule",
+    "ClockDisciplineRule",
     "ImportLayeringRule",
     "LaunchBracketRule",
     "LockDisciplineRule",

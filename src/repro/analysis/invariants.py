@@ -31,6 +31,13 @@ unit test pins down because they are conventions spanning many files:
   :class:`~repro.sched.graph.LaunchGraph` so every replay flows through
   the scheduler (backend locks, deterministic ordering, per-node
   resilience) instead of a hand-rolled ``for`` loop;
+- **clock-discipline** — outside ``repro/resilience/clock.py`` (the one
+  adapter over the stdlib), no raw ``time.time()`` /
+  ``time.monotonic()`` / ``time.perf_counter()`` / ``time.sleep()``
+  calls and no ``from time import ...``: wall time flows through the
+  injectable :class:`~repro.resilience.clock.Clock` so deadlines,
+  backoff and launch timings replay deterministically under a virtual
+  clock;
 - **import-layering** — see :mod:`repro.analysis.layering`.
 
 Each rule is a :class:`Rule` subclass; :func:`lint_paths` applies every
@@ -56,6 +63,7 @@ from typing import Iterable, Iterator
 
 __all__ = [
     "BackendResolutionRule",
+    "ClockDisciplineRule",
     "LaunchBracketRule",
     "LockDisciplineRule",
     "RawMatmulRule",
@@ -298,6 +306,9 @@ class LockDisciplineRule(Rule):
         ("repro/plan/autotune.py", "AutotuneTable"): frozenset(
             {"_entries", "_plans", "_version"}
         ),
+        ("repro/resilience/breaker.py", "BreakerBoard"): frozenset(
+            {"_breakers"}
+        ),
     }
 
     def applies_to(self, relpath: str) -> bool:
@@ -498,6 +509,70 @@ class SchedulerLoopRule(Rule):
                     )
 
 
+class ClockDisciplineRule(Rule):
+    """Wall-clock reads and sleeps flow through the injectable Clock.
+
+    A raw ``time.perf_counter()`` in dispatch code is invisible to the
+    virtual clock: deadline tests flake, backoff schedules stop
+    replaying, and chaos runs lose byte-identical determinism.  The one
+    adapter over the stdlib is ``repro/resilience/clock.py``
+    (:class:`~repro.resilience.clock.MonotonicClock`); everything else
+    reads time through the context's
+    :class:`~repro.resilience.clock.Clock`.  ``from time import ...`` is
+    flagged wholesale — aliasing ``sleep`` locally is exactly the bypass
+    the rule exists to catch.
+    """
+
+    name = "clock-discipline"
+    description = (
+        "no time.time/monotonic/perf_counter/sleep calls (or "
+        "`from time import ...`) under repro/ outside "
+        "repro/resilience/clock.py — wall time flows through the "
+        "injectable Clock"
+    )
+
+    _BANNED = frozenset(
+        {
+            "time",
+            "time_ns",
+            "monotonic",
+            "monotonic_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "sleep",
+        }
+    )
+    _ALLOWED_FILES = frozenset({"repro/resilience/clock.py"})
+
+    def applies_to(self, relpath: str) -> bool:
+        if relpath in self._ALLOWED_FILES:
+            return False
+        return relpath.startswith("repro/")
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                yield self.violation(
+                    relpath,
+                    node,
+                    "`from time import ...` bypasses the injectable Clock; "
+                    "read time through repro.resilience.clock instead",
+                )
+                continue
+            attr = _call_attr(node)
+            if attr not in self._BANNED:
+                continue
+            receiver = ast.unparse(node.func.value)  # type: ignore[union-attr]
+            if receiver == "time":
+                yield self.violation(
+                    relpath,
+                    node,
+                    f"time.{attr}(...) bypasses the injectable Clock — "
+                    f"deadlines and backoff stop replaying under a virtual "
+                    f"clock; use repro.resilience.clock instead",
+                )
+
+
 def default_rules() -> tuple[Rule, ...]:
     """Every invariant the repository enforces, in reporting order."""
     from repro.analysis.layering import ImportLayeringRule
@@ -509,6 +584,7 @@ def default_rules() -> tuple[Rule, ...]:
         LockDisciplineRule(),
         BackendResolutionRule(),
         SchedulerLoopRule(),
+        ClockDisciplineRule(),
         ImportLayeringRule(),
     )
 

@@ -377,21 +377,34 @@ def build_pipeline(context: "ExecutionContext") -> HookPipeline:
     """Assemble the pipeline a context's fields imply.
 
     Built-in order (also the firing order at every point): validation →
-    fault (only when ``context.fault_plan`` is set) → trace (only when
-    ``context.trace`` is set) → autotune (only for adaptive contexts:
-    ``backend="auto"`` or an explicit ``autotune=`` table, so plain
-    static contexts keep the allocation-free fast path) → the context's
-    custom ``hooks`` (instances or registry names, see
-    :func:`repro.hooks.register_hook`).
+    budget (only when ``context.budget`` is set; after validation so a
+    rejected launch spends no budget, and still launchless so a
+    budget-only context keeps the allocation-free fast path) → fault
+    (only when ``context.fault_plan`` is set) → trace (only when
+    ``context.trace`` is set) → breaker (only when ``context.breakers``
+    is set) → autotune (only for adaptive contexts: ``backend="auto"``
+    or an explicit ``autotune=`` table, so plain static contexts keep
+    the allocation-free fast path) → the context's custom ``hooks``
+    (instances or registry names, see :func:`repro.hooks.register_hook`).
     """
     from repro.hooks.builtin import FAULT_HOOK, TRACE_HOOK, VALIDATION_HOOK
     from repro.hooks.registry import resolve_hook
 
     hooks: list[Hook] = [VALIDATION_HOOK]
+    if getattr(context, "budget", None) is not None:
+        # Lazy: repro.resilience sits above repro.hooks in the layering.
+        from repro.resilience.budget import BUDGET_HOOK
+
+        hooks.append(BUDGET_HOOK)
     if context.fault_plan is not None:
         hooks.append(FAULT_HOOK)
     if context.trace is not None:
         hooks.append(TRACE_HOOK)
+    if getattr(context, "breakers", None) is not None:
+        # Lazy: repro.resilience sits above repro.hooks in the layering.
+        from repro.resilience.breaker import BREAKER_HOOK
+
+        hooks.append(BREAKER_HOOK)
     if getattr(context, "autotune", None) is not None or _is_adaptive(context):
         # Lazy: repro.plan sits above repro.hooks in the layering.
         from repro.plan.autotune import AutotuneHook

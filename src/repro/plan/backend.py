@@ -25,6 +25,7 @@ for callers that bypass the dispatch seam.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import TYPE_CHECKING
 
 from repro.backends.base import (
@@ -72,7 +73,20 @@ class AutoBackend(MmoBackend):
         *,
         context: "ExecutionContext",
     ) -> "tuple[str, DispatchPlan]":
-        """The concrete backend for these operands, plus the full plan."""
+        """The concrete backend for these operands, plus the full plan.
+
+        When the context carries a
+        :class:`~repro.resilience.breaker.BreakerBoard`, candidates
+        whose breaker is open are filtered out of the ranking *after*
+        the planner's cache (health is per dispatch, not per plan) and
+        recorded on ``plan.breaker_skipped``.  Half-open backends are
+        admitted — the dispatch is their recovery probe, claimed via
+        :meth:`~repro.resilience.breaker.BreakerBoard.try_acquire`.  If
+        every candidate is blocked the plan passes through unfiltered
+        (fail open): a certain skip-everything error helps nobody, and
+        the launch doubles as the probe that re-admits the healthiest
+        candidate.
+        """
         semiring = opcode.semiring
         m, k = a.shape
         n = b.shape[1]
@@ -87,6 +101,24 @@ class AutoBackend(MmoBackend):
             density_a=estimate_density(a, semiring),
             density_b=estimate_density(b, semiring),
         )
+        board = getattr(context, "breakers", None)
+        if board is not None:
+            blocked = tuple(
+                cand.backend
+                for cand in plan.candidates
+                if board.blocked(cand.backend)
+            )
+            if blocked and len(blocked) < len(plan.candidates):
+                plan = dataclasses.replace(
+                    plan,
+                    candidates=tuple(
+                        cand
+                        for cand in plan.candidates
+                        if cand.backend not in blocked
+                    ),
+                    breaker_skipped=blocked,
+                )
+            board.try_acquire(plan.best.backend)
         return plan.best.backend, plan
 
     def execute(

@@ -95,6 +95,11 @@ class DispatchPlan:
     launch — the chosen backend is unmeasured (or measured so little that
     its loss contradicts a decisive model preference) while a measured
     alternative exists, so this launch buys a measurement.
+
+    ``breaker_skipped`` names backends the dispatching context's circuit
+    breakers removed from the ranking (always empty on the planner's own
+    cached output — health filtering happens per dispatch, after the
+    cache, so a sick backend never poisons the memoised plan).
     """
 
     opcode: str
@@ -104,6 +109,7 @@ class DispatchPlan:
     density_b: float
     candidates: tuple[PlanCandidate, ...]
     probe: bool = False
+    breaker_skipped: tuple[str, ...] = ()
 
     @property
     def best(self) -> PlanCandidate:

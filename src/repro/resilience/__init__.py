@@ -1,21 +1,43 @@
 """Resilient execution layer for SIMD² mmos.
 
-Four cooperating pieces, all opt-in and all observable through the trace:
+Cooperating pieces, all opt-in and all observable through the trace:
 
 - :mod:`repro.resilience.faults` — deterministic fault injection at the
   execute seam (:class:`FaultPlan` on the execution context);
 - :mod:`repro.resilience.checksum` — semiring-generalized ABFT: ⊕-fold
   row/column checksums verified on every checked launch;
-- :mod:`repro.resilience.policy` — recovery: :class:`RetryPolicy`,
+- :mod:`repro.resilience.policy` — recovery: :class:`RetryPolicy` (with
+  seeded exponential backoff and the permanent/transient taxonomy),
   :class:`FallbackChain`, and :func:`resilient_mmo`;
 - :mod:`repro.resilience.watchdog` — closure-iteration health checks
   (NaN poisoning, non-monotone progress, oscillation);
 - :mod:`repro.resilience.closure` — :func:`resilient_closure`, the whole
-  stack composed over the multi-device fixpoint loop.
+  stack composed over the multi-device fixpoint loop;
+- :mod:`repro.resilience.clock` — the injectable :class:`Clock` behind
+  every time read and sleep (:class:`VirtualClock` for deterministic
+  replay);
+- :mod:`repro.resilience.budget` — :class:`ExecutionBudget` deadlines
+  and launch/retry quotas, charged at the hook seam and the scheduler;
+- :mod:`repro.resilience.cancel` — :class:`CancellationToken`
+  cooperative cancellation between scheduler nodes;
+- :mod:`repro.resilience.breaker` — :class:`BreakerBoard` per-backend
+  circuit breakers fed through the hook pipeline.
 
 See ``docs/RESILIENCE.md`` for the design and the exactness argument.
 """
 
+from repro.resilience.breaker import (
+    BreakerBoard,
+    BreakerOpen,
+    CircuitBreaker,
+)
+from repro.resilience.budget import (
+    BudgetError,
+    BudgetExhausted,
+    DeadlineExceeded,
+    ExecutionBudget,
+)
+from repro.resilience.cancel import CancellationToken, OperationCancelled
 from repro.resilience.checksum import (
     CheckedLaunch,
     ChecksumReport,
@@ -24,6 +46,13 @@ from repro.resilience.checksum import (
     MmoChecksums,
     checked_mmo,
     mmo_checksums,
+)
+from repro.resilience.clock import (
+    Clock,
+    MonotonicClock,
+    VirtualClock,
+    default_clock,
+    resolve_clock,
 )
 from repro.resilience.closure import ResilientClosureResult, resilient_closure
 from repro.resilience.faults import (
@@ -34,32 +63,51 @@ from repro.resilience.faults import (
     ResilienceError,
 )
 from repro.resilience.policy import (
+    PERMANENT,
+    TRANSIENT,
     FallbackChain,
     ResilienceExhausted,
     RetryPolicy,
+    classify,
     resilient_mmo,
 )
 from repro.resilience.watchdog import ClosureDiagnostics, ClosureWatchdog
 
 __all__ = [
+    "BreakerBoard",
+    "BreakerOpen",
+    "BudgetError",
+    "BudgetExhausted",
+    "CancellationToken",
     "CheckedLaunch",
     "ChecksumReport",
     "ChecksumUnsupported",
+    "CircuitBreaker",
+    "Clock",
     "ClosureDiagnostics",
     "ClosureWatchdog",
     "CorruptionDetected",
+    "DeadlineExceeded",
     "DeviceFailure",
+    "ExecutionBudget",
     "FallbackChain",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
-    "MmoChecksums",
+    "MonotonicClock",
+    "OperationCancelled",
+    "PERMANENT",
     "ResilienceError",
     "ResilienceExhausted",
     "ResilientClosureResult",
     "RetryPolicy",
+    "TRANSIENT",
+    "VirtualClock",
     "checked_mmo",
+    "classify",
+    "default_clock",
     "mmo_checksums",
     "resilient_closure",
     "resilient_mmo",
+    "resolve_clock",
 ]

@@ -1,0 +1,132 @@
+"""Injectable monotonic time: the one wall-clock seam in the tree.
+
+Deadline budgets, retry backoff, circuit-breaker cooldowns and the
+autotune table's observed launch costs all consume *time*; if each read
+the OS clock directly, none of them could be tested deterministically
+and a chaos run could never replay byte-identically.  So the repository
+funnels every time read and every sleep through one :class:`Clock`
+carried on the :class:`~repro.runtime.context.ExecutionContext`:
+
+- :class:`MonotonicClock` — the real thing, and the **only module in
+  ``src/repro`` allowed to call ``time.perf_counter`` / ``time.sleep``**
+  (enforced by the ``clock-discipline`` invariant-lint rule with zero
+  suppressions);
+- :class:`VirtualClock` — deterministic test/chaos time: ``sleep``
+  advances virtual time instantly, an optional ``tick`` advances it per
+  ``now()`` read, and :meth:`VirtualClock.advance` moves it by hand —
+  so a deadline trips on the same launch on every run, no matter how
+  fast the machine is.
+
+Because the dispatch seam (:mod:`repro.runtime.kernels`) stamps
+``launch.wall_time_s`` from this same clock, the costs the
+:class:`~repro.plan.autotune.AutotuneHook` observes and the charges an
+:class:`~repro.resilience.budget.ExecutionBudget` accrues share one time
+source by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.resilience.faults import ResilienceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.context import ExecutionContext
+
+__all__ = [
+    "Clock",
+    "MonotonicClock",
+    "VirtualClock",
+    "default_clock",
+    "resolve_clock",
+]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything that can tell monotonic time and wait."""
+
+    def now(self) -> float:
+        """Seconds on a monotonic axis (origin is clock-defined)."""
+        ...  # pragma: no cover - protocol
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or virtually advance) for ``seconds``."""
+        ...  # pragma: no cover - protocol
+
+
+class MonotonicClock:
+    """The real monotonic clock.
+
+    This class is the single place ``src/repro`` touches the ``time``
+    module; everything else resolves a clock through the context so
+    tests and chaos runs can substitute a :class:`VirtualClock`.
+    """
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0.0:
+            time.sleep(seconds)
+
+
+class VirtualClock:
+    """Deterministic time for tests and seeded chaos runs.
+
+    ``sleep`` advances virtual time without blocking, so a backoff
+    schedule "spends" its delays instantly and a deadline charged
+    through the budget trips on exactly the same retry on every run.
+    ``tick`` (default ``0.0``) additionally advances time by a fixed
+    amount on every ``now()`` read — a deterministic stand-in for
+    "work takes time", letting scheduler-level deadline checks fire
+    mid-graph without any real waiting.  Thread-safe: concurrent graph
+    nodes may read it simultaneously.
+    """
+
+    def __init__(self, start: float = 0.0, *, tick: float = 0.0):
+        if tick < 0.0:
+            raise ResilienceError(f"tick must be >= 0, got {tick}")
+        self._lock = threading.Lock()
+        self._now = float(start)
+        self._tick = float(tick)
+        self.sleeps = 0
+        self.slept_s = 0.0
+
+    def now(self) -> float:
+        with self._lock:
+            current = self._now
+            self._now += self._tick
+            return current
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0.0:
+            return
+        with self._lock:
+            self._now += seconds
+            self.sleeps += 1
+            self.slept_s += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move virtual time forward by hand (cooldown expiry in tests)."""
+        if seconds < 0.0:
+            raise ResilienceError(f"cannot advance by {seconds}")
+        with self._lock:
+            self._now += seconds
+
+
+#: Process-wide real clock behind every context without an explicit one.
+_DEFAULT = MonotonicClock()
+
+
+def default_clock() -> MonotonicClock:
+    """The shared real monotonic clock."""
+    return _DEFAULT
+
+
+def resolve_clock(context: "ExecutionContext | None" = None) -> Clock:
+    """The context's clock, defaulting to the shared monotonic one."""
+    clock = None if context is None else context.clock
+    return clock if clock is not None else _DEFAULT

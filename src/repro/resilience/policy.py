@@ -5,9 +5,11 @@ checksums, hardware errors) from *response*.  This module owns the
 response side for single launches:
 
 - :class:`RetryPolicy` — how many times to relaunch after a retryable
-  failure (an injected drop, a detected corruption).  Retries are loud:
-  every attempt lands as a ``retry`` :class:`~repro.runtime.trace
-  .ResilienceEvent` on the context's trace.
+  failure (an injected drop, a detected corruption), and how long to
+  back off between attempts (exponential with seeded deterministic
+  jitter, slept on the context's injectable clock and charged against
+  its deadline).  Retries are loud: every attempt lands as a ``retry``
+  :class:`~repro.runtime.trace.ResilienceEvent` on the context's trace.
 - :class:`FallbackChain` — which backends to degrade through when a
   backend keeps failing (e.g. ``vectorized → emulate``: if the fast path
   is corrupt or the emulated device faults, fall back to the other
@@ -15,7 +17,19 @@ response side for single launches:
 - :func:`resilient_mmo` — the two composed: checked (optional) launches
   under the context's backend, retried per policy, falling back down the
   chain, raising :class:`ResilienceExhausted` only when every avenue is
-  spent.
+  spent.  When the context carries a
+  :class:`~repro.resilience.breaker.BreakerBoard`, open backends are
+  skipped outright (``breaker_open`` event, :class:`~repro.resilience
+  .breaker.BreakerOpen` cause) and every failure/verified-success feeds
+  the board.
+
+The failure **taxonomy** is explicit: :data:`PERMANENT` errors
+(malformed operands, compilation bugs) are deterministic — relaunching
+reruns the same rejection, so :meth:`RetryPolicy.should_retry` and
+:meth:`FallbackChain.should_fall_back` refuse them no matter what
+``retry_on``/``fallback_on`` tuples say.  :data:`TRANSIENT` errors
+(injected faults, detected corruption, device failures) are the ones
+recovery can outrun.  :func:`classify` names the bucket.
 
 Multi-device recovery (band repartitioning) lives with the partitioner in
 :mod:`repro.runtime.multidevice`; it consumes the same :class:`RetryPolicy`.
@@ -24,14 +38,17 @@ Multi-device recovery (band repartitioning) lives with the partitioner in
 from __future__ import annotations
 
 import dataclasses
+import random
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.compile.artifact import CompileError
 from repro.hooks.pipeline import emit_event
 from repro.hw.errors import HardwareError
 from repro.resilience.checksum import CheckedLaunch, CorruptionDetected, mmo_checksums
 from repro.resilience.faults import DeviceFailure, InjectedFault, ResilienceError
+from repro.runtime.kernels import OperandValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.semiring import Semiring
@@ -41,8 +58,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "FallbackChain",
+    "PERMANENT",
     "ResilienceExhausted",
     "RetryPolicy",
+    "TRANSIENT",
+    "classify",
     "resilient_mmo",
 ]
 
@@ -53,6 +73,30 @@ RETRYABLE = (CorruptionDetected, InjectedFault)
 #: Failures that justify degrading to the next backend in the chain:
 #: everything retryable plus hard device faults.
 FALLBACK_ON = RETRYABLE + (HardwareError, DeviceFailure)
+
+#: Deterministic failures no relaunch can outrun: value-poisoned or
+#: malformed operands and compilation bugs rerun identically, so retry
+#: and fallback refuse them even when a custom ``retry_on``/``fallback_on``
+#: tuple would match (e.g. a blanket ``(Exception,)``).
+PERMANENT = (OperandValidationError, CompileError)
+
+#: Failures recovery can plausibly outrun: the retryable set plus hard
+#: device faults (a relaunch lands on a healthy substrate or a fallback
+#: backend).
+TRANSIENT = FALLBACK_ON
+
+
+def classify(exc: BaseException) -> str:
+    """``"permanent"``, ``"transient"``, or ``"unknown"`` for a failure.
+
+    Permanence wins when both match (a hypothetical subclass): retrying
+    a deterministic rejection cannot help, whatever else it subclasses.
+    """
+    if isinstance(exc, PERMANENT):
+        return "permanent"
+    if isinstance(exc, TRANSIENT):
+        return "transient"
+    return "unknown"
 
 
 class ResilienceExhausted(ResilienceError):
@@ -75,17 +119,49 @@ class RetryPolicy:
     ``max_retries`` counts *extra* attempts: ``max_retries=2`` allows up
     to three launches.  ``retry_on`` is the tuple of exception types worth
     retrying — defaults to transient faults and detected corruption
-    (validation errors propagate immediately: retrying a shape mismatch
-    cannot help).
+    (:data:`PERMANENT` errors are refused regardless: retrying a shape
+    mismatch or a compiler bug reruns the same rejection).
+
+    Backoff is exponential and off by default (``backoff_base_s=0.0``
+    sleeps nothing, preserving the historical retry-immediately
+    behaviour): the delay before the retry following 0-based attempt
+    ``n`` is ``min(backoff_base_s * backoff_factor**n, backoff_max_s)``,
+    widened by a symmetric jitter fraction drawn from a PRNG seeded from
+    ``seed`` and ``n`` — the schedule is a pure function of the policy, so
+    chaos runs replay byte-identically.  Sleeps flow through the
+    context's :class:`~repro.resilience.clock.Clock` and are charged
+    against its deadline (see :meth:`~repro.resilience.budget
+    .ExecutionBudget.charge_sleep`).
     """
 
     max_retries: int = 2
     retry_on: tuple[type[BaseException], ...] = RETRYABLE
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 60.0
+    jitter: float = 0.0
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ResilienceError(
                 f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0.0:
+            raise ResilienceError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ResilienceError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max_s < 0.0:
+            raise ResilienceError(
+                f"backoff_max_s must be >= 0, got {self.backoff_max_s}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ResilienceError(
+                f"jitter must be in [0, 1], got {self.jitter}"
             )
 
     @property
@@ -94,9 +170,22 @@ class RetryPolicy:
 
     def should_retry(self, exc: BaseException, attempt: int) -> bool:
         """Whether ``attempt`` (0-based) may be followed by another."""
+        if isinstance(exc, PERMANENT):
+            return False
         return attempt + 1 < self.max_attempts and isinstance(
             exc, self.retry_on
         )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Deterministic delay before the retry after 0-based ``attempt``."""
+        if self.backoff_base_s <= 0.0:
+            return 0.0
+        delay = self.backoff_base_s * (self.backoff_factor ** attempt)
+        delay = min(delay, self.backoff_max_s)
+        if self.jitter > 0.0:
+            rng = random.Random(self.seed * 0x9E3779B1 + attempt)
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -148,6 +237,8 @@ class FallbackChain:
         return tuple(order)
 
     def should_fall_back(self, exc: BaseException) -> bool:
+        if isinstance(exc, PERMANENT):
+            return False  # deterministic rejection: every backend agrees
         return isinstance(exc, self.fallback_on)
 
 
@@ -175,8 +266,24 @@ def resilient_mmo(
     ``fallback`` takes over.  Raises :class:`ResilienceExhausted` when the
     whole chain fails; non-recoverable errors (shape validation, unknown
     rings) propagate immediately.
+
+    SLO integration, all opt-in through context fields:
+
+    - ``ctx.breakers`` — backends whose breaker is open are skipped with
+      a ``breaker_open`` event (the :class:`~repro.resilience.breaker
+      .BreakerOpen` lands in the exhaustion causes); transient failures
+      emit ``backend_failure`` events that feed the board through the
+      hook pipeline, and a *verified* success records the full health
+      reset (an unverified one only closes a half-open probe).
+    - ``ctx.budget`` — each retry spends a retry slot
+      (:class:`~repro.resilience.budget.BudgetExhausted` propagates
+      typed) and backoff sleeps are charged against the deadline.
+    - ``ctx.clock`` — backoff sleeps flow through the injectable clock,
+      so a virtual clock replays the whole schedule deterministically.
     """
     from repro.compile.lower import resolve_opcode
+    from repro.resilience.breaker import BreakerOpen
+    from repro.resilience.clock import resolve_clock
     from repro.runtime.context import resolve_context
     from repro.runtime.kernels import mmo_tiled
 
@@ -190,9 +297,20 @@ def resilient_mmo(
         if checker is not None
         else None
     )
+    board = ctx.breakers
+    budget = ctx.budget
+    clock = resolve_clock(ctx)
 
     causes: list[tuple[str, BaseException]] = []
     for backend_name in fallback.plan(ctx.backend, ring=opcode, a=a, b=b, c=c):
+        if board is not None and not board.try_acquire(backend_name):
+            skip = BreakerOpen(backend_name, state=board.state_of(backend_name))
+            emit_event(
+                ctx, kind="breaker_open", api=api, backend=backend_name,
+                detail=str(skip),
+            )
+            causes.append((backend_name, skip))
+            continue
         attempt_ctx = ctx.replace(backend=backend_name)
         if backend_name != ctx.backend:
             emit_event(
@@ -209,15 +327,32 @@ def resilient_mmo(
                 )
                 if checker is not None and sums is not None:
                     checker.verify(sums, result, context=attempt_ctx, api=api)
+                    if board is not None:
+                        # Verified evidence: reset the backend's failure
+                        # count (the hook's probe_only success cannot).
+                        board.record_success(backend_name)
                 return result, stats
             except Exception as exc:  # noqa: BLE001 - classified below
                 last = exc
+                if board is not None and classify(exc) == "transient":
+                    emit_event(
+                        ctx, kind="backend_failure", api=api,
+                        backend=backend_name,
+                        detail=f"{type(exc).__name__}: {exc}",
+                    )
                 if retry.should_retry(exc, attempt):
+                    if budget is not None:
+                        budget.charge_retry(clock)
                     emit_event(
                         ctx, kind="retry", api=api, backend=backend_name,
                         detail=f"attempt {attempt + 1} failed: {exc}",
                         attempt=attempt + 1,
                     )
+                    delay = retry.backoff_s(attempt)
+                    if budget is not None:
+                        budget.charge_sleep(clock, delay)
+                    elif delay > 0.0:
+                        clock.sleep(delay)
                     continue
                 if fallback.should_fall_back(exc):
                     break  # next backend in the chain

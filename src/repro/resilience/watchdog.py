@@ -36,7 +36,9 @@ class ClosureDiagnostics:
     """What the watchdog saw when it tripped (or a healthy summary).
 
     ``reason`` is ``None`` for a healthy run, else one of
-    ``"nan_poisoning"``, ``"non_monotone"``, ``"oscillation"``.
+    ``"nan_poisoning"``, ``"non_monotone"``, ``"oscillation"`` — or
+    ``"budget_exhausted"`` when a closure brownout
+    (``on_budget="brownout"``) stopped the loop at a partial fixpoint.
     """
 
     healthy: bool

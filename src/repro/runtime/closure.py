@@ -58,10 +58,12 @@ def matrices_equal(x: np.ndarray, y: np.ndarray) -> bool:
 class ClosureResult:
     """Outcome of a closure iteration.
 
-    ``diagnostics`` is ``None`` unless a watchdog observed the run: a
+    ``diagnostics`` is ``None`` unless a watchdog observed the run (a
     healthy summary when the loop completed normally, or the structured
-    reason (NaN poisoning, non-monotone progress, oscillation) when the
-    watchdog terminated it early (in which case ``converged`` is False).
+    reason — NaN poisoning, non-monotone progress, oscillation — when
+    the watchdog terminated it early) or a budget brownout stopped it
+    (``reason="budget_exhausted"``); in both early-stop cases
+    ``converged`` is False.
     """
 
     matrix: np.ndarray
@@ -102,6 +104,7 @@ def closure(
     watchdog: "bool | ClosureWatchdog" = False,
     validate_inputs: bool = False,
     bands: int = 1,
+    on_budget: str = "raise",
 ) -> ClosureResult:
     """Iterate ``D ← D ⊕ (D ⊗ X)`` to a fixpoint under ``ring``.
 
@@ -150,6 +153,18 @@ def closure(
         scheduler on the context runs concurrently.  Results are
         bit-identical for any band count (bands write disjoint rows).
         The default ``1`` keeps one whole-matrix launch per iteration.
+    on_budget:
+        What to do when the context's
+        :class:`~repro.resilience.budget.ExecutionBudget` trips mid-run.
+        ``"raise"`` (the default) propagates the typed
+        :class:`~repro.resilience.budget.DeadlineExceeded` /
+        :class:`~repro.resilience.budget.BudgetExhausted`.
+        ``"brownout"`` degrades instead: the loop stops at the last
+        completed iterate and returns it as a best-effort partial
+        fixpoint, flagged via ``ClosureResult.diagnostics``
+        (``healthy=False``, ``reason="budget_exhausted"``) and a
+        ``brownout`` trace event — ``converged`` stays ``False`` so
+        callers cannot mistake the brownout for a fixpoint.
 
     Returns
     -------
@@ -176,6 +191,10 @@ def closure(
         raise SemiringError(f"unknown closure method {method!r}")
     if bands <= 0:
         raise SemiringError(f"bands must be positive, got {bands}")
+    if on_budget not in ("raise", "brownout"):
+        raise SemiringError(
+            f"on_budget must be 'raise' or 'brownout', got {on_budget!r}"
+        )
 
     guard: "ClosureWatchdog | None" = None
     if watchdog:
@@ -219,7 +238,32 @@ def closure(
             bands=bands, convergence_check=convergence_check,
             validate_inputs=validate,
         )
-        step = scheduler.run(graph, context=ctx)
+        if on_budget == "brownout":
+            # Lazy: repro.resilience imports the runtime package.
+            from repro.resilience.budget import BudgetError
+            from repro.resilience.watchdog import ClosureDiagnostics
+
+            try:
+                step = scheduler.run(graph, context=ctx)
+            except BudgetError as exc:
+                # Best-effort degradation: keep the last completed
+                # iterate as the partial fixpoint and flag it, instead
+                # of discarding the work already paid for.
+                diagnostics = ClosureDiagnostics(
+                    healthy=False,
+                    reason="budget_exhausted",
+                    iteration=iterations,
+                    detail=str(exc),
+                )
+                emit_event(
+                    ctx,
+                    kind="brownout",
+                    api="closure",
+                    detail=diagnostics.describe(),
+                )
+                break
+        else:
+            step = scheduler.run(graph, context=ctx)
         updated = np.asarray(step[out_ref])
         for ref in launch_refs:
             all_stats.append(step.stats_of(ref))

@@ -31,6 +31,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hooks.pipeline import Hook, HookPipeline
     from repro.hw.device import Simd2Device
     from repro.plan.autotune import AutotuneTable
+    from repro.resilience.breaker import BreakerBoard
+    from repro.resilience.budget import ExecutionBudget
+    from repro.resilience.cancel import CancellationToken
+    from repro.resilience.clock import Clock
     from repro.resilience.faults import FaultPlan
     from repro.runtime.trace import Trace
     from repro.sched.executor import Scheduler
@@ -102,6 +106,35 @@ class ExecutionContext:
         independent nodes concurrently (results stay bit-identical:
         fold orders are pinned in the graph and fault ordinals are
         assigned at build time).
+    clock:
+        Injectable :class:`~repro.resilience.clock.Clock` behind every
+        time read and sleep under this context (launch wall times,
+        deadline charges, retry backoff).  ``None`` (the default) means
+        the shared real monotonic clock; tests and chaos runs pass a
+        :class:`~repro.resilience.clock.VirtualClock` so time-dependent
+        behaviour replays deterministically.
+    budget:
+        Optional :class:`~repro.resilience.budget.ExecutionBudget`.
+        When set, every launch is charged at the ``begin_launch`` hook
+        seam and both schedulers check the deadline between node
+        dispatches; exhaustion raises the typed
+        :class:`~repro.resilience.budget.DeadlineExceeded` /
+        :class:`~repro.resilience.budget.BudgetExhausted` carrying
+        partial-progress diagnostics.  ``None`` costs nothing.
+    cancel:
+        Optional :class:`~repro.resilience.cancel.CancellationToken`.
+        When set, both schedulers check it between node submissions:
+        in-flight nodes drain, pending nodes never start, and the run
+        raises :class:`~repro.resilience.cancel.OperationCancelled`
+        reporting exactly which node indices completed.  ``None`` costs
+        nothing.
+    breakers:
+        Optional :class:`~repro.resilience.breaker.BreakerBoard` of
+        per-backend circuit breakers.  When set,
+        :func:`~repro.resilience.policy.resilient_mmo` and the
+        ``"auto"`` planner skip open backends (half-open probe launches
+        recover them), fed by failure events through the hook pipeline.
+        ``None`` costs nothing.
     """
 
     backend: str = "vectorized"
@@ -113,6 +146,10 @@ class ExecutionContext:
     hooks: "tuple[Hook | str, ...]" = ()
     autotune: "AutotuneTable | None" = None
     scheduler: "Scheduler | None" = None
+    clock: "Clock | None" = None
+    budget: "ExecutionBudget | None" = None
+    cancel: "CancellationToken | None" = None
+    breakers: "BreakerBoard | None" = None
 
     def replace(self, **overrides) -> "ExecutionContext":
         """A copy with the given fields replaced (context is immutable)."""
@@ -171,6 +208,10 @@ def resolve_context(
     hooks: "tuple[Hook | str, ...] | None" = None,
     autotune: "AutotuneTable | None" = None,
     scheduler: "Scheduler | None" = None,
+    clock: "Clock | None" = None,
+    budget: "ExecutionBudget | None" = None,
+    cancel: "CancellationToken | None" = None,
+    breakers: "BreakerBoard | None" = None,
 ) -> ExecutionContext:
     """Fold legacy keywords over a base context and validate the backend.
 
@@ -199,6 +240,14 @@ def resolve_context(
         overrides["autotune"] = autotune
     if scheduler is not None:
         overrides["scheduler"] = scheduler
+    if clock is not None:
+        overrides["clock"] = clock
+    if budget is not None:
+        overrides["budget"] = budget
+    if cancel is not None:
+        overrides["cancel"] = cancel
+    if breakers is not None:
+        overrides["breakers"] = breakers
     if overrides:
         resolved = dataclasses.replace(resolved, **overrides)
     _validate_backend(resolved.backend)

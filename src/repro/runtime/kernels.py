@@ -41,7 +41,6 @@ front and replay the artifact per iteration via :func:`execute_compiled`.
 from __future__ import annotations
 
 import dataclasses
-import time
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -80,6 +79,27 @@ class OperandValidationError(RuntimeError_, ValueError):
     Subclasses ``ValueError`` so callers catching either the runtime's
     error family or plain ``ValueError`` see the rejection.
     """
+
+
+_DEFAULT_CLOCK = None
+
+
+def _launch_clock(context: ExecutionContext):
+    """The clock launch wall times are read on: the context's, else shared.
+
+    Keeps a cached reference to the shared monotonic clock so the static
+    fast path pays one attribute check, not an import, per launch.
+    """
+    clock = context.clock
+    if clock is not None:
+        return clock
+    global _DEFAULT_CLOCK
+    if _DEFAULT_CLOCK is None:
+        # Lazy: repro.resilience sits above repro.runtime in the layering.
+        from repro.resilience.clock import default_clock
+
+        _DEFAULT_CLOCK = default_clock()
+    return _DEFAULT_CLOCK
 
 
 @dataclasses.dataclass(frozen=True)
@@ -297,6 +317,7 @@ def _apply_selection(
                 candidates=plan.candidates,
                 refined=plan.refined,
                 probe=plan.probe,
+                breaker_skipped=getattr(plan, "breaker_skipped", ()),
             ),
         )
     cache: dict[str, ExecutionContext] | None = ctx.__dict__.get(
@@ -409,9 +430,10 @@ def execute_compiled(
         fault_ordinal=fault_ordinal,
     )
     _note_plan_densities(launch, densities)
-    start = time.perf_counter()
+    clock = _launch_clock(context)
+    start = clock.now()
     result, stats = impl.execute(compiled, a, b, c, context=context)
-    elapsed = time.perf_counter() - start
+    elapsed = clock.now() - start
     return pipeline.finish_launch(launch, result, stats, elapsed), stats
 
 
@@ -512,9 +534,10 @@ def mmo_tiled(
             fault_ordinal=fault_ordinal,
         )
         _note_plan_densities(launch, densities)
-        start = time.perf_counter()
+        clock = _launch_clock(ctx)
+        start = clock.now()
         result, stats = impl.execute(compiled, a, b, c, context=ctx)
-        elapsed = time.perf_counter() - start
+        elapsed = clock.now() - start
         return pipeline.finish_launch(launch, result, stats, elapsed), stats
 
     # Legacy single-shot path: backends registered with only run_mmo.
@@ -524,9 +547,10 @@ def mmo_tiled(
         fault_ordinal=fault_ordinal,
     )
     _note_plan_densities(launch, densities)
-    start = time.perf_counter()
+    clock = _launch_clock(ctx)
+    start = clock.now()
     result, stats = impl.run_mmo(opcode, a, b, c, context=ctx)
-    elapsed = time.perf_counter() - start
+    elapsed = clock.now() - start
     return pipeline.finish_launch(launch, result, stats, elapsed), stats
 
 

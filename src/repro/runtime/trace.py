@@ -74,7 +74,13 @@ class ResilienceEvent:
     - ``"device_failure"`` — a device was blacklisted by the partitioner;
     - ``"repartition"`` — multi-device work was redistributed across the
       surviving devices;
-    - ``"watchdog"`` — the closure watchdog terminated an iteration.
+    - ``"watchdog"`` — the closure watchdog terminated an iteration;
+    - ``"backend_failure"`` — a breaker-tracked context saw a transient
+      failure on the named backend (feeds its circuit breaker);
+    - ``"breaker_open"`` — a launch skipped a backend whose circuit
+      breaker is open;
+    - ``"brownout"`` — a budget-exhausted closure returned its partial
+      fixpoint instead of raising (``on_budget="brownout"``).
 
     ``detail`` is human-readable; ``attempt``/``device_index``/
     ``launch_ordinal`` carry the structured coordinates when applicable.
@@ -99,7 +105,9 @@ class PlanRecord:
     :class:`~repro.plan.planner.PlanCandidate` tuple behind it.
     ``refined`` says at least one candidate was priced from autotune
     observations rather than the cold cost model; ``probe`` marks a
-    bounded exploration pick (see :data:`repro.plan.MODEL_ERROR_BAND`).
+    bounded exploration pick (see :data:`repro.plan.MODEL_ERROR_BAND`);
+    ``breaker_skipped`` names backends the context's circuit breakers
+    removed from the ranking before the choice.
     """
 
     api: str
@@ -112,6 +120,7 @@ class PlanRecord:
     candidates: "tuple[PlanCandidate, ...]"
     refined: bool = False
     probe: bool = False
+    breaker_skipped: tuple[str, ...] = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -301,6 +310,18 @@ class TraceSummary:
     @property
     def watchdog_trips(self) -> int:
         return self.by_event.get("watchdog", 0)
+
+    @property
+    def backend_failures(self) -> int:
+        return self.by_event.get("backend_failure", 0)
+
+    @property
+    def breaker_skips(self) -> int:
+        return self.by_event.get("breaker_open", 0)
+
+    @property
+    def brownouts(self) -> int:
+        return self.by_event.get("brownout", 0)
 
     @property
     def cache_lookups(self) -> int:

@@ -22,6 +22,16 @@ Thread-safety is capability-driven: a backend declaring
 shared default device) has its deviceless launches serialised under one
 lock, while launches carrying their own device (multi-device bands) run
 concurrently under per-device locks.
+
+Both executors honour the context's SLO controls between node
+dispatches: a :class:`~repro.resilience.cancel.CancellationToken` or an
+:class:`~repro.resilience.budget.ExecutionBudget` deadline stops the run
+cooperatively — in-flight nodes drain, pending nodes never start, and
+the typed error (:class:`~repro.resilience.cancel.OperationCancelled` /
+:class:`~repro.resilience.budget.DeadlineExceeded`) reports exactly
+which node indices completed.  Under the serial executor that set is a
+build-order prefix; under the thread pool it is dependency-closed.
+Contexts carrying neither pay a single boolean check per run.
 """
 
 from __future__ import annotations
@@ -107,6 +117,59 @@ class GraphResult:
         if stats is None:
             raise GraphError(f"node {ref.node} is not a launch node")
         return stats
+
+    @property
+    def completed_nodes(self) -> tuple[int, ...]:
+        """Indices of evaluated nodes (every index on a completed run)."""
+        return tuple(
+            index for index, value in enumerate(self._values) if value is not None
+        )
+
+
+def _interruptible(context: "ExecutionContext") -> bool:
+    """Whether the context carries any between-node stop condition."""
+    return (
+        getattr(context, "cancel", None) is not None
+        or getattr(context, "budget", None) is not None
+    )
+
+
+def _interrupt_error(
+    context: "ExecutionContext",
+    completed: "tuple[int, ...] | None",
+    total: int,
+) -> BaseException | None:
+    """The typed error the context's stop conditions currently demand.
+
+    Checked between node dispatches by both executors.  Cancellation
+    wins over the deadline when both have tripped (racing cancellers
+    converge on one stable reason, see
+    :class:`~repro.resilience.cancel.CancellationToken`); both
+    conditions are sticky, so an interrupt observed mid-run is still
+    observable after the in-flight drain re-derives the completed set.
+    """
+    cancel = getattr(context, "cancel", None)
+    if cancel is not None and cancel.cancelled:
+        from repro.resilience.cancel import OperationCancelled  # lazy: layered above
+
+        return OperationCancelled(
+            cancel.reason, nodes_completed=completed, total_nodes=total
+        )
+    budget = getattr(context, "budget", None)
+    if budget is not None:
+        # Lazy: repro.resilience sits above this package in the layering.
+        from repro.resilience.budget import DeadlineExceeded
+        from repro.resilience.clock import resolve_clock
+
+        try:
+            budget.check_deadline(
+                resolve_clock(context),
+                nodes_completed=completed,
+                where="scheduler",
+            )
+        except DeadlineExceeded as exc:
+            return exc
+    return None
 
 
 @runtime_checkable
@@ -272,14 +335,26 @@ def _run_node(
 
 
 class SerialExecutor:
-    """Node-at-a-time in build order — the pre-graph dispatch, exactly."""
+    """Node-at-a-time in build order — the pre-graph dispatch, exactly.
+
+    With a cancellation token or budget on the context, the token and
+    deadline are checked *before each node*: a trip raises the typed
+    error with the build-order prefix of completed indices.  A node
+    already running is never interrupted mid-kernel.
+    """
 
     def run(
         self, graph: LaunchGraph, *, context: "ExecutionContext"
     ) -> GraphResult:
-        values: "list[np.ndarray | bool | None]" = [None] * len(graph.nodes)
-        stats: "list[KernelStats | None]" = [None] * len(graph.nodes)
-        for index in range(len(graph.nodes)):
+        total = len(graph.nodes)
+        values: "list[np.ndarray | bool | None]" = [None] * total
+        stats: "list[KernelStats | None]" = [None] * total
+        interruptible = _interruptible(context)
+        for index in range(total):
+            if interruptible:
+                error = _interrupt_error(context, tuple(range(index)), total)
+                if error is not None:
+                    raise error
             values[index], stats[index] = _run_node(
                 graph, index, values, context, _NO_LOCKS
             )
@@ -318,6 +393,8 @@ class ThreadPoolExecutor:
         locks = _LockTable(serialize_backend=_needs_backend_lock(context))
         errors: list[tuple[int, BaseException]] = []
         pending: "dict[concurrent.futures.Future[tuple[np.ndarray | bool, KernelStats | None]], int]" = {}
+        interruptible = _interruptible(context)
+        interrupted = False
 
         with concurrent.futures.ThreadPoolExecutor(
             max_workers=self.max_workers
@@ -329,8 +406,22 @@ class ThreadPoolExecutor:
                 )
                 pending[future] = index
 
+            def halted() -> bool:
+                """Stop submitting?  Errors and interrupts both drain."""
+                nonlocal interrupted
+                if errors or interrupted:
+                    return True
+                if (
+                    interruptible
+                    and _interrupt_error(context, None, total) is not None
+                ):
+                    interrupted = True
+                return interrupted
+
             for index in range(total):
                 if remaining[index] == 0:
+                    if halted():
+                        break
                     submit(index)
             while pending:
                 done, _ = concurrent.futures.wait(
@@ -343,7 +434,7 @@ class ThreadPoolExecutor:
                         errors.append((index, exc))
                         continue
                     values[index], stats[index] = future.result()
-                    if errors:
+                    if halted():
                         continue  # drain only; stop expanding the frontier
                     for dependent in dependents[index]:
                         remaining[dependent] -= 1
@@ -352,6 +443,18 @@ class ThreadPoolExecutor:
         if errors:
             errors.sort(key=lambda pair: pair[0])
             raise errors[0][1]
+        if interrupted and any(value is None for value in values):
+            # Re-derive the completed set after the drain: the stop
+            # conditions are sticky, so the error is still demanded.  A
+            # run whose nodes all finished anyway returns normally —
+            # matching the serial executor, which only checks before
+            # *pending* nodes.
+            completed = tuple(
+                index for index, value in enumerate(values) if value is not None
+            )
+            error = _interrupt_error(context, completed, total)
+            if error is not None:
+                raise error
         return GraphResult(graph, values, stats)
 
 

@@ -8,6 +8,7 @@ from pathlib import Path
 
 from repro.analysis import (
     BackendResolutionRule,
+    ClockDisciplineRule,
     ImportLayeringRule,
     LaunchBracketRule,
     LockDisciplineRule,
@@ -30,7 +31,7 @@ class TestTreeIsClean:
         violations = lint_paths(SRC_ROOT)
         assert violations == [], "\n".join(str(v) for v in violations)
 
-    def test_default_rules_cover_all_seven_invariants(self):
+    def test_default_rules_cover_all_eight_invariants(self):
         names = {rule.name for rule in default_rules()}
         assert names == {
             "trace-writes",
@@ -39,6 +40,7 @@ class TestTreeIsClean:
             "lock-discipline",
             "backend-resolution",
             "scheduler-loops",
+            "clock-discipline",
             "import-layering",
         }
 
@@ -332,6 +334,67 @@ class TestSchedulerLoopRule:
         assert not rule.applies_to("repro/sched/executor.py")
         assert rule.applies_to("repro/runtime/kernels.py")
         assert rule.applies_to("repro/resilience/policy.py")
+
+
+class TestClockDisciplineRule:
+    def test_raw_time_calls_flagged(self):
+        violations = _check(
+            ClockDisciplineRule(),
+            """
+            import time
+            def timed(impl, compiled, a, b, ctx):
+                start = time.perf_counter()
+                out = impl.execute(compiled, a, b, None, context=ctx)
+                return out, time.perf_counter() - start
+            """,
+            "repro/runtime/kernels.py",
+        )
+        assert len(violations) == 2
+        assert "injectable Clock" in violations[0].message
+
+    def test_raw_sleep_flagged(self):
+        violations = _check(
+            ClockDisciplineRule(),
+            """
+            import time
+            def backoff(delay):
+                time.sleep(delay)
+            """,
+            "repro/resilience/policy.py",
+        )
+        assert len(violations) == 1
+
+    def test_from_time_import_flagged(self):
+        violations = _check(
+            ClockDisciplineRule(),
+            """
+            from time import sleep
+            def backoff(delay):
+                sleep(delay)
+            """,
+            "repro/resilience/policy.py",
+        )
+        assert len(violations) == 1
+        assert "from time import" in violations[0].message
+
+    def test_clock_module_exempt(self):
+        rule = ClockDisciplineRule()
+        assert not rule.applies_to("repro/resilience/clock.py")
+        assert rule.applies_to("repro/runtime/kernels.py")
+        assert rule.applies_to("repro/plan/autotune.py")
+
+    def test_clock_protocol_calls_clean(self):
+        violations = _check(
+            ClockDisciplineRule(),
+            """
+            def timed(clock, impl, compiled, a, b, ctx):
+                start = clock.now()
+                clock.sleep(0.0)
+                return impl.execute(compiled, a, b, None, context=ctx), clock.now() - start
+            """,
+            "repro/runtime/kernels.py",
+        )
+        assert violations == []
 
 
 class TestImportLayeringRule:

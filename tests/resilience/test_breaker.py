@@ -1,0 +1,311 @@
+"""Tests for per-backend circuit breakers and their integration seams."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import SEMIRINGS
+from repro.plan.autotune import AutotuneTable
+from repro.resilience import (
+    BreakerBoard,
+    BreakerOpen,
+    CircuitBreaker,
+    FallbackChain,
+    FaultPlan,
+    ResilienceError,
+    ResilienceExhausted,
+    RetryPolicy,
+    VirtualClock,
+    resilient_mmo,
+)
+from repro.runtime import ExecutionContext, Trace, use_context
+from repro.runtime.kernels import mmo_tiled
+from tests.conftest import make_ring_inputs
+
+
+class TestCircuitBreaker:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ResilienceError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ResilienceError, match="cooldown_s"):
+            CircuitBreaker(cooldown_s=-1.0)
+
+    def test_threshold_trips_the_breaker(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=1.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == "closed"
+        assert breaker.allow(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == "open"
+        assert breaker.opens == 1
+
+    def test_open_blocks_until_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=2.0)
+        breaker.record_failure(10.0)
+        assert not breaker.allow(10.0)
+        assert not breaker.allow(11.9)
+        assert breaker.allow(12.0)  # cooldown elapsed: probe admitted
+        assert breaker.state == "half-open"
+        assert breaker.probes == 1
+
+    def test_passive_allow_does_not_claim_the_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(5.0, claim=False)
+        assert breaker.state == "open"  # still open: nothing claimed
+        assert breaker.probes == 0
+
+    def test_probe_success_closes_and_resets(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=1.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.5)
+        breaker.record_success(probe_only=True)
+        assert breaker.state == "closed"
+        assert breaker.failures == 0
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.0)
+        breaker.record_failure(1.1)
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        assert not breaker.allow(1.5)  # fresh cooldown from the re-open
+        assert breaker.allow(2.1)
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.0)
+        assert not breaker.allow(1.5)  # probe in flight
+
+    def test_wedged_probe_times_out_and_readmits(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.0)  # probe claimed, outcome never reported
+        assert not breaker.allow(1.9)
+        assert breaker.allow(2.0)  # probe timed out: re-admit
+        assert breaker.probes == 2
+
+    def test_probe_only_success_does_not_reset_closed_count(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=1.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        breaker.record_success(probe_only=True)  # unverified launch
+        assert breaker.failures == 2
+        breaker.record_success()  # verified success
+        assert breaker.failures == 0
+
+    def test_straggler_success_while_open_is_ignored(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        assert breaker.state == "open"
+
+    def test_random_walk_preserves_invariants(self):
+        # Property test: any interleaving of events keeps the machine in
+        # a legal state and the closed-state count below the threshold.
+        rng = random.Random(0x51D2)
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=0.5)
+        now = 0.0
+        for _ in range(2000):
+            now += rng.random()
+            action = rng.randrange(4)
+            if action == 0:
+                breaker.record_failure(now)
+            elif action == 1:
+                breaker.record_success(probe_only=bool(rng.randrange(2)))
+            elif action == 2:
+                breaker.allow(now, claim=bool(rng.randrange(2)))
+            else:
+                now += breaker.cooldown_s
+            assert breaker.state in ("closed", "open", "half-open")
+            if breaker.state == "closed":
+                assert 0 <= breaker.failures < breaker.failure_threshold
+            if breaker.state == "open":
+                assert breaker.opened_at is not None
+            if breaker.state == "half-open":
+                assert breaker.probe_started_at is not None
+
+
+class TestBreakerBoard:
+    def test_unknown_backend_is_closed(self):
+        board = BreakerBoard(clock=VirtualClock())
+        assert board.state_of("vectorized") == "closed"
+        assert board.try_acquire("vectorized")
+        assert not board.blocked("vectorized")
+
+    def test_failures_open_and_cooldown_recovers(self):
+        clock = VirtualClock()
+        board = BreakerBoard(
+            failure_threshold=2, cooldown_s=1.0, clock=clock
+        )
+        board.record_failure("sparse")
+        board.record_failure("sparse")
+        assert board.state_of("sparse") == "open"
+        assert board.blocked("sparse")
+        assert not board.try_acquire("sparse")
+        assert board.open_backends() == ("sparse",)
+        clock.advance(1.0)
+        assert not board.blocked("sparse")  # passive: no claim
+        assert board.try_acquire("sparse")  # probe claimed
+        assert board.state_of("sparse") == "half-open"
+        board.record_success("sparse", probe_only=True)
+        assert board.state_of("sparse") == "closed"
+        assert board.open_backends() == ()
+
+    def test_boards_isolate_backends(self):
+        board = BreakerBoard(failure_threshold=1, clock=VirtualClock())
+        board.record_failure("emulate")
+        assert board.blocked("emulate")
+        assert not board.blocked("vectorized")
+
+    def test_snapshot_reports_per_backend_state(self):
+        board = BreakerBoard(failure_threshold=2, clock=VirtualClock())
+        board.record_failure("emulate")
+        snap = board.snapshot()
+        assert snap["emulate"]["state"] == "closed"
+        assert snap["emulate"]["failures"] == 1
+        assert snap["emulate"]["opens"] == 0
+
+
+class TestResilientMmoIntegration:
+    def _inputs(self, rng):
+        return make_ring_inputs(SEMIRINGS["min-plus"], 32, 16, 32, rng)
+
+    def test_persistent_failures_open_the_breaker(self, rng):
+        a, b, c = self._inputs(rng)
+        clock = VirtualClock()
+        board = BreakerBoard(failure_threshold=3, cooldown_s=5.0, clock=clock)
+        trace = Trace()
+        with use_context(
+            backend="vectorized",
+            fault_plan=FaultPlan(seed=7, drop=(0, 1, 2)),
+            breakers=board,
+            clock=clock,
+            trace=trace,
+        ) as ctx:
+            result, _ = resilient_mmo(
+                "min-plus", a, b, c,
+                context=ctx,
+                retry=RetryPolicy(max_retries=2),
+                fallback=FallbackChain(backends=("vectorized", "emulate")),
+            )
+        expected, _ = mmo_tiled("min-plus", a, b, c, backend="emulate")
+        np.testing.assert_array_equal(result, expected)
+        # Three drops on vectorized fed the board through the hook
+        # pipeline and opened its breaker.
+        assert board.state_of("vectorized") == "open"
+        assert trace.summary().backend_failures == 3
+
+    def test_open_breaker_skips_the_backend(self, rng):
+        a, b, c = self._inputs(rng)
+        clock = VirtualClock()
+        board = BreakerBoard(failure_threshold=1, cooldown_s=5.0, clock=clock)
+        board.record_failure("vectorized")
+        trace = Trace()
+        with use_context(
+            backend="vectorized", breakers=board, clock=clock, trace=trace
+        ) as ctx:
+            result, _ = resilient_mmo(
+                "min-plus", a, b, c,
+                context=ctx,
+                fallback=FallbackChain(backends=("vectorized", "emulate")),
+            )
+        expected, _ = mmo_tiled("min-plus", a, b, c, backend="emulate")
+        np.testing.assert_array_equal(result, expected)
+        assert trace.summary().breaker_skips == 1
+        [skip] = trace.events_of("breaker_open")
+        assert skip.backend == "vectorized"
+
+    def test_all_breakers_open_exhausts_with_typed_causes(self, rng):
+        a, b, c = self._inputs(rng)
+        board = BreakerBoard(failure_threshold=1, clock=VirtualClock())
+        board.record_failure("vectorized")
+        board.record_failure("emulate")
+        with use_context(backend="vectorized", breakers=board) as ctx:
+            with pytest.raises(ResilienceExhausted) as excinfo:
+                resilient_mmo(
+                    "min-plus", a, b, c,
+                    context=ctx,
+                    fallback=FallbackChain(backends=("vectorized", "emulate")),
+                )
+        causes = dict(excinfo.value.causes)
+        assert isinstance(causes["vectorized"], BreakerOpen)
+        assert isinstance(causes["emulate"], BreakerOpen)
+
+    def test_cooldown_probe_restores_the_backend(self, rng):
+        a, b, c = self._inputs(rng)
+        clock = VirtualClock()
+        board = BreakerBoard(failure_threshold=3, cooldown_s=5.0, clock=clock)
+        with use_context(
+            backend="vectorized",
+            fault_plan=FaultPlan(seed=7, drop=(0, 1, 2)),
+            breakers=board,
+            clock=clock,
+        ) as ctx:
+            resilient_mmo(
+                "min-plus", a, b, c,
+                context=ctx,
+                retry=RetryPolicy(max_retries=2),
+                fallback=FallbackChain(backends=("vectorized", "emulate")),
+            )
+            assert board.state_of("vectorized") == "open"
+            clock.advance(5.0)
+            # The fault plan's drops are spent; the probe launch succeeds
+            # and its verified result closes the breaker.
+            result, _ = resilient_mmo(
+                "min-plus", a, b, c,
+                context=ctx,
+                fallback=FallbackChain(backends=("vectorized", "emulate")),
+            )
+        assert board.state_of("vectorized") == "closed"
+        expected, _ = mmo_tiled("min-plus", a, b, c, backend="vectorized")
+        np.testing.assert_array_equal(result, expected)
+
+
+class TestPlannerIntegration:
+    def test_auto_dispatch_skips_open_backends(self, rng):
+        a, b, _ = make_ring_inputs(SEMIRINGS["min-plus"], 32, 32, 32, rng)
+        board = BreakerBoard(failure_threshold=1, clock=VirtualClock())
+        trace = Trace()
+        ctx = ExecutionContext(
+            backend="auto",
+            breakers=board,
+            trace=trace,
+            autotune=AutotuneTable(),
+        )
+        mmo_tiled("min-plus", a, b, context=ctx)
+        [baseline] = trace.plans
+        board.record_failure(baseline.backend)
+        mmo_tiled("min-plus", a, b, context=ctx)
+        rerouted = trace.plans[-1]
+        assert rerouted.backend != baseline.backend
+        assert baseline.backend in rerouted.breaker_skipped
+        assert baseline.breaker_skipped == ()
+
+    def test_all_blocked_fails_open_to_planner_choice(self, rng):
+        a, b, _ = make_ring_inputs(SEMIRINGS["min-plus"], 32, 32, 32, rng)
+        board = BreakerBoard(failure_threshold=1, clock=VirtualClock())
+        for name in ("vectorized", "emulate", "sparse"):
+            board.record_failure(name)
+        trace = Trace()
+        ctx = ExecutionContext(
+            backend="auto",
+            breakers=board,
+            trace=trace,
+            autotune=AutotuneTable(),
+        )
+        # Every candidate is blocked: filtering them all out would leave
+        # nothing to run, so the planner fails open and dispatches its
+        # best choice anyway.
+        result, _ = mmo_tiled("min-plus", a, b, context=ctx)
+        expected, _ = mmo_tiled("min-plus", a, b, backend="vectorized")
+        np.testing.assert_array_equal(result, expected)
+        [plan] = trace.plans
+        assert plan.breaker_skipped == ()

@@ -1,0 +1,228 @@
+"""Tests for the injectable clock and execution budgets (deadlines/quotas)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    BudgetExhausted,
+    DeadlineExceeded,
+    ExecutionBudget,
+    MonotonicClock,
+    ResilienceError,
+    VirtualClock,
+    default_clock,
+    resolve_clock,
+)
+from repro.core import SEMIRINGS
+from repro.runtime import Trace, use_context
+from repro.runtime.closure import closure
+from repro.runtime.kernels import mmo_tiled
+from tests.conftest import make_ring_inputs
+
+
+def _closure_input(n: int, rng: np.random.Generator) -> np.ndarray:
+    adj = rng.integers(1, 9, size=(n, n)).astype(np.float64)
+    adj[rng.random((n, n)) < 0.6] = np.inf
+    np.fill_diagonal(adj, 0.0)
+    return adj
+
+
+class TestClocks:
+    def test_monotonic_clock_advances(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+    def test_virtual_clock_is_manual(self):
+        clock = VirtualClock(start=10.0)
+        assert clock.now() == 10.0
+        assert clock.now() == 10.0  # tick=0: reads do not advance
+        clock.advance(2.5)
+        assert clock.now() == 12.5
+
+    def test_virtual_clock_tick_advances_per_read(self):
+        clock = VirtualClock(tick=1.0)
+        assert clock.now() == 0.0
+        assert clock.now() == 1.0
+        assert clock.now() == 2.0
+
+    def test_virtual_sleep_advances_and_counts(self):
+        clock = VirtualClock()
+        clock.sleep(3.0)
+        clock.sleep(1.5)
+        assert clock.now() == 4.5
+        assert clock.sleeps == 2
+        assert clock.slept_s == 4.5
+
+    def test_resolve_clock_prefers_context(self):
+        virtual = VirtualClock()
+        with use_context(clock=virtual) as ctx:
+            assert resolve_clock(ctx) is virtual
+        with use_context() as ctx:
+            assert resolve_clock(ctx) is default_clock()
+
+
+class TestExecutionBudget:
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ResilienceError, match="deadline_s"):
+            ExecutionBudget(deadline_s=-1.0)
+        with pytest.raises(ResilienceError, match="max_launches"):
+            ExecutionBudget(max_launches=-1)
+        with pytest.raises(ResilienceError, match="max_retries"):
+            ExecutionBudget(max_retries=-1)
+
+    def test_budget_does_not_age_while_idle(self):
+        clock = VirtualClock()
+        budget = ExecutionBudget(deadline_s=1.0)
+        clock.advance(100.0)  # created long ago, never charged
+        budget.check_deadline(clock)  # first check starts the clock
+        clock.advance(0.5)
+        budget.check_deadline(clock)  # still inside the deadline
+        assert budget.remaining_s(clock) == pytest.approx(0.5)
+
+    def test_deadline_trips_with_diagnostics(self):
+        clock = VirtualClock()
+        budget = ExecutionBudget(deadline_s=1.0)
+        budget.charge_launch(clock)
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            budget.check_deadline(clock, nodes_completed=(0, 1), where="test")
+        err = excinfo.value
+        assert err.deadline_s == 1.0
+        assert err.elapsed_s == pytest.approx(2.0)
+        assert err.launches_spent == 1
+        assert err.nodes_completed == (0, 1)
+        assert "2 node(s) completed" in str(err)
+
+    def test_launch_quota_trips(self):
+        clock = VirtualClock()
+        budget = ExecutionBudget(max_launches=2)
+        budget.charge_launch(clock)
+        budget.charge_launch(clock)
+        with pytest.raises(BudgetExhausted, match="launch budget of 2"):
+            budget.charge_launch(clock)
+        assert budget.launches_spent == 3
+
+    def test_retry_quota_trips(self):
+        clock = VirtualClock()
+        budget = ExecutionBudget(max_retries=1)
+        budget.charge_retry(clock)
+        with pytest.raises(BudgetExhausted, match="retry budget of 1"):
+            budget.charge_retry(clock)
+
+    def test_charge_sleep_truncates_at_deadline(self):
+        clock = VirtualClock()
+        budget = ExecutionBudget(deadline_s=1.0)
+        budget.check_deadline(clock)  # start
+        with pytest.raises(DeadlineExceeded):
+            budget.charge_sleep(clock, 5.0)
+        # Slept only the remaining allowance, not the full 5 seconds.
+        assert clock.slept_s == pytest.approx(1.0)
+
+    def test_charge_sleep_without_deadline_sleeps_in_full(self):
+        clock = VirtualClock()
+        budget = ExecutionBudget()
+        budget.charge_sleep(clock, 2.0)
+        assert clock.slept_s == pytest.approx(2.0)
+
+    def test_snapshot_shape(self):
+        clock = VirtualClock()
+        budget = ExecutionBudget(deadline_s=3.0, max_launches=5, max_retries=2)
+        budget.charge_launch(clock)
+        snap = budget.snapshot(clock)
+        assert snap["launches_spent"] == 1
+        assert snap["max_launches"] == 5
+        assert snap["deadline_s"] == 3.0
+
+
+class TestBudgetHookSeam:
+    def test_every_launch_is_charged(self, rng):
+        a, b, c = make_ring_inputs(SEMIRINGS["min-plus"], 32, 16, 32, rng)
+        budget = ExecutionBudget(max_launches=10)
+        with use_context(budget=budget, clock=VirtualClock()) as ctx:
+            mmo_tiled("min-plus", a, b, c, context=ctx)
+            mmo_tiled("min-plus", a, b, c, context=ctx)
+        assert budget.launches_spent == 2
+
+    def test_launch_quota_raises_typed_at_the_seam(self, rng):
+        a, b, c = make_ring_inputs(SEMIRINGS["min-plus"], 16, 16, 16, rng)
+        budget = ExecutionBudget(max_launches=1)
+        with use_context(budget=budget, clock=VirtualClock()) as ctx:
+            mmo_tiled("min-plus", a, b, c, context=ctx)
+            with pytest.raises(BudgetExhausted):
+                mmo_tiled("min-plus", a, b, c, context=ctx)
+
+    def test_deadline_raises_typed_at_the_seam(self, rng):
+        a, b, c = make_ring_inputs(SEMIRINGS["min-plus"], 16, 16, 16, rng)
+        clock = VirtualClock()
+        budget = ExecutionBudget(deadline_s=1.0)
+        with use_context(budget=budget, clock=clock) as ctx:
+            mmo_tiled("min-plus", a, b, c, context=ctx)
+            clock.advance(5.0)
+            with pytest.raises(DeadlineExceeded):
+                mmo_tiled("min-plus", a, b, c, context=ctx)
+
+    def test_budget_only_context_keeps_launchless_fast_path(self):
+        from repro.runtime import ExecutionContext
+
+        ctx = ExecutionContext(budget=ExecutionBudget(max_launches=100))
+        # BudgetHook provides launchless_pre and registers no
+        # post_execute, so the pipeline keeps the allocation-free path.
+        assert ctx.pipeline._launchless is not None
+
+
+class TestClosureBrownout:
+    def test_brownout_returns_flagged_partial_fixpoint(self, rng):
+        adj = _closure_input(48, rng)
+        trace = Trace()
+        budget = ExecutionBudget(max_launches=2)
+        with use_context(
+            budget=budget, clock=VirtualClock(), trace=trace
+        ) as ctx:
+            result = closure(
+                "min-plus", adj, method="bellman-ford",
+                convergence_check=False, context=ctx, on_budget="brownout",
+            )
+        assert not result.converged
+        assert result.diagnostics is not None
+        assert not result.diagnostics.healthy
+        assert result.diagnostics.reason == "budget_exhausted"
+        assert result.iterations >= 1  # partial progress, not nothing
+        assert result.matrix.shape == adj.shape
+        assert trace.summary().brownouts == 1
+
+    def test_default_on_budget_raises(self, rng):
+        adj = _closure_input(32, rng)
+        budget = ExecutionBudget(max_launches=2)
+        with use_context(budget=budget, clock=VirtualClock()) as ctx:
+            with pytest.raises(BudgetExhausted):
+                closure(
+                    "min-plus", adj, method="bellman-ford",
+                    convergence_check=False, context=ctx,
+                )
+
+    def test_unknown_on_budget_rejected(self, rng):
+        from repro.core import SemiringError
+
+        adj = _closure_input(16, rng)
+        with pytest.raises(SemiringError, match="on_budget"):
+            closure("min-plus", adj, on_budget="panic")
+
+    def test_brownout_matrix_matches_budgetless_prefix(self, rng):
+        # Determinism: the partial fixpoint equals the same iteration
+        # count run without any budget.
+        adj = _closure_input(48, rng)
+        budget = ExecutionBudget(max_launches=3)
+        with use_context(budget=budget, clock=VirtualClock()) as ctx:
+            partial = closure(
+                "min-plus", adj, method="bellman-ford",
+                convergence_check=False, context=ctx, on_budget="brownout",
+            )
+        reference = closure(
+            "min-plus", adj, method="bellman-ford",
+            convergence_check=False, max_iterations=partial.iterations,
+        )
+        np.testing.assert_array_equal(partial.matrix, reference.matrix)

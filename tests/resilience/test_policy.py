@@ -147,3 +147,137 @@ class TestResilientMmo:
         # one attempt per backend in the planner-ordered chain, no retries
         chain = FallbackChain().plan("vectorized", ring="min-plus", a=a, b=b)
         assert plan.launches_seen == len(chain)
+
+
+class TestErrorTaxonomy:
+    """Satellite regression: permanent errors must never be retried."""
+
+    def test_classify_buckets(self):
+        from repro.compile.artifact import CompileError
+        from repro.resilience import DeviceFailure, classify
+        from repro.resilience.checksum import CorruptionDetected
+        from repro.runtime.kernels import OperandValidationError
+
+        assert classify(OperandValidationError("bad shapes")) == "permanent"
+        assert classify(CompileError("no lowering")) == "permanent"
+        assert classify(DeviceFailure(0, "device fell over")) == "transient"
+        assert classify(InjectedFault("dropped")) == "transient"
+        corrupt = CorruptionDetected.__new__(CorruptionDetected)
+        assert classify(corrupt) == "transient"
+        assert classify(ValueError("?")) == "unknown"
+
+    def test_blanket_retry_on_still_refuses_permanent(self):
+        from repro.compile.artifact import CompileError
+        from repro.runtime.kernels import OperandValidationError
+
+        greedy = RetryPolicy(max_retries=5, retry_on=(Exception,))
+        assert not greedy.should_retry(OperandValidationError("x"), 0)
+        assert not greedy.should_retry(CompileError("x"), 0)
+        assert greedy.should_retry(InjectedFault("x"), 0)
+
+    def test_blanket_fallback_on_still_refuses_permanent(self):
+        from repro.runtime.kernels import OperandValidationError
+
+        greedy = FallbackChain(
+            backends=("vectorized", "emulate"), fallback_on=(Exception,)
+        )
+        assert not greedy.should_fall_back(OperandValidationError("x"))
+        assert greedy.should_fall_back(InjectedFault("x"))
+
+    def test_greedy_policy_no_longer_burns_launches_on_caller_bugs(self, rng):
+        # The original bug: a blanket retry_on retried shape-validation
+        # errors, re-running the same rejection max_retries times.
+        a = rng.random((16, 16))
+        bad_b = rng.random((8, 16))
+        plan = FaultPlan()
+        greedy = RetryPolicy(max_retries=5, retry_on=(Exception,))
+        with use_context(backend="vectorized", fault_plan=plan) as ctx:
+            with pytest.raises(RuntimeError_, match="bad mmo operand shapes"):
+                resilient_mmo(
+                    "min-plus", a, bad_b, context=ctx, retry=greedy,
+                    fallback=FallbackChain(
+                        backends=("vectorized", "emulate"),
+                        fallback_on=(Exception,),
+                    ),
+                )
+        assert plan.launches_seen == 0
+
+
+class TestBackoff:
+    def test_defaults_sleep_nothing(self):
+        policy = RetryPolicy()
+        assert policy.backoff_s(0) == 0.0
+        assert policy.backoff_s(7) == 0.0
+
+    def test_exponential_with_cap(self):
+        policy = RetryPolicy(
+            backoff_base_s=1.0, backoff_factor=2.0, backoff_max_s=5.0
+        )
+        assert policy.backoff_s(0) == 1.0
+        assert policy.backoff_s(1) == 2.0
+        assert policy.backoff_s(2) == 4.0
+        assert policy.backoff_s(3) == 5.0  # capped
+
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RetryPolicy(
+            max_retries=4, backoff_base_s=1.0, jitter=0.5, seed=42
+        )
+        delays = [policy.backoff_s(n) for n in range(4)]
+        replays = [policy.backoff_s(n) for n in range(4)]
+        assert delays == replays  # pure function of (policy, attempt)
+        for n, delay in enumerate(delays):
+            base = min(1.0 * 2.0 ** n, policy.backoff_max_s)
+            assert 0.5 * base <= delay <= 1.5 * base
+        other = RetryPolicy(
+            max_retries=4, backoff_base_s=1.0, jitter=0.5, seed=43
+        )
+        assert [other.backoff_s(n) for n in range(4)] != delays
+
+    def test_bad_backoff_parameters_rejected(self):
+        with pytest.raises(ResilienceError, match="backoff_base_s"):
+            RetryPolicy(backoff_base_s=-1.0)
+        with pytest.raises(ResilienceError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ResilienceError, match="jitter"):
+            RetryPolicy(jitter=2.0)
+
+    def test_retry_sleeps_flow_through_the_context_clock(self, rng):
+        from repro.resilience import VirtualClock
+
+        a, b, _ = make_ring_inputs(
+            SEMIRINGS["min-plus"], 16, 16, 16, rng, with_c=False
+        )
+        clock = VirtualClock()
+        plan = FaultPlan(drop=(0, 1))
+        policy = RetryPolicy(max_retries=2, backoff_base_s=1.0)
+        with use_context(
+            backend="vectorized", fault_plan=plan, clock=clock
+        ) as ctx:
+            result, _ = resilient_mmo("min-plus", a, b, context=ctx, retry=policy)
+        # Two retries: backoff slept 1s then 2s, all on the virtual clock.
+        assert clock.sleeps == 2
+        assert clock.slept_s == pytest.approx(3.0)
+        np.testing.assert_array_equal(result, mmo("min-plus", a, b))
+
+    def test_backoff_sleeps_charged_against_the_deadline(self, rng):
+        from repro.resilience import (
+            DeadlineExceeded,
+            ExecutionBudget,
+            VirtualClock,
+        )
+
+        a, b, _ = make_ring_inputs(
+            SEMIRINGS["min-plus"], 16, 16, 16, rng, with_c=False
+        )
+        clock = VirtualClock()
+        budget = ExecutionBudget(deadline_s=2.5)
+        plan = FaultPlan(drop=range(100))
+        policy = RetryPolicy(max_retries=5, backoff_base_s=1.0)
+        with use_context(
+            backend="vectorized", fault_plan=plan, clock=clock, budget=budget
+        ) as ctx:
+            with pytest.raises(DeadlineExceeded):
+                resilient_mmo("min-plus", a, b, context=ctx, retry=policy)
+        # The second backoff (2s) would overrun the 2.5s deadline: only
+        # the remaining allowance was slept, never past the deadline.
+        assert clock.slept_s <= 2.5 + 1e-9
